@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one figure or table of the paper.  The
+pytest-benchmark fixture times a single full regeneration (rounds=1 — these
+are experiment drivers, not micro-kernels), and the experiment's data series
+and shape-check outcomes are printed so the run's output contains the same
+rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+
+
+def run_and_report(benchmark, runner, *, quick: bool = True) -> ExperimentResult:
+    """Time one experiment run and print its rows/series and checks."""
+    result = benchmark.pedantic(
+        runner, kwargs={"quick": quick}, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(result.to_text())
+    return result
+
+
+@pytest.fixture
+def report(benchmark):
+    """Fixture wrapping :func:`run_and_report` around the benchmark fixture."""
+
+    def _report(runner, *, quick: bool = True) -> ExperimentResult:
+        return run_and_report(benchmark, runner, quick=quick)
+
+    return _report

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 1 (modelled NIC throughput curves)."""
+
+from repro.experiments import fig1_throughput_models
+
+
+def test_figure1_throughput_models(report):
+    """Effective PCIe BW, 40G Ethernet and the three NIC models vs packet size."""
+    result = report(fig1_throughput_models.run)
+    assert result.passed, result.to_text()

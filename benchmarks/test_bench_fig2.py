@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 2 (ExaNIC loopback latency, PCIe share)."""
+
+from repro.experiments import fig2_exanic_latency
+
+
+def test_figure2_exanic_latency(report):
+    """NIC loopback latency and its PCIe contribution vs transfer size."""
+    result = report(fig2_exanic_latency.run)
+    assert result.passed, result.to_text()

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 4 (baseline BW_RD / BW_WR / BW_RDWR vs model)."""
+
+from repro.experiments import fig4_baseline_bandwidth
+
+
+def test_figure4_baseline_bandwidth(report):
+    """DMA bandwidth of NFP6000-HSW and NetFPGA-HSW against the model curves."""
+    result = report(fig4_baseline_bandwidth.run)
+    assert result.passed, result.to_text()

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 5 (median LAT_RD / LAT_WRRD vs transfer size)."""
+
+from repro.experiments import fig5_baseline_latency
+
+
+def test_figure5_baseline_latency(report):
+    """Median DMA latency for the NFP and NetFPGA across transfer sizes."""
+    result = report(fig5_baseline_latency.run)
+    assert result.passed, result.to_text()

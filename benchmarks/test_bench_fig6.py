@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 6 (64 B read latency CDF, Xeon E5 vs E3)."""
+
+from repro.experiments import fig6_latency_distribution
+
+
+def test_figure6_latency_distribution(report):
+    """Latency distributions of the tight E5 and the heavy-tailed E3 systems."""
+    result = report(fig6_latency_distribution.run)
+    assert result.passed, result.to_text()

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 7 (cache and DDIO effects, NFP6000-SNB)."""
+
+from repro.experiments import fig7_cache_ddio
+
+
+def test_figure7_cache_ddio(report):
+    """8 B latency and 64 B bandwidth across window sizes, cold vs warm caches."""
+    result = report(fig7_cache_ddio.run)
+    assert result.passed, result.to_text()

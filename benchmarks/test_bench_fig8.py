@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 8 (NUMA local vs remote DMA read bandwidth)."""
+
+from repro.experiments import fig8_numa
+
+
+def test_figure8_numa(report):
+    """Percentage change of remote vs local read bandwidth (NFP6000-BDW)."""
+    result = report(fig8_numa.run)
+    assert result.passed, result.to_text()

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 9 (IOMMU impact on DMA read bandwidth)."""
+
+from repro.experiments import fig9_iommu
+
+
+def test_figure9_iommu(report):
+    """Percentage change of read bandwidth with the IOMMU enabled (4 KiB pages)."""
+    result = report(fig9_iommu.run)
+    assert result.passed, result.to_text()

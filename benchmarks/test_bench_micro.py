@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the simulator's hot paths (classic pytest-benchmark use).
+
+These time the library itself rather than reproducing a paper figure: how
+fast the analytical model evaluates, and how many simulated DMAs per second
+the transaction-level simulation sustains.  Useful when extending the
+simulator to check for performance regressions.
+"""
+
+from repro.core.bandwidth import effective_bidirectional_bandwidth_gbps
+from repro.core.config import PAPER_DEFAULT_CONFIG
+from repro.core.nic import MODERN_NIC_KERNEL
+from repro.sim.dma import DmaEngine
+from repro.sim.host import HostSystem
+from repro.units import KIB
+
+
+def test_micro_model_bandwidth_evaluation(benchmark):
+    """Analytical effective-bandwidth evaluation over the Figure 1 size range."""
+
+    def run():
+        return [
+            effective_bidirectional_bandwidth_gbps(size, PAPER_DEFAULT_CONFIG)
+            for size in range(64, 1537, 16)
+        ]
+
+    values = benchmark(run)
+    assert len(values) == 93
+
+
+def test_micro_nic_model_evaluation(benchmark):
+    """NIC interaction model throughput evaluation."""
+
+    def run():
+        return MODERN_NIC_KERNEL.throughput_sweep(range(64, 1537, 64))
+
+    values = benchmark(run)
+    assert len(values) == 24
+
+
+def test_micro_simulated_latency_samples(benchmark):
+    """Per-transaction latency simulation rate (LAT_RD, warm 8 KiB buffer)."""
+    host = HostSystem.from_profile("NFP6000-HSW", seed=1)
+    engine = DmaEngine(host)
+    buffer = host.allocate_buffer(8 * KIB, 64)
+    host.prepare(buffer, "host_warm")
+
+    result = benchmark.pedantic(
+        lambda: engine.measure_latency(buffer, "read", 1000),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert result.samples_ns.shape == (1000,)
+
+
+def test_micro_simulated_bandwidth_run(benchmark):
+    """Pipelined bandwidth simulation rate (BW_RD, warm 8 KiB buffer)."""
+    host = HostSystem.from_profile("NFP6000-HSW", seed=1)
+    engine = DmaEngine(host)
+    buffer = host.allocate_buffer(8 * KIB, 64)
+    host.prepare(buffer, "host_warm")
+
+    result = benchmark.pedantic(
+        lambda: engine.measure_bandwidth(buffer, "read", 1000),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert result.transactions == 1000

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table 1 (system configurations)."""
+
+from repro.experiments import table1_systems
+
+
+def test_table1_systems(report):
+    """The six evaluation systems and their properties."""
+    result = report(table1_systems.run)
+    assert result.passed, result.to_text()

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table 2 (notable findings and recommendations)."""
+
+from repro.experiments import table2_findings
+
+
+def test_table2_findings(report):
+    """IOMMU, DDIO and NUMA findings re-derived from fresh benchmark runs."""
+    result = report(table2_findings.run)
+    assert result.passed, result.to_text()

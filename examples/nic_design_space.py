@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Explore the NIC/driver design space with the analytical model.
+
+The paper's model is meant to let designers "quickly assess the impact of
+alternatives when designing custom NIC functionality" (§3).  This example
+does exactly that: starting from the naive per-packet design it adds one
+optimisation at a time (descriptor batching, interrupt moderation, doorbell
+batching, descriptor write-back polling) and reports where 40 Gb/s line rate
+becomes sustainable, ending with a custom design sized for a 100 Gb/s link.
+
+Run with::
+
+    python examples/nic_design_space.py
+"""
+
+from repro.analysis import format_series_table, format_table
+from repro.core.config import GEN3_X16_CONFIG
+from repro.core.ethernet import ETHERNET_100G, ETHERNET_40G
+from repro.core.model import PCIeModel
+from repro.core.nic import MODERN_NIC_DPDK, MODERN_NIC_KERNEL, SIMPLE_NIC
+
+
+def incremental_optimisations() -> None:
+    """Add one optimisation at a time and watch the line-rate crossover move."""
+    steps = [
+        ("Naive per-packet NIC", SIMPLE_NIC),
+        (
+            "+ descriptor batching (40 TX / 8 RX)",
+            SIMPLE_NIC.with_(
+                name="batched",
+                tx_descriptor_batch=40.0,
+                tx_writeback_batch=8.0,
+                rx_freelist_batch=8.0,
+                rx_writeback_batch=8.0,
+                tx_descriptor_writeback=True,
+            ),
+        ),
+        (
+            "+ interrupt moderation and doorbell batching",
+            MODERN_NIC_KERNEL.with_(name="moderated"),
+        ),
+        (
+            "+ poll-mode driver (no interrupts, no register reads)",
+            MODERN_NIC_DPDK.with_(name="poll-mode"),
+        ),
+    ]
+
+    rows = []
+    for label, model in steps:
+        crossover = model.line_rate_crossover(ETHERNET_40G)
+        rows.append(
+            [
+                label,
+                f"{model.throughput_gbps(64):.1f}",
+                f"{model.throughput_gbps(256):.1f}",
+                f"{model.throughput_gbps(1500):.1f}",
+                f"{crossover} B" if crossover else "never",
+            ]
+        )
+    print(
+        format_table(
+            ["design", "64B Gb/s", "256B Gb/s", "1500B Gb/s", "40G line rate from"],
+            rows,
+            title="Incremental NIC/driver optimisations (PCIe Gen3 x8)",
+        )
+    )
+    print()
+
+
+def per_transaction_cost_breakdown() -> None:
+    """Show where the PCIe bytes go for one 256 B packet on the simple NIC."""
+    sequence = SIMPLE_NIC.tx_sequence(256)
+    rows = [
+        [
+            row["label"],
+            row["size"],
+            row["per_packets"],
+            row["device_to_host_bytes_per_packet"],
+            row["host_to_device_bytes_per_packet"],
+        ]
+        for row in sequence.describe(PCIeModel.gen3_x8().config)
+    ]
+    print(
+        format_table(
+            ["transaction", "bytes", "per packets", "to host B/pkt", "to device B/pkt"],
+            rows,
+            title="Simple NIC, TX path, 256 B packet: per-packet PCIe cost",
+        )
+    )
+    print()
+
+
+def size_a_100g_nic() -> None:
+    """Check whether the DPDK-style design survives a move to 100G on Gen3 x16."""
+    model_40g = PCIeModel.gen3_x8()
+    model_100g = PCIeModel(config=GEN3_X16_CONFIG, ethernet=ETHERNET_100G)
+    sizes = (64, 128, 256, 512, 1024, 1500)
+    series = {
+        "100G Ethernet requirement": [
+            (size, model_100g.ethernet_throughput_gbps(size)) for size in sizes
+        ],
+        "DPDK NIC on Gen3 x16": model_100g.nic_throughput_sweep(MODERN_NIC_DPDK, sizes),
+        "DPDK NIC on Gen3 x8 (40G)": model_40g.nic_throughput_sweep(
+            MODERN_NIC_DPDK, sizes
+        ),
+    }
+    print(
+        format_series_table(
+            series, x_label="size (B)", title="Scaling the design to 100 Gb/s"
+        )
+    )
+    crossover = MODERN_NIC_DPDK.line_rate_crossover(
+        ETHERNET_100G, GEN3_X16_CONFIG
+    )
+    print(
+        "\nOn a Gen3 x16 link the DPDK-style NIC sustains 100G line rate from "
+        f"{crossover} B frames — small-packet 100G needs either a wider link, "
+        "a smarter descriptor format, or on-NIC batching."
+    )
+
+
+def main() -> None:
+    incremental_optimisations()
+    per_transaction_cost_breakdown()
+    size_a_100g_nic()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Where should descriptor rings and packet buffers live on a NUMA host?
+
+The paper's Figure 8 and Table 2 distil the NUMA story into two placement
+rules: keep small, latency-critical structures (descriptor rings) on the
+node the NIC is attached to, but place large packet buffers wherever the
+consuming application runs.  This example reproduces the measurements behind
+both rules on the simulated two-socket Broadwell system.
+
+Run with::
+
+    python examples/numa_placement.py
+"""
+
+from repro.analysis import format_table
+from repro.bench import BenchmarkParams, BenchmarkRunner
+from repro.units import KIB
+
+SYSTEM = "NFP6000-BDW"
+TRANSACTIONS = 2500
+
+
+def bandwidth(runner: BenchmarkRunner, size: int, placement: str) -> float:
+    """Warm-cache DMA read bandwidth for one transfer size and placement."""
+    params = BenchmarkParams(
+        kind="BW_RD",
+        transfer_size=size,
+        window_size=16 * KIB,
+        cache_state="host_warm",
+        placement=placement,
+        system=SYSTEM,
+        transactions=TRANSACTIONS,
+    )
+    return runner.run(params).bandwidth_gbps
+
+
+def latency(runner: BenchmarkRunner, size: int, placement: str) -> float:
+    """Median DMA read latency for one transfer size and placement."""
+    params = BenchmarkParams(
+        kind="LAT_RD",
+        transfer_size=size,
+        window_size=8 * KIB,
+        cache_state="host_warm",
+        placement=placement,
+        system=SYSTEM,
+        transactions=4000,
+    )
+    return runner.run(params).latency.median
+
+
+def main() -> None:
+    runner = BenchmarkRunner()
+
+    rows = []
+    for size in (64, 128, 256, 512, 1024):
+        local = bandwidth(runner, size, "local")
+        remote = bandwidth(runner, size, "remote")
+        change = 100.0 * (remote - local) / local
+        rows.append([f"{size} B", f"{local:.1f}", f"{remote:.1f}", f"{change:+.1f}%"])
+    print(
+        format_table(
+            ["transfer", "local Gb/s", "remote Gb/s", "change"],
+            rows,
+            title=f"Warm-cache DMA read bandwidth by buffer placement ({SYSTEM})",
+        )
+    )
+    print()
+
+    local_lat = latency(runner, 64, "local")
+    remote_lat = latency(runner, 64, "remote")
+    print(
+        f"Median 64 B read latency: {local_lat:.0f} ns local vs {remote_lat:.0f} ns "
+        f"remote — the interconnect adds about {remote_lat - local_lat:.0f} ns "
+        "(the paper reports ~100 ns)."
+    )
+    print()
+    print("Placement guidance reproduced from the measurements above:")
+    print(
+        " * descriptor rings (small, touched per packet): keep them on the NIC's"
+        " local node — small reads lose 10-20% of their throughput when remote;"
+    )
+    print(
+        " * packet buffers (large transfers): place them on the node where the"
+        " application runs — 512 B+ DMAs show no measurable remote penalty."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""pcie-bench reproduction: model, simulate and benchmark PCIe for end host networking.
+
+This package reproduces "Understanding PCIe performance for end host
+networking" (SIGCOMM 2018).  It is organised as:
+
+* :mod:`repro.core` — the analytical PCIe model (bandwidth equations, latency
+  decomposition, NIC/driver interaction models).
+* :mod:`repro.sim` — a simulated substrate standing in for the programmable
+  NICs (Netronome NFP, NetFPGA) and the Intel Xeon hosts of the paper:
+  LLC + DDIO cache, IOMMU with IOTLB, NUMA topology, root complex and DMA
+  engines.
+* :mod:`repro.bench` — the pcie-bench methodology: LAT_RD, LAT_WRRD, BW_RD,
+  BW_WR and BW_RDWR micro-benchmarks over controlled host-buffer windows.
+* :mod:`repro.experiments` — one driver per figure/table in the paper's
+  evaluation.
+* :mod:`repro.analysis` — text tables, ASCII plots and report generation.
+"""
+
+from .core import (
+    PAPER_DEFAULT_CONFIG,
+    PCIeConfig,
+    PCIeModel,
+    LinkConfig,
+    PCIeGeneration,
+    EthernetLink,
+    NicModel,
+    SIMPLE_NIC,
+    MODERN_NIC_KERNEL,
+    MODERN_NIC_DPDK,
+)
+from .errors import (
+    BenchmarkError,
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PAPER_DEFAULT_CONFIG",
+    "PCIeConfig",
+    "PCIeModel",
+    "LinkConfig",
+    "PCIeGeneration",
+    "EthernetLink",
+    "NicModel",
+    "SIMPLE_NIC",
+    "MODERN_NIC_KERNEL",
+    "MODERN_NIC_DPDK",
+    "ReproError",
+    "ConfigurationError",
+    "ValidationError",
+    "SimulationError",
+    "BenchmarkError",
+    "__version__",
+]

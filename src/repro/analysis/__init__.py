@@ -1,0 +1,14 @@
+"""Analysis helpers: text tables, ASCII plots and report generation."""
+
+from .ascii_plot import ascii_plot
+from .report import experiments_markdown, summary_line, write_experiments_markdown
+from .table import format_series_table, format_table
+
+__all__ = [
+    "ascii_plot",
+    "experiments_markdown",
+    "summary_line",
+    "write_experiments_markdown",
+    "format_series_table",
+    "format_table",
+]

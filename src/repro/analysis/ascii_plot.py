@@ -1,0 +1,104 @@
+"""Minimal ASCII line plots.
+
+matplotlib is not available in this environment, so the examples and the CLI
+render curves as character plots: good enough to see the saw-tooth of the
+bandwidth model, the IOTLB cliff or the E3 latency tail directly in a
+terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..errors import AnalysisError
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: dict[str, list[tuple[float, float]]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    title: str | None = None,
+    x_label: str = "",
+    y_label: str = "",
+    logx: bool = False,
+) -> str:
+    """Render one or more ``(x, y)`` series as an ASCII plot.
+
+    Args:
+        series: mapping of legend label to points.
+        width/height: plot area size in characters.
+        title: optional title line.
+        x_label / y_label: axis captions.
+        logx: plot the x axis on a log scale (useful for window sweeps).
+
+    Returns:
+        The rendered plot as a multi-line string.
+    """
+    if not series:
+        raise AnalysisError("nothing to plot")
+    if width < 10 or height < 5:
+        raise AnalysisError("plot area too small (need width >= 10, height >= 5)")
+
+    def transform(x: float) -> float:
+        if not logx:
+            return x
+        if x <= 0:
+            raise AnalysisError("logx plots require positive x values")
+        return math.log10(x)
+
+    points = [
+        (transform(x), y)
+        for curve in series.values()
+        for x, y in curve
+    ]
+    if not points:
+        raise AnalysisError("all series are empty")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if math.isclose(x_min, x_max):
+        x_max = x_min + 1.0
+    if math.isclose(y_min, y_max):
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, curve) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in curve:
+            tx = transform(x)
+            column = round((tx - x_min) / (x_max - x_min) * (width - 1))
+            row = round((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(f"[y: {y_label}]")
+    top_label = f"{y_max:.6g}"
+    bottom_label = f"{y_min:.6g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    x_axis = " " * label_width + " +" + "-" * width
+    lines.append(x_axis)
+    left = f"{(10 ** x_min if logx else x_min):.6g}"
+    right = f"{(10 ** x_max if logx else x_max):.6g}"
+    middle = x_label.center(width - len(left) - len(right))
+    lines.append(" " * (label_width + 2) + left + middle + right)
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}" for i, label in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

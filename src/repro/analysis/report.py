@@ -1,0 +1,89 @@
+"""Report generation: paper-vs-measured summaries (EXPERIMENTS.md).
+
+Turns a list of :class:`~repro.experiments.base.ExperimentResult` objects
+into a Markdown report recording, for every figure and table, which of the
+paper's qualitative claims reproduce and what was measured.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+from ..errors import AnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
+    from ..experiments.base import ExperimentResult
+
+
+def experiments_markdown(results: Sequence["ExperimentResult"]) -> str:
+    """Render results as the EXPERIMENTS.md document."""
+    if not results:
+        raise AnalysisError("no experiment results to report")
+    lines = [
+        "# EXPERIMENTS — paper vs. reproduction",
+        "",
+        "Reproduction of every table and figure in the evaluation of",
+        '"Understanding PCIe performance for end host networking" (SIGCOMM 2018).',
+        "All substrates are simulated (see DESIGN.md), so comparisons are about",
+        "shape — who wins, where cliffs and crossovers fall, rough factors —",
+        "never absolute numbers.",
+        "",
+        "## Summary",
+        "",
+        "| Experiment | Title | Checks passed |",
+        "|---|---|---|",
+    ]
+    for result in results:
+        lines.append(
+            f"| {result.experiment_id} | {result.title} | {result.check_summary()} |"
+        )
+    lines.append("")
+
+    for result in results:
+        lines.append(f"## {result.experiment_id}: {result.title}")
+        lines.append("")
+        if result.checks:
+            lines.append("| Status | Paper claim | Measured |")
+            lines.append("|---|---|---|")
+            for check in result.checks:
+                lines.append(
+                    f"| {check.status()} | {check.description} | {check.detail} |"
+                )
+            lines.append("")
+        if result.table_rows and result.table_headers:
+            lines.append("| " + " | ".join(result.table_headers) + " |")
+            lines.append("|" + "---|" * len(result.table_headers))
+            for row in result.table_rows:
+                cells = [
+                    f"{cell:.1f}" if isinstance(cell, float) else str(cell)
+                    for cell in row
+                ]
+                lines.append("| " + " | ".join(cells) + " |")
+            lines.append("")
+        if result.series:
+            lines.append(
+                f"Series: {', '.join(result.series)} over {result.x_label} "
+                f"({result.y_label})."
+            )
+            lines.append("")
+        for note in result.notes:
+            lines.append(f"*Note: {note}*")
+            lines.append("")
+    return "\n".join(lines)
+
+
+def write_experiments_markdown(
+    results: Sequence["ExperimentResult"], path: str | Path
+) -> Path:
+    """Write :func:`experiments_markdown` output to a file."""
+    path = Path(path)
+    path.write_text(experiments_markdown(results))
+    return path
+
+
+def summary_line(results: Sequence["ExperimentResult"]) -> str:
+    """One-line overall summary, e.g. ``"10 experiments, 52/55 checks passed"``."""
+    total_checks = sum(len(result.checks) for result in results)
+    passed = sum(result.passed_checks for result in results)
+    return f"{len(results)} experiments, {passed}/{total_checks} checks passed"

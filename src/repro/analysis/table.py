@@ -1,0 +1,96 @@
+"""Plain-text table rendering for experiment output.
+
+The experiment drivers and the CLI print their results as fixed-width text
+tables (no third-party dependencies), in the spirit of the paper's control
+programs writing raw results for further processing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import AnalysisError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Args:
+        headers: column headers.
+        rows: sequences of cell values; floats are formatted with
+            ``float_format``, everything else with ``str``.
+        title: optional title printed above the table.
+        float_format: format spec applied to float cells.
+
+    Returns:
+        The rendered table as a single string (no trailing newline).
+    """
+    materialised = [list(row) for row in rows]
+    if not headers:
+        raise AnalysisError("a table needs at least one column")
+    for row in materialised:
+        if len(row) != len(headers):
+            raise AnalysisError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+
+    def render(cell: object) -> str:
+        if isinstance(cell, bool):
+            return "yes" if cell else "no"
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    text_rows = [[render(cell) for cell in row] for row in materialised]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in text_rows))
+        if text_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append(separator)
+    for row in text_rows:
+        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    series: dict[str, list[tuple[float, float]]],
+    *,
+    x_label: str = "x",
+    title: str | None = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render multiple ``(x, y)`` series sharing an x-axis as one table.
+
+    Series are aligned on their x values; missing points render as ``-``.
+    This matches how the paper's figures present several curves over the
+    same transfer-size or window-size axis.
+    """
+    if not series:
+        raise AnalysisError("no series to format")
+    xs: list[float] = sorted({x for points in series.values() for x, _ in points})
+    lookup = {
+        name: {x: y for x, y in points} for name, points in series.items()
+    }
+    headers = [x_label, *series.keys()]
+    rows = []
+    for x in xs:
+        row: list[object] = [int(x) if float(x).is_integer() else x]
+        for name in series:
+            value = lookup[name].get(x)
+            row.append("-" if value is None else value)
+        rows.append(row)
+    return format_table(headers, rows, title=title, float_format=float_format)

@@ -1,0 +1,51 @@
+"""The pcie-bench methodology: latency and bandwidth micro-benchmarks (§4)."""
+
+from .bandwidth import bw_rd, bw_rdwr, bw_wr, run_bandwidth_benchmark
+from .latency import lat_rd, lat_wrrd, run_latency_benchmark
+from .params import (
+    COMMON_TRANSFER_SIZES,
+    DEFAULT_BANDWIDTH_TRANSACTIONS,
+    DEFAULT_LATENCY_SAMPLES,
+    WINDOW_SWEEP,
+    BenchmarkKind,
+    BenchmarkParams,
+    NumaPlacement,
+)
+from .results import (
+    BenchmarkResult,
+    filter_results,
+    load_results_json,
+    save_results_csv,
+    save_results_json,
+)
+from .runner import BenchmarkRunner, full_suite_params
+from .stats import LatencyStats, cdf, fraction_within, histogram, percentile_ratio
+
+__all__ = [
+    "bw_rd",
+    "bw_rdwr",
+    "bw_wr",
+    "run_bandwidth_benchmark",
+    "lat_rd",
+    "lat_wrrd",
+    "run_latency_benchmark",
+    "COMMON_TRANSFER_SIZES",
+    "DEFAULT_BANDWIDTH_TRANSACTIONS",
+    "DEFAULT_LATENCY_SAMPLES",
+    "WINDOW_SWEEP",
+    "BenchmarkKind",
+    "BenchmarkParams",
+    "NumaPlacement",
+    "BenchmarkResult",
+    "filter_results",
+    "load_results_json",
+    "save_results_csv",
+    "save_results_json",
+    "BenchmarkRunner",
+    "full_suite_params",
+    "LatencyStats",
+    "cdf",
+    "fraction_within",
+    "histogram",
+    "percentile_ratio",
+]

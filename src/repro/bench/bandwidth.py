@@ -1,0 +1,128 @@
+"""Bandwidth micro-benchmarks: ``BW_RD``, ``BW_WR`` and ``BW_RDWR`` (§4.2).
+
+Bandwidth is measured by issuing a large number of DMAs with the device's
+full concurrency and dividing the bytes moved by the elapsed time.  The
+alternating read/write variant (``BW_RDWR``) makes MRd TLPs compete with MWr
+TLPs for the device-to-host direction, exactly as a NIC moving full-duplex
+traffic would.
+"""
+
+from __future__ import annotations
+
+from ..errors import BenchmarkError
+from ..sim.dma import DmaEngine
+from ..sim.host import HostSystem
+from .params import BenchmarkKind, BenchmarkParams
+from .results import BenchmarkResult
+
+
+def run_bandwidth_benchmark(
+    params: BenchmarkParams,
+    *,
+    host: HostSystem | None = None,
+    engine: DmaEngine | None = None,
+) -> BenchmarkResult:
+    """Run ``BW_RD``, ``BW_WR`` or ``BW_RDWR`` as described by ``params``."""
+    if not params.kind.is_bandwidth:
+        raise BenchmarkError(
+            f"run_bandwidth_benchmark got a latency benchmark: {params.kind.value}"
+        )
+    host = host or _build_host(params)
+    engine = engine or DmaEngine(host)
+    buffer = host.allocate_buffer(
+        params.window_size,
+        params.transfer_size,
+        offset=params.offset,
+        node=params.placement.value,
+        page_size=params.iommu_page_size if params.iommu_enabled else None,
+    )
+    host.prepare(buffer, params.cache_state)
+    measurement = engine.measure_bandwidth(
+        buffer,
+        params.kind.dma_operation,
+        params.effective_transactions,
+        pattern=params.pattern,
+    )
+    return BenchmarkResult(
+        params=params,
+        bandwidth_gbps=measurement.gbps,
+        transactions_per_second=measurement.transactions_per_second,
+        cache_hit_rate=measurement.cache_hit_rate,
+        iotlb_miss_rate=measurement.iotlb_miss_rate,
+    )
+
+
+def bw_rd(
+    transfer_size: int,
+    *,
+    system: str = "NFP6000-HSW",
+    window_size: int | None = None,
+    cache_state: str = "host_warm",
+    **overrides: object,
+) -> BenchmarkResult:
+    """Convenience wrapper: run ``BW_RD`` with common defaults."""
+    return _run_simple(
+        BenchmarkKind.BW_RD, transfer_size, system, window_size, cache_state, overrides
+    )
+
+
+def bw_wr(
+    transfer_size: int,
+    *,
+    system: str = "NFP6000-HSW",
+    window_size: int | None = None,
+    cache_state: str = "host_warm",
+    **overrides: object,
+) -> BenchmarkResult:
+    """Convenience wrapper: run ``BW_WR`` with common defaults."""
+    return _run_simple(
+        BenchmarkKind.BW_WR, transfer_size, system, window_size, cache_state, overrides
+    )
+
+
+def bw_rdwr(
+    transfer_size: int,
+    *,
+    system: str = "NFP6000-HSW",
+    window_size: int | None = None,
+    cache_state: str = "host_warm",
+    **overrides: object,
+) -> BenchmarkResult:
+    """Convenience wrapper: run ``BW_RDWR`` with common defaults."""
+    return _run_simple(
+        BenchmarkKind.BW_RDWR,
+        transfer_size,
+        system,
+        window_size,
+        cache_state,
+        overrides,
+    )
+
+
+def _run_simple(
+    kind: BenchmarkKind,
+    transfer_size: int,
+    system: str,
+    window_size: int | None,
+    cache_state: str,
+    overrides: dict[str, object],
+) -> BenchmarkResult:
+    params = BenchmarkParams(
+        kind=kind,
+        transfer_size=transfer_size,
+        window_size=window_size or max(8 * 1024, transfer_size),
+        cache_state=cache_state,
+        system=system,
+        **overrides,  # type: ignore[arg-type]
+    )
+    return run_bandwidth_benchmark(params)
+
+
+def _build_host(params: BenchmarkParams) -> HostSystem:
+    seed_kwargs = {} if params.seed is None else {"seed": params.seed}
+    return HostSystem.from_profile(
+        params.system,
+        iommu_enabled=params.iommu_enabled,
+        iommu_page_size=params.iommu_page_size,
+        **seed_kwargs,
+    )

@@ -1,0 +1,123 @@
+"""Latency micro-benchmarks: ``LAT_RD`` and ``LAT_WRRD`` (§4.1).
+
+``LAT_RD`` times individual DMA reads from issue to completion signal.
+Because PCIe memory writes are posted, write latency cannot be observed
+directly; ``LAT_WRRD`` instead times a DMA write followed by a DMA read of
+the same address, relying on PCIe ordering to make the read wait for the
+write.
+"""
+
+from __future__ import annotations
+
+from ..errors import BenchmarkError
+from ..sim.dma import DmaEngine
+from ..sim.host import HostSystem
+from .params import BenchmarkKind, BenchmarkParams, NumaPlacement
+from .results import BenchmarkResult
+from .stats import LatencyStats
+
+
+def run_latency_benchmark(
+    params: BenchmarkParams,
+    *,
+    host: HostSystem | None = None,
+    engine: DmaEngine | None = None,
+    keep_samples: bool = False,
+) -> BenchmarkResult:
+    """Run ``LAT_RD`` or ``LAT_WRRD`` as described by ``params``.
+
+    Args:
+        params: the benchmark description; ``params.kind`` must be a latency
+            benchmark.
+        host: an existing host system to reuse (built from ``params.system``
+            when omitted).  Reusing a host across runs keeps its caches and
+            RNG streams, which is what a real suite run does.
+        engine: an existing DMA engine to reuse.
+        keep_samples: attach the raw per-transaction samples to the result
+            (needed for CDFs; costs memory for large sample counts).
+
+    Returns:
+        A :class:`BenchmarkResult` with latency statistics.
+    """
+    if not params.kind.is_latency:
+        raise BenchmarkError(
+            f"run_latency_benchmark got a bandwidth benchmark: {params.kind.value}"
+        )
+    host = host or _build_host(params)
+    engine = engine or DmaEngine(host)
+    buffer = host.allocate_buffer(
+        params.window_size,
+        params.transfer_size,
+        offset=params.offset,
+        node=params.placement.value,
+        page_size=params.iommu_page_size if params.iommu_enabled else None,
+    )
+    host.prepare(buffer, params.cache_state)
+    measurement = engine.measure_latency(
+        buffer,
+        params.kind.dma_operation,
+        params.effective_transactions,
+        pattern=params.pattern,
+        use_command_interface=params.use_command_interface,
+    )
+    stats = LatencyStats.from_samples(measurement.samples_ns)
+    return BenchmarkResult(
+        params=params,
+        latency=stats,
+        cache_hit_rate=measurement.cache_hit_rate,
+        iotlb_miss_rate=measurement.iotlb_miss_rate,
+        samples_ns=measurement.samples_ns if keep_samples else None,
+    )
+
+
+def lat_rd(
+    transfer_size: int,
+    *,
+    system: str = "NFP6000-HSW",
+    window_size: int | None = None,
+    cache_state: str = "host_warm",
+    **overrides: object,
+) -> BenchmarkResult:
+    """Convenience wrapper: run ``LAT_RD`` with common defaults.
+
+    Additional keyword arguments are forwarded to :class:`BenchmarkParams`.
+    """
+    params = BenchmarkParams(
+        kind=BenchmarkKind.LAT_RD,
+        transfer_size=transfer_size,
+        window_size=window_size or max(8 * 1024, transfer_size),
+        cache_state=cache_state,
+        system=system,
+        **overrides,  # type: ignore[arg-type]
+    )
+    return run_latency_benchmark(params)
+
+
+def lat_wrrd(
+    transfer_size: int,
+    *,
+    system: str = "NFP6000-HSW",
+    window_size: int | None = None,
+    cache_state: str = "host_warm",
+    **overrides: object,
+) -> BenchmarkResult:
+    """Convenience wrapper: run ``LAT_WRRD`` with common defaults."""
+    params = BenchmarkParams(
+        kind=BenchmarkKind.LAT_WRRD,
+        transfer_size=transfer_size,
+        window_size=window_size or max(8 * 1024, transfer_size),
+        cache_state=cache_state,
+        system=system,
+        **overrides,  # type: ignore[arg-type]
+    )
+    return run_latency_benchmark(params)
+
+
+def _build_host(params: BenchmarkParams) -> HostSystem:
+    seed_kwargs = {} if params.seed is None else {"seed": params.seed}
+    return HostSystem.from_profile(
+        params.system,
+        iommu_enabled=params.iommu_enabled,
+        iommu_page_size=params.iommu_page_size,
+        **seed_kwargs,
+    )

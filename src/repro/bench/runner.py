@@ -1,0 +1,151 @@
+"""Benchmark suite runner: the simulated counterpart of the control programs.
+
+The NFP control program of §5.4 runs individual tests or a full suite of
+roughly 2500 tests (about four hours on hardware).  :class:`BenchmarkRunner`
+plays that role here: it executes lists of :class:`BenchmarkParams`, reuses
+host systems across runs on the same configuration, supports parameter
+sweeps, and can persist results for later analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from ..errors import BenchmarkError
+from ..sim.dma import DmaEngine
+from ..sim.host import HostSystem
+from .bandwidth import run_bandwidth_benchmark
+from .latency import run_latency_benchmark
+from .params import BenchmarkKind, BenchmarkParams, WINDOW_SWEEP
+from .results import BenchmarkResult, save_results_csv, save_results_json
+
+
+@dataclass
+class BenchmarkRunner:
+    """Executes micro-benchmarks, caching host systems per configuration.
+
+    Attributes:
+        keep_samples: attach raw latency samples to latency results.
+        progress: optional callback invoked as ``progress(index, total,
+            params)`` before each run (used by the CLI for status output).
+    """
+
+    keep_samples: bool = False
+    progress: Callable[[int, int, BenchmarkParams], None] | None = None
+    _hosts: dict[tuple[str, bool, int, object], HostSystem] = field(
+        default_factory=dict, repr=False
+    )
+
+    def host_for(self, params: BenchmarkParams) -> HostSystem:
+        """Host system for a parameter set, building it on first use.
+
+        Hosts are keyed by (system, IOMMU state, page size, seed) so sweeps
+        over window or transfer size share one host the way a real suite
+        shares one machine.
+        """
+        key = (
+            params.system.lower(),
+            params.iommu_enabled,
+            params.iommu_page_size,
+            params.seed,
+        )
+        if key not in self._hosts:
+            seed_kwargs = {} if params.seed is None else {"seed": params.seed}
+            self._hosts[key] = HostSystem.from_profile(
+                params.system,
+                iommu_enabled=params.iommu_enabled,
+                iommu_page_size=params.iommu_page_size,
+                **seed_kwargs,
+            )
+        return self._hosts[key]
+
+    def run(self, params: BenchmarkParams) -> BenchmarkResult:
+        """Run a single benchmark."""
+        host = self.host_for(params)
+        engine = DmaEngine(host)
+        if params.kind.is_latency:
+            return run_latency_benchmark(
+                params, host=host, engine=engine, keep_samples=self.keep_samples
+            )
+        return run_bandwidth_benchmark(params, host=host, engine=engine)
+
+    def run_all(self, params_list: Sequence[BenchmarkParams]) -> list[BenchmarkResult]:
+        """Run a list of benchmarks in order."""
+        results = []
+        total = len(params_list)
+        for index, params in enumerate(params_list):
+            if self.progress is not None:
+                self.progress(index, total, params)
+            results.append(self.run(params))
+        return results
+
+    # -- sweeps -------------------------------------------------------------------
+
+    def sweep_transfer_size(
+        self, base: BenchmarkParams, sizes: Iterable[int]
+    ) -> list[BenchmarkResult]:
+        """Run the same benchmark across a list of transfer sizes."""
+        return self.run_all([base.with_(transfer_size=size) for size in sizes])
+
+    def sweep_window_size(
+        self, base: BenchmarkParams, windows: Iterable[int] = WINDOW_SWEEP
+    ) -> list[BenchmarkResult]:
+        """Run the same benchmark across a list of window sizes."""
+        return self.run_all([base.with_(window_size=window) for window in windows])
+
+    def sweep_cache_state(
+        self, base: BenchmarkParams, states: Iterable[str] = ("cold", "host_warm")
+    ) -> list[BenchmarkResult]:
+        """Run the same benchmark for each cache preparation state."""
+        return self.run_all([base.with_(cache_state=state) for state in states])
+
+    # -- persistence ---------------------------------------------------------------
+
+    @staticmethod
+    def save(
+        results: Sequence[BenchmarkResult],
+        path: str | Path,
+        *,
+        fmt: str = "json",
+    ) -> None:
+        """Persist results as JSON or CSV depending on ``fmt``."""
+        if fmt == "json":
+            save_results_json(results, path)
+        elif fmt == "csv":
+            save_results_csv(results, path)
+        else:
+            raise BenchmarkError(f"unknown result format {fmt!r} (use 'json' or 'csv')")
+
+
+def full_suite_params(
+    *,
+    system: str = "NFP6000-HSW",
+    transfer_sizes: Sequence[int] = (8, 64, 128, 256, 512, 1024, 2048),
+    windows: Sequence[int] = WINDOW_SWEEP,
+    cache_states: Sequence[str] = ("cold", "host_warm"),
+    kinds: Sequence[BenchmarkKind] = tuple(BenchmarkKind),
+) -> list[BenchmarkParams]:
+    """Build the cross-product parameter list of a full pcie-bench suite run.
+
+    The defaults generate a few hundred tests, a scaled-down analogue of the
+    ~2500-test suite the paper's control program executes.
+    """
+    params = []
+    for kind in kinds:
+        for size in transfer_sizes:
+            for window in windows:
+                if window < size:
+                    continue
+                for state in cache_states:
+                    params.append(
+                        BenchmarkParams(
+                            kind=kind,
+                            transfer_size=size,
+                            window_size=window,
+                            cache_state=state,
+                            system=system,
+                        )
+                    )
+    return params

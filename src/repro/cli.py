@@ -1,0 +1,198 @@
+"""Command line interface: ``pcie-bench``.
+
+Mirrors the role of the paper's user-space control programs (§5.4): run
+individual micro-benchmarks, full experiment drivers, or the entire suite,
+and emit text tables, ASCII plots or machine-readable results.
+
+Examples::
+
+    pcie-bench model --sizes 64 256 1024
+    pcie-bench run BW_RD --size 64 --window 8K --system NFP6000-HSW
+    pcie-bench experiment figure-9
+    pcie-bench suite --output results.json
+    pcie-bench report --output EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis.ascii_plot import ascii_plot
+from .analysis.report import summary_line, write_experiments_markdown
+from .analysis.table import format_series_table, format_table
+from .bench.params import BenchmarkKind, BenchmarkParams
+from .bench.runner import BenchmarkRunner, full_suite_params
+from .core.model import PCIeModel
+from .errors import ReproError
+from .experiments.registry import experiment_ids, run_all, run_experiment
+from .sim.profiles import profile_names
+from .units import parse_size
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``pcie-bench`` command."""
+    parser = argparse.ArgumentParser(
+        prog="pcie-bench",
+        description="PCIe performance model, simulator and micro-benchmarks "
+        "(SIGCOMM 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    model = sub.add_parser("model", help="evaluate the analytical PCIe model")
+    model.add_argument("--sizes", nargs="+", type=int, default=[64, 128, 256, 512, 1024, 1500])
+    model.add_argument("--preset", default="gen3x8", help="PCIe configuration preset")
+    model.add_argument("--plot", action="store_true", help="render an ASCII plot")
+
+    run = sub.add_parser("run", help="run a single micro-benchmark")
+    run.add_argument("kind", choices=[kind.value for kind in BenchmarkKind])
+    run.add_argument("--size", type=int, default=64, help="transfer size in bytes")
+    run.add_argument("--window", default="8K", help="window size (e.g. 8K, 64M)")
+    run.add_argument("--system", default="NFP6000-HSW", choices=profile_names())
+    run.add_argument("--cache", default="host_warm", choices=["cold", "host_warm", "device_warm"])
+    run.add_argument("--placement", default="local", choices=["local", "remote"])
+    run.add_argument("--iommu", action="store_true", help="enable the IOMMU")
+    run.add_argument("--transactions", type=int, default=None)
+
+    experiment = sub.add_parser("experiment", help="run one figure/table experiment")
+    experiment.add_argument("id", choices=experiment_ids())
+    experiment.add_argument("--full", action="store_true", help="use full sample counts")
+    experiment.add_argument("--plot", action="store_true", help="render an ASCII plot")
+
+    suite = sub.add_parser("suite", help="run a scaled-down full pcie-bench suite")
+    suite.add_argument("--system", default="NFP6000-HSW", choices=profile_names())
+    suite.add_argument("--output", default=None, help="write JSON results to this path")
+
+    report = sub.add_parser("report", help="run all experiments and write EXPERIMENTS.md")
+    report.add_argument("--output", default="EXPERIMENTS.md")
+    report.add_argument("--full", action="store_true", help="use full sample counts")
+
+    sub.add_parser("systems", help="list the modelled Table 1 systems")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for the ``pcie-bench`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "model":
+        return _cmd_model(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "suite":
+        return _cmd_suite(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "systems":
+        return _cmd_systems()
+    raise ReproError(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    model = PCIeModel.from_preset(args.preset)
+    curves = model.figure1_curves(tuple(args.sizes))
+    print(
+        format_series_table(
+            curves,
+            x_label="size (B)",
+            title=f"Analytical model, {model.config.describe()}",
+        )
+    )
+    if args.plot:
+        print()
+        print(ascii_plot(curves, x_label="transfer size (B)", y_label="Gb/s"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    params = BenchmarkParams(
+        kind=args.kind,
+        transfer_size=args.size,
+        window_size=parse_size(args.window),
+        cache_state=args.cache,
+        placement=args.placement,
+        iommu_enabled=args.iommu,
+        system=args.system,
+        transactions=args.transactions,
+    )
+    result = BenchmarkRunner().run(params)
+    print(params.label())
+    if result.latency is not None:
+        rows = [[key, value] for key, value in result.latency.as_dict().items()]
+        print(format_table(["metric", "ns"], rows))
+    else:
+        print(
+            format_table(
+                ["metric", "value"],
+                [
+                    ["bandwidth (Gb/s)", result.bandwidth_gbps],
+                    ["transactions/s", result.transactions_per_second],
+                    ["cache hit rate", result.cache_hit_rate],
+                    ["IOTLB miss rate", result.iotlb_miss_rate],
+                ],
+            )
+        )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result = run_experiment(args.id, quick=not args.full)
+    print(result.to_text())
+    if args.plot and result.series:
+        print()
+        print(
+            ascii_plot(
+                result.series,
+                x_label=result.x_label,
+                y_label=result.y_label,
+                logx="window" in result.x_label.lower(),
+            )
+        )
+    return 0 if result.passed else 2
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    params_list = full_suite_params(system=args.system)
+    runner = BenchmarkRunner(
+        progress=lambda i, total, params: print(
+            f"[{i + 1}/{total}] {params.label()}", file=sys.stderr
+        )
+    )
+    results = runner.run_all(params_list)
+    print(f"ran {len(results)} benchmarks on {args.system}")
+    if args.output:
+        runner.save(results, args.output)
+        print(f"results written to {args.output}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    results = run_all(quick=not args.full)
+    path = write_experiments_markdown(results, args.output)
+    print(summary_line(results))
+    print(f"report written to {path}")
+    return 0
+
+
+def _cmd_systems() -> int:
+    from .sim.profiles import TABLE1_PROFILES
+
+    rows = [list(profile.table1_row().values()) for profile in TABLE1_PROFILES]
+    headers = list(TABLE1_PROFILES[0].table1_row().keys())
+    print(format_table(headers, rows, title="Table 1 systems"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""Analytical PCIe model — the paper's primary modelling contribution (§3).
+
+Public surface:
+
+* :class:`~repro.core.config.PCIeConfig` and :class:`~repro.core.link.LinkConfig`
+  describe a PCIe endpoint.
+* :mod:`repro.core.bandwidth` implements equations (1)-(3) and the effective
+  bandwidth curves.
+* :mod:`repro.core.nic` implements the Figure 1 device/driver interaction
+  models.
+* :class:`~repro.core.model.PCIeModel` is the convenience façade.
+"""
+
+from .bandwidth import (
+    DirectionalBytes,
+    dma_read_wire_bytes,
+    dma_write_wire_bytes,
+    effective_bidirectional_bandwidth_gbps,
+    effective_read_bandwidth_gbps,
+    effective_write_bandwidth_gbps,
+)
+from .config import PAPER_DEFAULT_CONFIG, PCIeConfig, get_config
+from .ethernet import ETHERNET_40G, ETHERNET_100G, EthernetLink
+from .latency import LatencyComponents, LatencyModel
+from .link import GEN3_X8, GEN3_X16, GEN4_X8, Encoding, LinkConfig, PCIeGeneration
+from .model import FIGURE1_SIZES, FIGURE4_SIZES, PCIeModel
+from .nic import (
+    FIGURE1_MODELS,
+    MODERN_NIC_DPDK,
+    MODERN_NIC_KERNEL,
+    SIMPLE_NIC,
+    NicModel,
+    model_by_name,
+)
+from .tlp import Tlp, TlpType, tlp_overhead_bytes
+from .transactions import OpKind, Transaction, TransactionSequence
+
+__all__ = [
+    "DirectionalBytes",
+    "dma_read_wire_bytes",
+    "dma_write_wire_bytes",
+    "effective_bidirectional_bandwidth_gbps",
+    "effective_read_bandwidth_gbps",
+    "effective_write_bandwidth_gbps",
+    "PAPER_DEFAULT_CONFIG",
+    "PCIeConfig",
+    "get_config",
+    "ETHERNET_40G",
+    "ETHERNET_100G",
+    "EthernetLink",
+    "LatencyComponents",
+    "LatencyModel",
+    "GEN3_X8",
+    "GEN3_X16",
+    "GEN4_X8",
+    "Encoding",
+    "LinkConfig",
+    "PCIeGeneration",
+    "FIGURE1_SIZES",
+    "FIGURE4_SIZES",
+    "PCIeModel",
+    "FIGURE1_MODELS",
+    "MODERN_NIC_DPDK",
+    "MODERN_NIC_KERNEL",
+    "SIMPLE_NIC",
+    "NicModel",
+    "model_by_name",
+    "Tlp",
+    "TlpType",
+    "tlp_overhead_bytes",
+    "OpKind",
+    "Transaction",
+    "TransactionSequence",
+]

@@ -1,0 +1,240 @@
+"""Analytical PCIe bandwidth model (equations (1)-(3) of the paper).
+
+The model answers: for a DMA of ``sz`` bytes, how many bytes actually cross
+the link in each direction, and therefore what effective data throughput can
+a device sustain?
+
+Direction conventions
+---------------------
+
+All bandwidth figures are expressed from the *device's* point of view:
+
+* ``device -> host`` ("upstream"): carries MWr TLPs for DMA writes and MRd
+  request TLPs for DMA reads.
+* ``host -> device`` ("downstream"): carries CplD TLPs with the data for DMA
+  reads (and completions/flow control for other traffic).
+
+A DMA **write** therefore consumes upstream bandwidth only, whereas a DMA
+**read** consumes a little upstream bandwidth (the requests) and most of its
+cost downstream (the completions).  This is why the bidirectional curves in
+Figure 1 and Figure 4(c) sit below the unidirectional write curve: MRd
+requests compete with MWr TLPs for the upstream direction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+from .config import PCIeConfig
+from .tlp import (
+    CPLD_HEADER_BYTES,
+    MRD_HEADER_BYTES,
+    MWR_HEADER_BYTES,
+    tlp_overhead_bytes,
+    TlpType,
+)
+
+
+@dataclass(frozen=True)
+class DirectionalBytes:
+    """Bytes crossing the link in each direction for one operation."""
+
+    device_to_host: int
+    host_to_device: int
+
+    def __add__(self, other: "DirectionalBytes") -> "DirectionalBytes":
+        return DirectionalBytes(
+            self.device_to_host + other.device_to_host,
+            self.host_to_device + other.host_to_device,
+        )
+
+    def scaled(self, factor: float) -> "DirectionalBytes":
+        """Scale both directions (used for per-packet amortised overheads)."""
+        return DirectionalBytes(
+            int(math.ceil(self.device_to_host * factor)),
+            int(math.ceil(self.host_to_device * factor)),
+        )
+
+    @property
+    def total(self) -> int:
+        """Total bytes across both directions."""
+        return self.device_to_host + self.host_to_device
+
+
+def _header_bytes(config: PCIeConfig, tlp_type: TlpType) -> int:
+    return tlp_overhead_bytes(tlp_type, addr64=config.addr64, ecrc=config.ecrc)
+
+
+def dma_write_wire_bytes(size: int, config: PCIeConfig) -> DirectionalBytes:
+    """Bytes on the wire for a DMA write of ``size`` bytes (equation (1)).
+
+    ``B_tx = ceil(sz / MPS) * MWr_Hdr + sz`` — all in the device-to-host
+    direction since memory writes are posted.
+    """
+    _check_size(size)
+    if size == 0:
+        return DirectionalBytes(0, 0)
+    header = _header_bytes(config, TlpType.MEMORY_WRITE)
+    tlp_count = math.ceil(size / config.mps)
+    return DirectionalBytes(tlp_count * header + size, 0)
+
+
+def dma_read_wire_bytes(size: int, config: PCIeConfig) -> DirectionalBytes:
+    """Bytes on the wire for a DMA read of ``size`` bytes (equations (2)-(3)).
+
+    ``B_tx = ceil(sz / MRRS) * MRd_Hdr``       (requests, device to host)
+    ``B_rx = ceil(sz / MPS) * CplD_Hdr + sz``  (completions, host to device)
+
+    Note the request TLPs carry no payload; the paper's equation (2) includes
+    ``+ sz`` because it accounts the requested data against the transmit
+    direction budget of the *requester*; for link-occupancy purposes the data
+    travels in the completion direction, which is what this function returns.
+    """
+    _check_size(size)
+    if size == 0:
+        return DirectionalBytes(0, 0)
+    mrd_header = _header_bytes(config, TlpType.MEMORY_READ)
+    cpld_header = tlp_overhead_bytes(TlpType.COMPLETION_WITH_DATA, ecrc=config.ecrc)
+    request_tlps = math.ceil(size / config.mrrs)
+    completion_tlps = math.ceil(size / config.mps)
+    return DirectionalBytes(
+        device_to_host=request_tlps * mrd_header,
+        host_to_device=completion_tlps * cpld_header + size,
+    )
+
+
+def mmio_write_wire_bytes(size: int, config: PCIeConfig) -> DirectionalBytes:
+    """Bytes for a host-initiated MMIO write (e.g. a doorbell/pointer update).
+
+    MMIO writes travel host-to-device as posted MWr TLPs.
+    """
+    _check_size(size)
+    if size == 0:
+        return DirectionalBytes(0, 0)
+    header = _header_bytes(config, TlpType.MEMORY_WRITE)
+    tlp_count = math.ceil(size / config.mps)
+    return DirectionalBytes(0, tlp_count * header + size)
+
+
+def mmio_read_wire_bytes(size: int, config: PCIeConfig) -> DirectionalBytes:
+    """Bytes for a host-initiated MMIO read of a device register.
+
+    The read request travels host-to-device; the completion with data travels
+    device-to-host.
+    """
+    _check_size(size)
+    if size == 0:
+        return DirectionalBytes(0, 0)
+    mrd_header = _header_bytes(config, TlpType.MEMORY_READ)
+    cpld_header = tlp_overhead_bytes(TlpType.COMPLETION_WITH_DATA, ecrc=config.ecrc)
+    request_tlps = math.ceil(size / config.mrrs)
+    completion_tlps = math.ceil(size / config.mps)
+    return DirectionalBytes(
+        device_to_host=completion_tlps * cpld_header + size,
+        host_to_device=request_tlps * mrd_header,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Effective bandwidth
+# ---------------------------------------------------------------------------
+
+
+def effective_write_bandwidth_gbps(size: int, config: PCIeConfig) -> float:
+    """Effective DMA-write data bandwidth for ``size``-byte transfers in Gb/s.
+
+    This is the rate of useful payload delivered, i.e. link bandwidth scaled
+    by payload/wire-bytes efficiency.  It produces the saw-tooth curve of
+    Figure 1 and the model line of Figure 4(b).
+    """
+    _check_positive_size(size)
+    wire = dma_write_wire_bytes(size, config)
+    return config.tlp_bandwidth_gbps * size / wire.device_to_host
+
+
+def effective_read_bandwidth_gbps(size: int, config: PCIeConfig) -> float:
+    """Effective DMA-read data bandwidth for ``size``-byte transfers in Gb/s.
+
+    Reads are limited by the completion (host-to-device) direction; the
+    request TLPs consume upstream bandwidth but do not bound the read rate
+    unless the upstream direction is saturated by other traffic.
+    """
+    _check_positive_size(size)
+    wire = dma_read_wire_bytes(size, config)
+    return config.tlp_bandwidth_gbps * size / wire.host_to_device
+
+
+def effective_bidirectional_bandwidth_gbps(size: int, config: PCIeConfig) -> float:
+    """Effective bandwidth with alternating DMA reads and writes of ``size`` bytes.
+
+    Models the ``BW_RDWR`` benchmark and the *Effective PCIe BW* curve of
+    Figure 1: each direction of the link must carry the write TLPs (or read
+    completions) plus the read request TLPs.  The achievable per-direction
+    data rate is limited by the busier direction.
+
+    Returns the *per-direction* payload throughput in Gb/s (the paper plots
+    bidirectional bandwidth per direction, capped at the link's ~50 Gb/s
+    effective limit, so 40G Ethernet full duplex is feasible above the
+    crossover size).
+    """
+    _check_positive_size(size)
+    write = dma_write_wire_bytes(size, config)
+    read = dma_read_wire_bytes(size, config)
+    # Per ``size`` bytes written AND ``size`` bytes read:
+    up = write.device_to_host + read.device_to_host  # MWr + MRd requests
+    down = write.host_to_device + read.host_to_device  # CplD with data
+    bottleneck = max(up, down)
+    return config.tlp_bandwidth_gbps * size / bottleneck
+
+
+def bandwidth_sweep(
+    sizes: list[int],
+    config: PCIeConfig,
+    *,
+    kind: str = "bidirectional",
+) -> list[tuple[int, float]]:
+    """Compute an effective-bandwidth curve over a list of transfer sizes.
+
+    Args:
+        sizes: transfer sizes in bytes.
+        config: PCIe configuration.
+        kind: one of ``"read"``, ``"write"`` or ``"bidirectional"``.
+
+    Returns:
+        ``(size, bandwidth_gbps)`` tuples in the order given.
+    """
+    functions = {
+        "read": effective_read_bandwidth_gbps,
+        "write": effective_write_bandwidth_gbps,
+        "bidirectional": effective_bidirectional_bandwidth_gbps,
+    }
+    if kind not in functions:
+        raise ValidationError(
+            f"kind must be one of {sorted(functions)}, got {kind!r}"
+        )
+    func = functions[kind]
+    return [(size, func(size, config)) for size in sizes]
+
+
+def transactions_per_second_at_saturation(size: int, config: PCIeConfig) -> float:
+    """Transactions per second when the link is saturated with ``size``-byte writes.
+
+    The paper notes a saturated Gen3 x8 link moving 64-byte transfers implies
+    roughly 69.5 million transactions per second in each direction (§4.2).
+    """
+    _check_positive_size(size)
+    wire = dma_write_wire_bytes(size, config)
+    bytes_per_second = config.tlp_bandwidth_gbps / 8.0 * 1e9
+    return bytes_per_second / wire.device_to_host
+
+
+def _check_size(size: int) -> None:
+    if size < 0:
+        raise ValidationError(f"transfer size must be non-negative, got {size}")
+
+
+def _check_positive_size(size: int) -> None:
+    if size <= 0:
+        raise ValidationError(f"transfer size must be positive, got {size}")

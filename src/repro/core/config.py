@@ -1,0 +1,136 @@
+"""PCIe endpoint configuration: link plus negotiated transaction parameters.
+
+A device's effective bandwidth depends not only on the link (generation and
+lane count) but on parameters negotiated between the endpoint and the root
+complex: the Maximum Payload Size (MPS), the Maximum Read Request Size (MRRS),
+the Read Completion Boundary (RCB), and whether 64-bit addressing and ECRC
+digests are in use.  The paper's reference configuration is Gen 3 x8 with
+MPS = 256 B and MRRS = 512 B and 64-bit addressing (Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ValidationError
+from .link import GEN3_X8, LinkConfig, PCIeGeneration
+from .tlp import DEFAULT_RCB_BYTES
+
+#: Payload sizes allowed by the PCIe specification.
+VALID_MPS_VALUES = (128, 256, 512, 1024, 2048, 4096)
+#: Read request sizes allowed by the PCIe specification.
+VALID_MRRS_VALUES = (128, 256, 512, 1024, 2048, 4096)
+#: Read completion boundaries allowed by the PCIe specification.
+VALID_RCB_VALUES = (64, 128)
+
+
+@dataclass(frozen=True)
+class PCIeConfig:
+    """Complete description of a PCIe endpoint's transaction-level behaviour.
+
+    Attributes:
+        link: the physical link configuration (generation, lanes).
+        mps: Maximum Payload Size in bytes; bounds MWr and CplD payloads.
+        mrrs: Maximum Read Request Size in bytes; bounds the amount of data a
+            single MRd may request.
+        rcb: Read Completion Boundary in bytes.
+        addr64: whether memory request TLPs carry 64-bit addresses (12-byte
+            type-specific header) or 32-bit addresses (8-byte header).
+        ecrc: whether the optional 4-byte end-to-end CRC digest is appended.
+        tag_limit: maximum number of outstanding (tagged) read requests the
+            endpoint may have in flight; 32 or 64 for classic tags, 256 with
+            extended tags enabled.
+    """
+
+    link: LinkConfig = field(default_factory=lambda: GEN3_X8)
+    mps: int = 256
+    mrrs: int = 512
+    rcb: int = DEFAULT_RCB_BYTES
+    addr64: bool = True
+    ecrc: bool = False
+    tag_limit: int = 256
+
+    def __post_init__(self) -> None:
+        if self.mps not in VALID_MPS_VALUES:
+            raise ValidationError(
+                f"MPS must be one of {VALID_MPS_VALUES}, got {self.mps}"
+            )
+        if self.mrrs not in VALID_MRRS_VALUES:
+            raise ValidationError(
+                f"MRRS must be one of {VALID_MRRS_VALUES}, got {self.mrrs}"
+            )
+        if self.rcb not in VALID_RCB_VALUES:
+            raise ValidationError(
+                f"RCB must be one of {VALID_RCB_VALUES}, got {self.rcb}"
+            )
+        if self.tag_limit <= 0:
+            raise ValidationError(f"tag_limit must be positive, got {self.tag_limit}")
+
+    # -- convenience accessors -------------------------------------------------
+
+    @property
+    def generation(self) -> PCIeGeneration:
+        """The link's PCIe generation."""
+        return self.link.generation
+
+    @property
+    def lanes(self) -> int:
+        """The link's lane count."""
+        return self.link.lanes
+
+    @property
+    def tlp_bandwidth_gbps(self) -> float:
+        """Per-direction transaction layer bandwidth in Gb/s."""
+        return self.link.tlp_bandwidth_gbps
+
+    @property
+    def physical_bandwidth_gbps(self) -> float:
+        """Per-direction physical layer bandwidth in Gb/s."""
+        return self.link.physical_bandwidth_gbps
+
+    def with_(self, **changes: object) -> "PCIeConfig":
+        """Return a copy of this configuration with selected fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    def describe(self) -> str:
+        """One-line human readable description."""
+        return (
+            f"{self.link.name}, MPS={self.mps}B, MRRS={self.mrrs}B, "
+            f"RCB={self.rcb}B, {'64' if self.addr64 else '32'}-bit addressing"
+            f"{', ECRC' if self.ecrc else ''}"
+        )
+
+
+#: Configuration used throughout the paper's evaluation: Gen3 x8, MPS 256,
+#: MRRS 512, 64-bit addressing (Section 3, Figure 1 and Section 6).
+PAPER_DEFAULT_CONFIG = PCIeConfig()
+
+#: A typical 100G NIC configuration for comparison experiments.
+GEN3_X16_CONFIG = PCIeConfig(link=LinkConfig(PCIeGeneration.GEN3, 16))
+
+#: Forward-looking Gen4 configuration mentioned in the paper's future work.
+GEN4_X8_CONFIG = PCIeConfig(link=LinkConfig(PCIeGeneration.GEN4, 8))
+
+
+def config_presets() -> dict[str, PCIeConfig]:
+    """Named configuration presets usable from the CLI and examples."""
+    return {
+        "gen3x8": PAPER_DEFAULT_CONFIG,
+        "gen3x16": GEN3_X16_CONFIG,
+        "gen4x8": GEN4_X8_CONFIG,
+        "gen4x16": PCIeConfig(link=LinkConfig(PCIeGeneration.GEN4, 16)),
+        "gen2x8": PCIeConfig(link=LinkConfig(PCIeGeneration.GEN2, 8), mps=256),
+        "gen1x4": PCIeConfig(link=LinkConfig(PCIeGeneration.GEN1, 4), mps=128),
+    }
+
+
+def get_config(name: str) -> PCIeConfig:
+    """Look up a configuration preset by name (case-insensitive)."""
+    presets = config_presets()
+    key = name.strip().lower().replace(" ", "").replace("_", "")
+    if key not in presets:
+        raise ValidationError(
+            f"unknown PCIe config preset {name!r}; "
+            f"known presets: {', '.join(sorted(presets))}"
+        )
+    return presets[key]

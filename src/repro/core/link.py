@@ -1,0 +1,175 @@
+"""PCIe link layer: generations, lanes, encodings and raw bandwidth.
+
+The paper's running example is a PCIe Gen 3 x8 link: 8 lanes of 8 GT/s using
+128b/130b encoding, i.e. 8 x 7.87 Gb/s = 62.96 Gb/s at the physical layer, of
+which roughly 57.88 Gb/s remain at the transaction layer once data link layer
+(DLL) flow control and acknowledgment overheads are removed (Section 3).
+
+This module encodes those facts for all common PCIe generations so the
+analytical model (and the simulator) can be configured for other links too.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+
+
+class Encoding(enum.Enum):
+    """Line encodings used by the PCIe physical layer."""
+
+    #: 8b/10b encoding used by Gen 1 and Gen 2 (20% encoding overhead).
+    E8B10B = "8b/10b"
+    #: 128b/130b encoding used by Gen 3 onwards (~1.5% encoding overhead).
+    E128B130B = "128b/130b"
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of raw transfer rate available after encoding."""
+        if self is Encoding.E8B10B:
+            return 8.0 / 10.0
+        return 128.0 / 130.0
+
+
+class PCIeGeneration(enum.Enum):
+    """PCIe generations with their per-lane transfer rates in GT/s."""
+
+    GEN1 = 1
+    GEN2 = 2
+    GEN3 = 3
+    GEN4 = 4
+    GEN5 = 5
+
+    @property
+    def transfer_rate_gtps(self) -> float:
+        """Raw per-lane transfer rate in giga-transfers per second."""
+        return {
+            PCIeGeneration.GEN1: 2.5,
+            PCIeGeneration.GEN2: 5.0,
+            PCIeGeneration.GEN3: 8.0,
+            PCIeGeneration.GEN4: 16.0,
+            PCIeGeneration.GEN5: 32.0,
+        }[self]
+
+    @property
+    def encoding(self) -> Encoding:
+        """Line encoding used by this generation."""
+        if self in (PCIeGeneration.GEN1, PCIeGeneration.GEN2):
+            return Encoding.E8B10B
+        return Encoding.E128B130B
+
+    @property
+    def lane_bandwidth_gbps(self) -> float:
+        """Usable per-lane bandwidth at the physical layer in Gb/s.
+
+        For Gen 3 this is 8 GT/s * 128/130 = 7.876... Gb/s, which the paper
+        rounds to 7.87 Gb/s.
+        """
+        return self.transfer_rate_gtps * self.encoding.efficiency
+
+    @classmethod
+    def from_value(cls, value: "PCIeGeneration | int | str") -> "PCIeGeneration":
+        """Coerce an int (3), string ("gen3" / "3") or enum into a generation."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, int):
+            try:
+                return cls(value)
+            except ValueError as exc:
+                raise ValidationError(f"unknown PCIe generation {value!r}") from exc
+        text = str(value).strip().lower().removeprefix("gen")
+        try:
+            return cls(int(text))
+        except (ValueError, KeyError) as exc:
+            raise ValidationError(f"unknown PCIe generation {value!r}") from exc
+
+
+#: Lane counts permitted by the PCIe specification.
+VALID_LANE_COUNTS = (1, 2, 4, 8, 16, 32)
+
+#: Default fraction of transaction-layer bandwidth consumed by DLL traffic
+#: (flow control updates and acknowledgments).  The paper derives ~8-10%
+#: from the specification's recommended values and uses 57.88 Gb/s for a
+#: Gen3 x8 link whose physical layer runs at 62.96 Gb/s; that ratio is
+#: 0.0807, which we adopt as the default.
+DEFAULT_DLL_OVERHEAD = 1.0 - 57.88 / 62.96
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """A PCIe link: generation plus lane count.
+
+    Attributes:
+        generation: PCIe generation (Gen 1 through Gen 5).
+        lanes: number of lanes (x1 .. x32).
+        dll_overhead: fraction of physical bandwidth consumed by data link
+            layer flow control and acknowledgments.  The paper estimates
+            8-10% and derives 57.88 Gb/s usable from 62.96 Gb/s raw for
+            Gen3 x8 (Section 3, footnote 5).
+    """
+
+    generation: PCIeGeneration = PCIeGeneration.GEN3
+    lanes: int = 8
+    dll_overhead: float = DEFAULT_DLL_OVERHEAD
+
+    def __post_init__(self) -> None:
+        if self.lanes not in VALID_LANE_COUNTS:
+            raise ValidationError(
+                f"invalid lane count x{self.lanes}; valid counts are "
+                f"{', '.join(f'x{n}' for n in VALID_LANE_COUNTS)}"
+            )
+        if not 0.0 <= self.dll_overhead < 1.0:
+            raise ValidationError(
+                f"dll_overhead must be within [0, 1), got {self.dll_overhead}"
+            )
+
+    @property
+    def name(self) -> str:
+        """Short human-readable name, e.g. ``"Gen3 x8"``."""
+        return f"Gen{self.generation.value} x{self.lanes}"
+
+    @property
+    def physical_bandwidth_gbps(self) -> float:
+        """Total physical-layer bandwidth (per direction) in Gb/s.
+
+        For Gen3 x8 this evaluates to 62.96 Gb/s as quoted in the paper.
+        """
+        return self.generation.lane_bandwidth_gbps * self.lanes
+
+    @property
+    def tlp_bandwidth_gbps(self) -> float:
+        """Bandwidth available to the transaction layer (per direction) in Gb/s.
+
+        For Gen3 x8 with the default DLL overhead this is 57.88 Gb/s.
+        """
+        return self.physical_bandwidth_gbps * (1.0 - self.dll_overhead)
+
+    @property
+    def bytes_per_ns(self) -> float:
+        """Transaction-layer bandwidth expressed in bytes per nanosecond."""
+        return self.tlp_bandwidth_gbps * 0.125
+
+    def serialisation_time_ns(self, wire_bytes: int) -> float:
+        """Time to serialise ``wire_bytes`` onto the link, in nanoseconds."""
+        if wire_bytes < 0:
+            raise ValidationError(f"wire_bytes must be non-negative, got {wire_bytes}")
+        if self.bytes_per_ns == 0:
+            raise ValidationError("link has zero usable bandwidth")
+        return wire_bytes / self.bytes_per_ns
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"{self.name} ({self.physical_bandwidth_gbps:.2f} Gb/s raw, "
+            f"{self.tlp_bandwidth_gbps:.2f} Gb/s TLP)"
+        )
+
+
+#: The link used for almost every experiment in the paper.
+GEN3_X8 = LinkConfig(PCIeGeneration.GEN3, 8)
+#: Link typically used by 100G NICs.
+GEN3_X16 = LinkConfig(PCIeGeneration.GEN3, 16)
+#: Next-generation link mentioned as future work in the paper.
+GEN4_X8 = LinkConfig(PCIeGeneration.GEN4, 8)
+GEN4_X16 = LinkConfig(PCIeGeneration.GEN4, 16)

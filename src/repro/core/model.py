@@ -1,0 +1,181 @@
+"""High-level façade over the analytical PCIe model.
+
+:class:`PCIeModel` bundles a :class:`~repro.core.config.PCIeConfig`, the
+bandwidth equations, the latency decomposition and the NIC interaction models
+behind one object, which is the API most examples and experiments use:
+
+>>> from repro.core.model import PCIeModel
+>>> model = PCIeModel.gen3_x8()
+>>> round(model.effective_bandwidth_gbps(1024, kind="write"), 1)
+52.9
+>>> model.nic_throughput_gbps("Simple NIC", 256) < model.ethernet.line_rate_gbps
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..errors import ValidationError
+from .bandwidth import (
+    DirectionalBytes,
+    bandwidth_sweep,
+    dma_read_wire_bytes,
+    dma_write_wire_bytes,
+    effective_bidirectional_bandwidth_gbps,
+    effective_read_bandwidth_gbps,
+    effective_write_bandwidth_gbps,
+    transactions_per_second_at_saturation,
+)
+from .config import PAPER_DEFAULT_CONFIG, PCIeConfig, get_config
+from .ethernet import ETHERNET_40G, EthernetLink
+from .latency import LatencyModel
+from .nic import FIGURE1_MODELS, NicModel, model_by_name
+
+
+#: Transfer sizes the paper uses for Figure 1 (64 B to 1518 B frames).
+FIGURE1_SIZES = tuple(range(64, 1519, 16))
+
+#: Transfer sizes the paper uses for Figure 4 (64 B to 2048 B, with -1/+1
+#: probes around cache-line and TLP boundaries).
+FIGURE4_SIZES = tuple(
+    sorted(
+        set(
+            list(range(64, 2049, 64))
+            + [63, 65, 127, 129, 255, 257, 511, 513, 1023, 1025, 2047]
+        )
+    )
+)
+
+
+@dataclass
+class PCIeModel:
+    """Analytical PCIe performance model (the paper's Section 3 contribution).
+
+    Attributes:
+        config: PCIe link and transaction-parameter configuration.
+        ethernet: the Ethernet link used for line-rate comparisons.
+        latency: analytical latency model sharing the same PCIe config.
+    """
+
+    config: PCIeConfig = field(default_factory=lambda: PAPER_DEFAULT_CONFIG)
+    ethernet: EthernetLink = ETHERNET_40G
+    latency: LatencyModel = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.latency is None:
+            self.latency = LatencyModel(config=self.config)
+        elif self.latency.config != self.config:
+            self.latency = self.latency.with_(config=self.config)
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def gen3_x8(cls) -> "PCIeModel":
+        """The paper's reference configuration: Gen3 x8, MPS 256, MRRS 512."""
+        return cls(config=PAPER_DEFAULT_CONFIG)
+
+    @classmethod
+    def from_preset(cls, name: str) -> "PCIeModel":
+        """Build a model from a named preset (see :func:`repro.core.config.get_config`)."""
+        return cls(config=get_config(name))
+
+    # -- wire-byte accounting ----------------------------------------------------
+
+    def dma_read_bytes(self, size: int) -> DirectionalBytes:
+        """Bytes on the wire for a DMA read of ``size`` bytes."""
+        return dma_read_wire_bytes(size, self.config)
+
+    def dma_write_bytes(self, size: int) -> DirectionalBytes:
+        """Bytes on the wire for a DMA write of ``size`` bytes."""
+        return dma_write_wire_bytes(size, self.config)
+
+    # -- bandwidth ----------------------------------------------------------------
+
+    def effective_bandwidth_gbps(self, size: int, *, kind: str = "write") -> float:
+        """Effective DMA bandwidth for ``size``-byte transfers.
+
+        Args:
+            size: transfer size in bytes.
+            kind: ``"read"``, ``"write"`` or ``"bidirectional"``.
+        """
+        if kind == "read":
+            return effective_read_bandwidth_gbps(size, self.config)
+        if kind == "write":
+            return effective_write_bandwidth_gbps(size, self.config)
+        if kind == "bidirectional":
+            return effective_bidirectional_bandwidth_gbps(size, self.config)
+        raise ValidationError(
+            f"kind must be 'read', 'write' or 'bidirectional', got {kind!r}"
+        )
+
+    def bandwidth_sweep(
+        self, sizes: Iterable[int], *, kind: str = "bidirectional"
+    ) -> list[tuple[int, float]]:
+        """Effective-bandwidth curve over transfer sizes."""
+        return bandwidth_sweep(list(sizes), self.config, kind=kind)
+
+    def saturation_transaction_rate(self, size: int) -> float:
+        """Transactions/second needed to saturate the link at ``size``-byte writes."""
+        return transactions_per_second_at_saturation(size, self.config)
+
+    # -- Ethernet comparisons ------------------------------------------------------
+
+    def ethernet_throughput_gbps(self, frame_size: int) -> float:
+        """Line-rate payload throughput of the reference Ethernet link."""
+        return self.ethernet.frame_throughput_gbps(frame_size)
+
+    def supports_line_rate(self, frame_size: int, *, kind: str = "bidirectional") -> bool:
+        """Whether raw PCIe bandwidth covers Ethernet line rate at ``frame_size``."""
+        return self.effective_bandwidth_gbps(frame_size, kind=kind) >= (
+            self.ethernet_throughput_gbps(frame_size)
+        )
+
+    # -- NIC interaction models ------------------------------------------------------
+
+    def nic_models(self) -> tuple[NicModel, ...]:
+        """The built-in Figure 1 NIC models."""
+        return FIGURE1_MODELS
+
+    def nic_throughput_gbps(self, model: str | NicModel, packet_size: int) -> float:
+        """Achievable throughput of a NIC interaction model at ``packet_size``."""
+        nic = model if isinstance(model, NicModel) else model_by_name(model)
+        return nic.throughput_gbps(packet_size, self.config)
+
+    def nic_throughput_sweep(
+        self, model: str | NicModel, sizes: Sequence[int]
+    ) -> list[tuple[int, float]]:
+        """Throughput curve of a NIC model over packet sizes."""
+        nic = model if isinstance(model, NicModel) else model_by_name(model)
+        return nic.throughput_sweep(sizes, self.config)
+
+    def figure1_curves(
+        self, sizes: Sequence[int] = FIGURE1_SIZES
+    ) -> dict[str, list[tuple[int, float]]]:
+        """All series of Figure 1 keyed by their legend label."""
+        curves: dict[str, list[tuple[int, float]]] = {
+            "Effective PCIe BW": self.bandwidth_sweep(sizes, kind="bidirectional"),
+            "40G Ethernet": [
+                (size, self.ethernet_throughput_gbps(size)) for size in sizes
+            ],
+        }
+        for nic in FIGURE1_MODELS:
+            curves[nic.name] = self.nic_throughput_sweep(nic, sizes)
+        return curves
+
+    # -- latency -----------------------------------------------------------------------
+
+    def read_latency_ns(self, size: int, *, cache_hit: bool = False) -> float:
+        """Analytical DMA read latency for ``size`` bytes."""
+        return self.latency.read_latency_ns(size, cache_hit=cache_hit)
+
+    def write_read_latency_ns(self, size: int, *, cache_hit: bool = False) -> float:
+        """Analytical write-then-read latency for ``size`` bytes."""
+        return self.latency.write_read_latency_ns(size, cache_hit=cache_hit)
+
+    def required_inflight_dmas(self, frame_size: int) -> int:
+        """In-flight DMAs required to sustain Ethernet line rate at ``frame_size``."""
+        return self.latency.inflight_dmas_for_line_rate(
+            frame_size, self.ethernet.inter_packet_time_ns(frame_size)
+        )

@@ -1,0 +1,244 @@
+"""NIC / device-driver interaction models (the Figure 1 curves).
+
+The paper models three designs on top of the raw PCIe bandwidth model:
+
+* **Simple NIC** — every packet costs a doorbell write, a descriptor fetch,
+  the packet DMA, an interrupt and a pointer read on both the TX and RX
+  paths.  Such a device only reaches 40 Gb/s line rate for frames larger
+  than roughly 512 B.
+* **Modern NIC (kernel driver)** — descriptor fetches and write-backs are
+  batched (the Intel Niantic fetches up to 40 TX descriptors and writes back
+  up to 8 at a time), interrupts are moderated and doorbells amortised.
+* **Modern NIC (DPDK driver)** — driver-only changes on the same hardware:
+  interrupts are disabled and the driver polls write-back descriptors in
+  host memory instead of reading device registers, removing the remaining
+  MMIO reads.
+
+Each model turns a packet size into average PCIe bytes per packet in both
+link directions, from which the achievable (bidirectional) throughput
+follows.  Models are declarative data, so researchers can derive their own
+variants with :meth:`NicModel.with_` and compare design alternatives, which
+is exactly the use the paper advertises for its model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from ..errors import ValidationError
+from .config import PAPER_DEFAULT_CONFIG, PCIeConfig
+from .ethernet import ETHERNET_40G, EthernetLink
+from .transactions import TransactionSequence, rx_transactions, tx_transactions
+
+
+@dataclass(frozen=True)
+class NicModel:
+    """A parametrised NIC + driver interaction model.
+
+    The parameters express how aggressively the device and driver amortise
+    the non-payload PCIe transactions.  A value of 1 means "once per packet".
+
+    Attributes:
+        name: display name used in reports and figures.
+        tx_descriptor_batch: packets per TX descriptor-fetch DMA.
+        tx_writeback_batch: packets per TX descriptor write-back DMA.
+        rx_freelist_batch: packets per RX freelist descriptor-fetch DMA.
+        rx_writeback_batch: packets per RX descriptor write-back DMA.
+        doorbell_batch: packets per TX doorbell / RX tail-pointer MMIO write.
+        interrupt_moderation: packets per interrupt (when interrupts are on).
+        interrupts_enabled: whether the device raises interrupts at all.
+        pointer_reads_enabled: whether the driver reads device queue pointers
+            over MMIO (a DPDK-style driver polls host memory instead).
+        tx_descriptor_writeback: whether TX completions are reported through
+            descriptor write-backs (modern NICs) rather than head-pointer
+            reads only (simple NIC).
+    """
+
+    name: str
+    tx_descriptor_batch: float = 1.0
+    tx_writeback_batch: float = 1.0
+    rx_freelist_batch: float = 1.0
+    rx_writeback_batch: float = 1.0
+    doorbell_batch: float = 1.0
+    interrupt_moderation: float = 1.0
+    interrupts_enabled: bool = True
+    pointer_reads_enabled: bool = True
+    tx_descriptor_writeback: bool = False
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "tx_descriptor_batch",
+            "tx_writeback_batch",
+            "rx_freelist_batch",
+            "rx_writeback_batch",
+            "doorbell_batch",
+            "interrupt_moderation",
+        ):
+            if getattr(self, attr) <= 0:
+                raise ValidationError(f"{attr} must be positive")
+
+    def with_(self, **changes: object) -> "NicModel":
+        """Return a variant of this model with selected parameters changed."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    # -- transaction accounting ------------------------------------------------
+
+    def tx_sequence(self, packet_size: int) -> TransactionSequence:
+        """Per-packet transmit-path transaction sequence."""
+        return TransactionSequence(
+            name=f"{self.name} TX",
+            transactions=tuple(
+                tx_transactions(
+                    packet_size,
+                    descriptor_batch=self.tx_descriptor_batch,
+                    writeback_batch=self.tx_writeback_batch,
+                    doorbell_batch=self.doorbell_batch,
+                    interrupt_moderation=self.interrupt_moderation,
+                    interrupts_enabled=self.interrupts_enabled,
+                    pointer_reads_enabled=self.pointer_reads_enabled,
+                    descriptor_writeback=self.tx_descriptor_writeback,
+                )
+            ),
+        )
+
+    def rx_sequence(self, packet_size: int) -> TransactionSequence:
+        """Per-packet receive-path transaction sequence."""
+        return TransactionSequence(
+            name=f"{self.name} RX",
+            transactions=tuple(
+                rx_transactions(
+                    packet_size,
+                    freelist_batch=self.rx_freelist_batch,
+                    writeback_batch=self.rx_writeback_batch,
+                    tail_update_batch=self.doorbell_batch,
+                    interrupt_moderation=self.interrupt_moderation,
+                    interrupts_enabled=self.interrupts_enabled,
+                    pointer_reads_enabled=self.pointer_reads_enabled,
+                )
+            ),
+        )
+
+    def per_packet_wire_bytes(
+        self, packet_size: int, config: PCIeConfig = PAPER_DEFAULT_CONFIG
+    ) -> tuple[float, float]:
+        """Average wire bytes per packet in each direction for full-duplex traffic.
+
+        Full-duplex means one packet transmitted *and* one received per
+        "packet time", matching the bidirectional setting of Figure 1.
+        Returns ``(device_to_host, host_to_device)`` bytes.
+        """
+        tx_up, tx_down = self.tx_sequence(packet_size).per_packet_wire_bytes(config)
+        rx_up, rx_down = self.rx_sequence(packet_size).per_packet_wire_bytes(config)
+        return tx_up + rx_up, tx_down + rx_down
+
+    def throughput_gbps(
+        self,
+        packet_size: int,
+        config: PCIeConfig = PAPER_DEFAULT_CONFIG,
+    ) -> float:
+        """Achievable bidirectional packet throughput (per direction) in Gb/s.
+
+        The busier link direction bounds the packet rate; the result is the
+        packet-payload throughput that rate corresponds to.
+        """
+        if packet_size <= 0:
+            raise ValidationError(f"packet size must be positive, got {packet_size}")
+        up, down = self.per_packet_wire_bytes(packet_size, config)
+        bottleneck = max(up, down)
+        return config.tlp_bandwidth_gbps * packet_size / bottleneck
+
+    def achieves_line_rate(
+        self,
+        packet_size: int,
+        ethernet: EthernetLink = ETHERNET_40G,
+        config: PCIeConfig = PAPER_DEFAULT_CONFIG,
+    ) -> bool:
+        """Whether the model sustains Ethernet line rate at ``packet_size``."""
+        return self.throughput_gbps(packet_size, config) >= (
+            ethernet.frame_throughput_gbps(packet_size)
+        )
+
+    def line_rate_crossover(
+        self,
+        ethernet: EthernetLink = ETHERNET_40G,
+        config: PCIeConfig = PAPER_DEFAULT_CONFIG,
+        *,
+        sizes: Sequence[int] | None = None,
+    ) -> int | None:
+        """Smallest frame size at which line rate is sustained, or ``None``.
+
+        The paper observes the Simple NIC only achieves 40 Gb/s for frames
+        larger than 512 B; this helper finds that crossover.
+        """
+        candidates = sizes if sizes is not None else range(64, 1519)
+        for size in candidates:
+            if self.achieves_line_rate(size, ethernet, config):
+                return size
+        return None
+
+    def throughput_sweep(
+        self,
+        sizes: Sequence[int],
+        config: PCIeConfig = PAPER_DEFAULT_CONFIG,
+    ) -> list[tuple[int, float]]:
+        """Throughput curve over a list of packet sizes."""
+        return [(size, self.throughput_gbps(size, config)) for size in sizes]
+
+
+# ---------------------------------------------------------------------------
+# The three models plotted in Figure 1
+# ---------------------------------------------------------------------------
+
+#: The naive per-packet design walked through in Section 3.
+SIMPLE_NIC = NicModel(name="Simple NIC")
+
+#: A moderately optimised NIC with a typical Linux kernel driver.  Batch
+#: sizes follow the Intel Niantic (82599) behaviour cited by the paper:
+#: descriptor fetches in batches of up to 40, write-backs up to 8, plus
+#: interrupt moderation and per-batch doorbells.
+MODERN_NIC_KERNEL = NicModel(
+    name="Modern NIC (kernel driver)",
+    tx_descriptor_batch=40.0,
+    tx_writeback_batch=8.0,
+    rx_freelist_batch=8.0,
+    rx_writeback_batch=8.0,
+    doorbell_batch=8.0,
+    interrupt_moderation=16.0,
+    interrupts_enabled=True,
+    pointer_reads_enabled=True,
+    tx_descriptor_writeback=True,
+)
+
+#: The same hardware driven by a DPDK-style poll-mode driver: no interrupts
+#: and no device register reads (the driver polls descriptor write-backs in
+#: host memory instead).
+MODERN_NIC_DPDK = MODERN_NIC_KERNEL.with_(
+    name="Modern NIC (DPDK driver)",
+    interrupts_enabled=False,
+    pointer_reads_enabled=False,
+    doorbell_batch=32.0,
+)
+
+#: All models of Figure 1, in plot order.
+FIGURE1_MODELS = (SIMPLE_NIC, MODERN_NIC_KERNEL, MODERN_NIC_DPDK)
+
+
+def model_by_name(name: str) -> NicModel:
+    """Look up one of the built-in NIC models by (case-insensitive) name."""
+    lookup = {model.name.lower(): model for model in FIGURE1_MODELS}
+    key = name.strip().lower()
+    if key in lookup:
+        return lookup[key]
+    aliases = {
+        "simple": SIMPLE_NIC,
+        "kernel": MODERN_NIC_KERNEL,
+        "modern": MODERN_NIC_KERNEL,
+        "dpdk": MODERN_NIC_DPDK,
+    }
+    if key in aliases:
+        return aliases[key]
+    raise ValidationError(
+        f"unknown NIC model {name!r}; known models: "
+        + ", ".join(model.name for model in FIGURE1_MODELS)
+    )

@@ -1,0 +1,261 @@
+"""Symbolic PCIe transaction sequences for device/driver interactions.
+
+Section 3 of the paper derives the *Simple NIC* and *Modern NIC* curves of
+Figure 1 by enumerating every PCIe transaction a NIC and its driver perform
+per packet: doorbell writes, descriptor fetches, packet DMAs, write-backs,
+interrupts and pointer reads.  This module provides a small vocabulary for
+writing those interaction models down declaratively so the bandwidth model
+can account for them, and so alternative designs can be explored
+programmatically (one of the paper's stated use cases).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+from .bandwidth import (
+    DirectionalBytes,
+    dma_read_wire_bytes,
+    dma_write_wire_bytes,
+    mmio_read_wire_bytes,
+    mmio_write_wire_bytes,
+)
+from .config import PCIeConfig
+
+
+class OpKind(enum.Enum):
+    """The four transaction kinds that make up device/driver interactions."""
+
+    #: Device reads host memory (descriptor fetch, packet fetch for TX).
+    DMA_READ = "dma_read"
+    #: Device writes host memory (packet delivery, descriptor write-back, interrupt).
+    DMA_WRITE = "dma_write"
+    #: Host (driver) reads a device register over MMIO.
+    MMIO_READ = "mmio_read"
+    #: Host (driver) writes a device register over MMIO (doorbells, pointers).
+    MMIO_WRITE = "mmio_write"
+
+
+_WIRE_FUNCTIONS = {
+    OpKind.DMA_READ: dma_read_wire_bytes,
+    OpKind.DMA_WRITE: dma_write_wire_bytes,
+    OpKind.MMIO_READ: mmio_read_wire_bytes,
+    OpKind.MMIO_WRITE: mmio_write_wire_bytes,
+}
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One PCIe interaction, possibly amortised over several packets.
+
+    Attributes:
+        kind: the transaction kind.
+        size: bytes moved by the operation (0 allowed, e.g. a suppressed op).
+        per_packets: how many packets share one instance of this operation.
+            A doorbell written once per 40-packet descriptor batch has
+            ``per_packets = 40``; a per-packet DMA has ``per_packets = 1``.
+        label: free-form description used in reports.
+    """
+
+    kind: OpKind
+    size: int
+    per_packets: float = 1.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValidationError(f"transaction size must be >= 0, got {self.size}")
+        if self.per_packets <= 0:
+            raise ValidationError(
+                f"per_packets must be positive, got {self.per_packets}"
+            )
+
+    def wire_bytes(self, config: PCIeConfig) -> DirectionalBytes:
+        """Bytes on the wire for one instance of this transaction."""
+        return _WIRE_FUNCTIONS[self.kind](self.size, config)
+
+    def wire_bytes_per_packet(self, config: PCIeConfig) -> tuple[float, float]:
+        """Average bytes per packet in each direction, after amortisation.
+
+        Returns a ``(device_to_host, host_to_device)`` tuple of floats: a
+        transaction shared by N packets contributes 1/N of its wire bytes to
+        every packet.
+        """
+        wire = self.wire_bytes(config)
+        return (
+            wire.device_to_host / self.per_packets,
+            wire.host_to_device / self.per_packets,
+        )
+
+
+@dataclass(frozen=True)
+class TransactionSequence:
+    """A named collection of transactions performed per packet (amortised)."""
+
+    name: str
+    transactions: tuple[Transaction, ...]
+
+    def per_packet_wire_bytes(self, config: PCIeConfig) -> tuple[float, float]:
+        """Total average wire bytes per packet in each direction."""
+        up = 0.0
+        down = 0.0
+        for transaction in self.transactions:
+            d2h, h2d = transaction.wire_bytes_per_packet(config)
+            up += d2h
+            down += h2d
+        return up, down
+
+    def describe(self, config: PCIeConfig) -> list[dict[str, object]]:
+        """Tabular description of every transaction's per-packet cost."""
+        rows = []
+        for transaction in self.transactions:
+            d2h, h2d = transaction.wire_bytes_per_packet(config)
+            rows.append(
+                {
+                    "label": transaction.label or transaction.kind.value,
+                    "kind": transaction.kind.value,
+                    "size": transaction.size,
+                    "per_packets": transaction.per_packets,
+                    "device_to_host_bytes_per_packet": round(d2h, 2),
+                    "host_to_device_bytes_per_packet": round(h2d, 2),
+                }
+            )
+        return rows
+
+
+# Sizes used by the paper's NIC interaction walk-through (Section 3).
+DESCRIPTOR_BYTES = 16
+POINTER_BYTES = 4
+INTERRUPT_BYTES = 4
+
+
+def tx_transactions(
+    packet_size: int,
+    *,
+    descriptor_batch: float = 1.0,
+    writeback_batch: float = 1.0,
+    doorbell_batch: float = 1.0,
+    interrupt_moderation: float = 1.0,
+    interrupts_enabled: bool = True,
+    pointer_reads_enabled: bool = True,
+    descriptor_writeback: bool = False,
+) -> list[Transaction]:
+    """Transactions for transmitting one packet (amortised by batching factors).
+
+    The defaults (all batch factors of 1, interrupts on, pointer reads on)
+    describe the paper's *Simple NIC*.
+
+    Args:
+        packet_size: Ethernet frame size DMAed from the host.
+        descriptor_batch: packets sharing one descriptor-fetch DMA.
+        writeback_batch: packets sharing one descriptor write-back DMA (only
+            used when ``descriptor_writeback`` is true).
+        doorbell_batch: packets sharing one TX tail-pointer doorbell write.
+        interrupt_moderation: packets sharing one completion interrupt.
+        interrupts_enabled: whether completion interrupts are generated.
+        pointer_reads_enabled: whether the driver reads the TX head pointer.
+        descriptor_writeback: whether the device writes TX descriptors back
+            to host memory (modern NICs write back; the simple NIC relies on
+            the head pointer read instead).
+    """
+    _check_packet(packet_size)
+    transactions = [
+        Transaction(
+            OpKind.MMIO_WRITE, POINTER_BYTES, doorbell_batch, "TX doorbell write"
+        ),
+        Transaction(
+            OpKind.DMA_READ,
+            int(DESCRIPTOR_BYTES * descriptor_batch),
+            descriptor_batch,
+            "TX descriptor fetch",
+        ),
+        Transaction(OpKind.DMA_READ, packet_size, 1.0, "TX packet fetch"),
+    ]
+    if descriptor_writeback:
+        transactions.append(
+            Transaction(
+                OpKind.DMA_WRITE,
+                int(DESCRIPTOR_BYTES * writeback_batch),
+                writeback_batch,
+                "TX descriptor write-back",
+            )
+        )
+    if interrupts_enabled:
+        transactions.append(
+            Transaction(
+                OpKind.DMA_WRITE, INTERRUPT_BYTES, interrupt_moderation, "TX interrupt"
+            )
+        )
+    if pointer_reads_enabled:
+        transactions.append(
+            Transaction(
+                OpKind.MMIO_READ,
+                POINTER_BYTES,
+                interrupt_moderation,
+                "TX head pointer read",
+            )
+        )
+    return transactions
+
+
+def rx_transactions(
+    packet_size: int,
+    *,
+    freelist_batch: float = 1.0,
+    writeback_batch: float = 1.0,
+    tail_update_batch: float = 1.0,
+    interrupt_moderation: float = 1.0,
+    interrupts_enabled: bool = True,
+    pointer_reads_enabled: bool = True,
+) -> list[Transaction]:
+    """Transactions for receiving one packet (amortised by batching factors).
+
+    Follows the paper's receive walk-through: freelist tail update, freelist
+    descriptor fetch, packet DMA write, RX descriptor write-back, interrupt,
+    RX head pointer read.
+    """
+    _check_packet(packet_size)
+    transactions = [
+        Transaction(
+            OpKind.MMIO_WRITE,
+            POINTER_BYTES,
+            tail_update_batch,
+            "RX freelist tail update",
+        ),
+        Transaction(
+            OpKind.DMA_READ,
+            int(DESCRIPTOR_BYTES * freelist_batch),
+            freelist_batch,
+            "RX freelist descriptor fetch",
+        ),
+        Transaction(OpKind.DMA_WRITE, packet_size, 1.0, "RX packet delivery"),
+        Transaction(
+            OpKind.DMA_WRITE,
+            int(DESCRIPTOR_BYTES * writeback_batch),
+            writeback_batch,
+            "RX descriptor write-back",
+        ),
+    ]
+    if interrupts_enabled:
+        transactions.append(
+            Transaction(
+                OpKind.DMA_WRITE, INTERRUPT_BYTES, interrupt_moderation, "RX interrupt"
+            )
+        )
+    if pointer_reads_enabled:
+        transactions.append(
+            Transaction(
+                OpKind.MMIO_READ,
+                POINTER_BYTES,
+                interrupt_moderation,
+                "RX head pointer read",
+            )
+        )
+    return transactions
+
+
+def _check_packet(packet_size: int) -> None:
+    if packet_size <= 0:
+        raise ValidationError(f"packet size must be positive, got {packet_size}")

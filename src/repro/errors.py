@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish configuration problems from runtime simulation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid PCIe, device, or benchmark configuration was supplied."""
+
+
+class ValidationError(ConfigurationError):
+    """A parameter value is out of range or inconsistent with other values."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class BenchmarkError(ReproError):
+    """A micro-benchmark could not be executed with the given parameters."""
+
+
+class AnalysisError(ReproError):
+    """Post-processing of benchmark results failed."""
+
+
+class UnknownProfileError(ConfigurationError):
+    """A system profile name was requested that is not in the registry."""
+
+    def __init__(self, name: str, known: list[str] | None = None) -> None:
+        self.name = name
+        self.known = list(known or [])
+        msg = f"unknown system profile {name!r}"
+        if self.known:
+            msg += f" (known profiles: {', '.join(sorted(self.known))})"
+        super().__init__(msg)

@@ -1,0 +1,20 @@
+"""Experiment drivers: one per figure/table of the paper's evaluation."""
+
+from .base import Check, ExperimentResult
+from .registry import (
+    EXPERIMENTS,
+    experiment_ids,
+    get_runner,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "Check",
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "experiment_ids",
+    "get_runner",
+    "run_all",
+    "run_experiment",
+]

@@ -1,0 +1,107 @@
+"""Figure 1: modelled bidirectional bandwidth of a PCIe Gen 3 x8 link.
+
+The figure compares, over packet sizes, the effective PCIe bandwidth, the
+40G Ethernet requirement, and the achievable throughput of three NIC/driver
+interaction models (Simple NIC, Modern NIC with a kernel driver, Modern NIC
+with a DPDK driver).  This experiment is purely analytical — it exercises
+the Section 3 model, no simulation involved.
+
+Paper claims checked:
+
+* PCIe protocol overheads reduce the usable bandwidth to around 50 Gb/s.
+* The Simple NIC only reaches 40G line rate for frames larger than ~512 B.
+* Each optimisation step (kernel-driver batching, then DPDK polling) improves
+  throughput, and both modern variants sustain line rate for much smaller
+  frames than the simple design.
+"""
+
+from __future__ import annotations
+
+from ..core.model import PCIeModel
+from ..core.nic import MODERN_NIC_DPDK, MODERN_NIC_KERNEL, SIMPLE_NIC
+from .base import Check, ExperimentResult, crossover_x, value_at
+
+EXPERIMENT_ID = "figure-1"
+TITLE = "Modelled bidirectional bandwidth, PCIe Gen3 x8 (Effective BW, Simple/Modern NIC)"
+
+#: Packet sizes plotted (the paper's x axis runs to ~1280 B; we extend to the
+#: largest standard frame).
+PACKET_SIZES = tuple(range(64, 1537, 64))
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    """Generate the Figure 1 curves and check their qualitative shape."""
+    model = PCIeModel.gen3_x8()
+    sizes = PACKET_SIZES
+    curves = model.figure1_curves(sizes)
+
+    effective = curves["Effective PCIe BW"]
+    ethernet = curves["40G Ethernet"]
+    simple = curves[SIMPLE_NIC.name]
+    kernel = curves[MODERN_NIC_KERNEL.name]
+    dpdk = curves[MODERN_NIC_DPDK.name]
+
+    checks = []
+    large_bw = value_at(effective, 1536)
+    checks.append(
+        Check(
+            "PCIe protocol overheads leave roughly 50 Gb/s usable on Gen3 x8",
+            45.0 <= large_bw <= 55.0,
+            f"effective bidirectional BW at 1536 B = {large_bw:.1f} Gb/s",
+        )
+    )
+    simple_crossover = crossover_x(simple, ethernet)
+    checks.append(
+        Check(
+            "Simple NIC reaches 40G line rate only for frames larger than ~512 B",
+            simple_crossover is not None and 448 <= simple_crossover <= 832,
+            f"crossover at {simple_crossover} B",
+        )
+    )
+    kernel_crossover = crossover_x(kernel, ethernet)
+    dpdk_crossover = crossover_x(dpdk, ethernet)
+    checks.append(
+        Check(
+            "Modern NIC models sustain line rate for much smaller frames",
+            kernel_crossover is not None
+            and dpdk_crossover is not None
+            and kernel_crossover <= 256
+            and dpdk_crossover <= kernel_crossover,
+            f"kernel crossover {kernel_crossover} B, DPDK crossover {dpdk_crossover} B",
+        )
+    )
+    ordering_holds = all(
+        value_at(simple, size)
+        <= value_at(kernel, size) + 1e-9
+        <= value_at(dpdk, size) + 1e-9
+        for size in sizes
+    )
+    checks.append(
+        Check(
+            "Each optimisation step improves achievable throughput",
+            ordering_holds,
+            "Simple <= kernel driver <= DPDK driver at every packet size",
+        )
+    )
+    small_gap = value_at(effective, 64) < value_at(effective, 1024)
+    checks.append(
+        Check(
+            "Per-TLP overheads penalise small transfers most (saw-tooth rises)",
+            small_gap,
+            f"64 B: {value_at(effective, 64):.1f} Gb/s vs 1024 B: "
+            f"{value_at(effective, 1024):.1f} Gb/s",
+        )
+    )
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        series=curves,
+        x_label="Transfer size (B)",
+        y_label="Bandwidth (Gb/s)",
+        checks=checks,
+        notes=[
+            "Analytical model only (equations (1)-(3) plus the NIC interaction "
+            "models); MPS=256B, MRRS=512B, 64-bit addressing."
+        ],
+    )

@@ -1,0 +1,161 @@
+"""Figure 4: baseline PCIe DMA bandwidth (BW_RD, BW_WR, BW_RDWR).
+
+The paper measures DMA read, write and alternating read/write bandwidth for
+the NFP6000-HSW and NetFPGA-HSW systems against a warm 8 KiB host buffer and
+compares them to the analytical model and the 40G Ethernet requirement.
+
+Paper claims checked (per sub-figure):
+
+* the NetFPGA tracks the analytical model closely for large transfers;
+* the NFP achieves slightly lower throughput than the NetFPGA but still
+  enough for 40 Gb/s Ethernet at larger transfer sizes;
+* neither implementation reaches the read throughput 40G Ethernet needs at
+  small packet sizes;
+* write bandwidth at moderate sizes reaches the model's effective bandwidth.
+"""
+
+from __future__ import annotations
+
+from ..core.config import PAPER_DEFAULT_CONFIG
+from ..core.ethernet import ETHERNET_40G
+from ..core.model import PCIeModel
+from ..bench.params import BenchmarkKind, BenchmarkParams
+from ..bench.runner import BenchmarkRunner
+from ..units import KIB
+from .base import Check, ExperimentResult, value_at
+
+EXPERIMENT_ID = "figure-4"
+TITLE = "Baseline DMA bandwidth vs model (NFP6000-HSW, NetFPGA-HSW, warm 8KiB buffer)"
+
+#: Transfer sizes measured; the paper samples 64-2048 B with extra points
+#: around TLP and cache-line boundaries.
+TRANSFER_SIZES = (64, 128, 255, 256, 257, 384, 512, 768, 1024, 1536, 2048)
+
+SYSTEMS = ("NFP6000-HSW", "NetFPGA-HSW")
+
+_MODEL_KIND = {
+    BenchmarkKind.BW_RD: "read",
+    BenchmarkKind.BW_WR: "write",
+    BenchmarkKind.BW_RDWR: "bidirectional",
+}
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    """Run the three bandwidth benchmarks on both systems and compare to the model."""
+    transactions = 1200 if quick else 6000
+    model = PCIeModel.gen3_x8()
+    runner = BenchmarkRunner()
+
+    series: dict[str, list[tuple[float, float]]] = {}
+    for kind in (BenchmarkKind.BW_RD, BenchmarkKind.BW_WR, BenchmarkKind.BW_RDWR):
+        series[f"Model {kind.value}"] = model.bandwidth_sweep(
+            TRANSFER_SIZES, kind=_MODEL_KIND[kind]
+        )
+    series["40G Ethernet"] = [
+        (size, ETHERNET_40G.frame_throughput_gbps(size)) for size in TRANSFER_SIZES
+    ]
+    for system in SYSTEMS:
+        for kind in (BenchmarkKind.BW_RD, BenchmarkKind.BW_WR, BenchmarkKind.BW_RDWR):
+            base = BenchmarkParams(
+                kind=kind,
+                transfer_size=64,
+                window_size=8 * KIB,
+                cache_state="host_warm",
+                system=system,
+                transactions=transactions,
+            )
+            results = runner.sweep_transfer_size(base, TRANSFER_SIZES)
+            series[f"{kind.value} ({system})"] = [
+                (r.params.transfer_size, r.bandwidth_gbps or 0.0) for r in results
+            ]
+
+    checks = _build_checks(series)
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        series=series,
+        x_label="Transfer size (B)",
+        y_label="Bandwidth (Gb/s)",
+        checks=checks,
+        notes=[
+            f"{transactions} DMAs per point (the paper uses 8 million on hardware).",
+            "Sub-figures (a)/(b)/(c) of the paper correspond to the BW_RD / BW_WR / "
+            "BW_RDWR series here.",
+        ],
+    )
+
+
+def _build_checks(series: dict[str, list[tuple[float, float]]]) -> list[Check]:
+    checks = []
+    netfpga_rd = series["BW_RD (NetFPGA-HSW)"]
+    nfp_rd = series["BW_RD (NFP6000-HSW)"]
+    model_rd = series["Model BW_RD"]
+    ethernet = series["40G Ethernet"]
+
+    large_gap = abs(value_at(netfpga_rd, 2048) - value_at(model_rd, 2048))
+    checks.append(
+        Check(
+            "NetFPGA read bandwidth tracks the model closely for large transfers",
+            large_gap <= 5.0,
+            f"gap at 2048 B = {large_gap:.1f} Gb/s",
+        )
+    )
+    nfp_below = all(
+        value_at(nfp_rd, size) <= value_at(netfpga_rd, size) + 1.0
+        for size, _ in nfp_rd
+    )
+    checks.append(
+        Check(
+            "NFP read throughput is slightly lower than (or equal to) the NetFPGA's",
+            nfp_below,
+            "NFP <= NetFPGA + 1 Gb/s at every transfer size",
+        )
+    )
+    small_read_short = (
+        value_at(nfp_rd, 64) < value_at(ethernet, 64)
+        and value_at(netfpga_rd, 64) < value_at(ethernet, 64)
+    )
+    checks.append(
+        Check(
+            "Neither device reads fast enough for 40G line rate at small packets",
+            small_read_short,
+            f"64 B reads: NFP {value_at(nfp_rd, 64):.1f}, NetFPGA "
+            f"{value_at(netfpga_rd, 64):.1f} vs requirement "
+            f"{value_at(ethernet, 64):.1f} Gb/s",
+        )
+    )
+    nfp_large_ok = value_at(nfp_rd, 1024) >= value_at(ethernet, 1024)
+    checks.append(
+        Check(
+            "The NFP still sustains 40G Ethernet rates at larger transfers",
+            nfp_large_ok,
+            f"1024 B read: {value_at(nfp_rd, 1024):.1f} Gb/s vs requirement "
+            f"{value_at(ethernet, 1024):.1f} Gb/s",
+        )
+    )
+    write_match = (
+        abs(
+            value_at(series["BW_WR (NetFPGA-HSW)"], 512)
+            - value_at(series["Model BW_WR"], 512)
+        )
+        <= 5.0
+    )
+    checks.append(
+        Check(
+            "Write bandwidth reaches the model's effective bandwidth by 512 B",
+            write_match,
+            f"NetFPGA 512 B write {value_at(series['BW_WR (NetFPGA-HSW)'], 512):.1f} "
+            f"vs model {value_at(series['Model BW_WR'], 512):.1f} Gb/s",
+        )
+    )
+    rdwr_below = value_at(series["BW_RDWR (NFP6000-HSW)"], 64) < value_at(
+        series["BW_RD (NFP6000-HSW)"], 64
+    )
+    checks.append(
+        Check(
+            "Alternating read/write is the most demanding mix at small sizes",
+            rdwr_below,
+            "BW_RDWR(64 B) < BW_RD(64 B) on the NFP",
+        )
+    )
+    return checks

@@ -1,0 +1,114 @@
+"""Figure 5: median DMA latency versus transfer size (NFP vs NetFPGA).
+
+The paper reports median LAT_RD and LAT_WRRD for transfer sizes from 8 B to
+2 KiB on the NFP6000-HSW and NetFPGA-HSW systems (warm 8 KiB buffer), with
+minimum and 95th percentile error bars.
+
+Paper claims checked:
+
+* both devices sit in the same order of magnitude — the bulk of the latency
+  is host/PCIe, not the device;
+* the NFP starts about 100 ns above the NetFPGA (DMA-descriptor enqueue
+  overhead) and the gap widens with transfer size (internal staging copy);
+* LAT_WRRD exceeds LAT_RD at the same size;
+* latency grows with transfer size for both devices.
+"""
+
+from __future__ import annotations
+
+from ..bench.params import BenchmarkKind, BenchmarkParams
+from ..bench.runner import BenchmarkRunner
+from ..units import KIB
+from .base import Check, ExperimentResult, monotonic_increasing, value_at
+
+EXPERIMENT_ID = "figure-5"
+TITLE = "Median DMA latency vs transfer size (LAT_RD / LAT_WRRD, NFP vs NetFPGA)"
+
+TRANSFER_SIZES = (8, 16, 32, 64, 128, 256, 512, 1024, 2048)
+SYSTEMS = ("NFP6000-HSW", "NetFPGA-HSW")
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    """Measure the latency curves on both systems."""
+    samples = 2000 if quick else 20000
+    runner = BenchmarkRunner()
+    series: dict[str, list[tuple[float, float]]] = {}
+    spreads: dict[str, list[tuple[float, float]]] = {}
+
+    for system in SYSTEMS:
+        for kind in (BenchmarkKind.LAT_RD, BenchmarkKind.LAT_WRRD):
+            base = BenchmarkParams(
+                kind=kind,
+                transfer_size=8,
+                window_size=8 * KIB,
+                cache_state="host_warm",
+                system=system,
+                transactions=samples,
+            )
+            results = runner.sweep_transfer_size(base, TRANSFER_SIZES)
+            series[f"{kind.value} ({system})"] = [
+                (r.params.transfer_size, r.latency.median) for r in results
+            ]
+            spreads[f"{kind.value} ({system})"] = [
+                (r.params.transfer_size, r.latency.spread_95_to_min) for r in results
+            ]
+
+    nfp_rd = series["LAT_RD (NFP6000-HSW)"]
+    netfpga_rd = series["LAT_RD (NetFPGA-HSW)"]
+    nfp_wrrd = series["LAT_WRRD (NFP6000-HSW)"]
+
+    gap_small = value_at(nfp_rd, 8) - value_at(netfpga_rd, 8)
+    gap_large = value_at(nfp_rd, 2048) - value_at(netfpga_rd, 2048)
+    checks = [
+        Check(
+            "Both devices show the same order of magnitude (host dominates latency)",
+            all(
+                200.0 <= value_at(curve, 64) <= 2000.0
+                for curve in (nfp_rd, netfpga_rd)
+            ),
+            f"64 B medians: NFP {value_at(nfp_rd, 64):.0f} ns, "
+            f"NetFPGA {value_at(netfpga_rd, 64):.0f} ns",
+        ),
+        Check(
+            "NFP pays a fixed ~100 ns enqueue offset over the NetFPGA at small sizes",
+            50.0 <= gap_small <= 200.0,
+            f"gap at 8 B = {gap_small:.0f} ns",
+        ),
+        Check(
+            "The NFP/NetFPGA gap widens with transfer size (internal staging copy)",
+            gap_large > gap_small + 50.0,
+            f"gap grows from {gap_small:.0f} ns (8 B) to {gap_large:.0f} ns (2048 B)",
+        ),
+        Check(
+            "LAT_WRRD exceeds LAT_RD at every size",
+            all(
+                value_at(nfp_wrrd, size) > value_at(nfp_rd, size)
+                for size in TRANSFER_SIZES
+            ),
+            "write-then-read adds ordering and write serialisation",
+        ),
+        Check(
+            "Median latency grows with transfer size",
+            monotonic_increasing(nfp_rd, tolerance=20.0)
+            and monotonic_increasing(netfpga_rd, tolerance=20.0),
+            "both LAT_RD curves are non-decreasing",
+        ),
+        Check(
+            "Xeon E5 latencies show little variance (min to p95 band is narrow)",
+            all(
+                spread <= 150.0
+                for _, spread in spreads["LAT_RD (NetFPGA-HSW)"]
+            ),
+            "p95 - min under 150 ns at every size on the E5 host",
+        ),
+    ]
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        series=series,
+        x_label="Transfer size (B)",
+        y_label="Median latency (ns)",
+        checks=checks,
+        notes=[f"{samples} timed transactions per point (2 million in the paper)."],
+    )

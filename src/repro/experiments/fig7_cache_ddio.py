@@ -1,0 +1,166 @@
+"""Figure 7: caching and DDIO effects (NFP6000-SNB).
+
+Latency (7a) and bandwidth (7b) as a function of the benchmark window size,
+with cold versus warm caches.  The latency tests use the NFP's direct PCIe
+command interface with 8 B transfers; the bandwidth tests use 64 B DMAs.
+
+Paper claims checked:
+
+* cold-cache read latency is flat across window sizes (always DRAM);
+* warm-cache reads are ~70 ns faster while the window fits the LLC and lose
+  that advantage once it does not;
+* cold-cache write+read latency is low while the window fits the ~10 % DDIO
+  slice of the LLC, then rises by ~70 ns (dirty write-backs);
+* warm-cache write+read latency rises only once the window exceeds the LLC;
+* 64 B read bandwidth benefits from a warm cache until the window exceeds
+  the LLC; write bandwidth is insensitive to cache state.
+"""
+
+from __future__ import annotations
+
+from ..bench.params import BenchmarkKind, BenchmarkParams
+from ..bench.runner import BenchmarkRunner
+from ..units import KIB, MIB, format_size
+from .base import Check, ExperimentResult, value_at
+
+EXPERIMENT_ID = "figure-7"
+TITLE = "Cache and DDIO effects on latency and bandwidth (NFP6000-SNB)"
+
+SYSTEM = "NFP6000-SNB"
+WINDOWS = tuple(4 * KIB * (4**i) for i in range(8))  # 4K .. 64M
+LATENCY_TRANSFER = 8
+BANDWIDTH_TRANSFER = 64
+#: LLC of the SNB system and its DDIO slice (15 MiB / 10 %).
+LLC_BYTES = 15 * MIB
+DDIO_BYTES = int(LLC_BYTES * 0.10)
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    """Run the window-size sweeps for latency (8 B) and bandwidth (64 B)."""
+    latency_samples = 1500 if quick else 10000
+    bandwidth_transactions = 1200 if quick else 6000
+    runner = BenchmarkRunner()
+    series: dict[str, list[tuple[float, float]]] = {}
+
+    for state in ("cold", "host_warm"):
+        label = "cold" if state == "cold" else "warm"
+        for kind in (BenchmarkKind.LAT_RD, BenchmarkKind.LAT_WRRD):
+            base = BenchmarkParams(
+                kind=kind,
+                transfer_size=LATENCY_TRANSFER,
+                window_size=WINDOWS[0],
+                cache_state=state,
+                system=SYSTEM,
+                use_command_interface=True,
+                transactions=latency_samples,
+            )
+            results = runner.sweep_window_size(base, WINDOWS)
+            series[f"8B {kind.value} ({label})"] = [
+                (r.params.window_size, r.latency.median) for r in results
+            ]
+        for kind in (BenchmarkKind.BW_RD, BenchmarkKind.BW_WR):
+            base = BenchmarkParams(
+                kind=kind,
+                transfer_size=BANDWIDTH_TRANSFER,
+                window_size=WINDOWS[0],
+                cache_state=state,
+                system=SYSTEM,
+                transactions=bandwidth_transactions,
+            )
+            results = runner.sweep_window_size(base, WINDOWS)
+            series[f"64B {kind.value} ({label})"] = [
+                (r.params.window_size, r.bandwidth_gbps or 0.0) for r in results
+            ]
+
+    checks = _build_checks(series)
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        series=series,
+        x_label="Window size (B)",
+        y_label="Median latency (ns) / Bandwidth (Gb/s)",
+        checks=checks,
+        notes=[
+            "Latency series use the NFP PCIe command interface with 8 B transfers "
+            "(sub-figure a); bandwidth series use 64 B DMAs (sub-figure b).",
+            f"LLC {format_size(LLC_BYTES)} with a ~10% DDIO slice "
+            f"({format_size(DDIO_BYTES)}).",
+        ],
+    )
+
+
+def _build_checks(series: dict[str, list[tuple[float, float]]]) -> list[Check]:
+    rd_cold = series["8B LAT_RD (cold)"]
+    rd_warm = series["8B LAT_RD (warm)"]
+    wrrd_cold = series["8B LAT_WRRD (cold)"]
+    wrrd_warm = series["8B LAT_WRRD (warm)"]
+    bw_rd_cold = series["64B BW_RD (cold)"]
+    bw_rd_warm = series["64B BW_RD (warm)"]
+    bw_wr_cold = series["64B BW_WR (cold)"]
+    bw_wr_warm = series["64B BW_WR (warm)"]
+
+    small, below_llc, above_llc = WINDOWS[0], WINDOWS[4], WINDOWS[-1]
+    above_ddio = WINDOWS[5]  # 4 MiB, beyond the 1.5 MiB DDIO slice
+
+    cold_values = [y for _, y in rd_cold]
+    cold_flat = max(cold_values) - min(cold_values) <= 60.0
+    warm_discount = value_at(rd_cold, small) - value_at(rd_warm, small)
+    warm_lost = value_at(rd_warm, above_llc) >= value_at(rd_cold, above_llc) - 40.0
+    ddio_step = value_at(wrrd_cold, above_ddio) - value_at(wrrd_cold, small)
+    warm_wrrd_step = value_at(wrrd_warm, above_llc) - value_at(wrrd_warm, below_llc)
+    warm_wrrd_flat_below = (
+        abs(value_at(wrrd_warm, below_llc) - value_at(wrrd_warm, small)) <= 40.0
+    )
+    bw_warm_benefit = value_at(bw_rd_warm, small) - value_at(bw_rd_cold, small)
+    bw_warm_converges = (
+        abs(value_at(bw_rd_warm, above_llc) - value_at(bw_rd_cold, above_llc)) <= 2.0
+    )
+    bw_wr_insensitive = all(
+        abs(value_at(bw_wr_warm, window) - value_at(bw_wr_cold, window)) <= 2.0
+        for window, _ in bw_wr_cold
+    )
+
+    return [
+        Check(
+            "Cold-cache read latency is flat across window sizes",
+            cold_flat,
+            f"cold LAT_RD spans {min(cold_values):.0f}-{max(cold_values):.0f} ns",
+        ),
+        Check(
+            "Warm-cache reads are ~70 ns faster while the window fits the LLC",
+            40.0 <= warm_discount <= 110.0,
+            f"discount at 4 KiB window = {warm_discount:.0f} ns",
+        ),
+        Check(
+            "The warm-cache advantage disappears beyond the LLC size",
+            warm_lost,
+            f"64 MiB window: warm {value_at(rd_warm, above_llc):.0f} ns vs cold "
+            f"{value_at(rd_cold, above_llc):.0f} ns",
+        ),
+        Check(
+            "Cold LAT_WRRD rises by ~70 ns once the window exceeds the DDIO slice",
+            40.0 <= ddio_step <= 120.0,
+            f"step from 4 KiB to 4 MiB window = {ddio_step:.0f} ns",
+        ),
+        Check(
+            "Warm LAT_WRRD stays low until the window exceeds the LLC",
+            warm_wrrd_flat_below and 40.0 <= warm_wrrd_step <= 120.0,
+            f"flat below LLC, then +{warm_wrrd_step:.0f} ns at 64 MiB",
+        ),
+        Check(
+            "64 B read bandwidth benefits from a warm cache for small windows",
+            bw_warm_benefit >= 1.0,
+            f"warm-cold gap at 4 KiB window = {bw_warm_benefit:.1f} Gb/s",
+        ),
+        Check(
+            "The read-bandwidth benefit disappears beyond the LLC",
+            bw_warm_converges,
+            f"64 MiB window: warm {value_at(bw_rd_warm, above_llc):.1f} vs cold "
+            f"{value_at(bw_rd_cold, above_llc):.1f} Gb/s",
+        ),
+        Check(
+            "Write bandwidth is insensitive to cache state and window size",
+            bw_wr_insensitive,
+            "BW_WR warm/cold differ by under 2 Gb/s at every window",
+        ),
+    ]

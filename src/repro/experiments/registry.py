@@ -1,0 +1,71 @@
+"""Registry of all reproduced figures and tables.
+
+Maps experiment identifiers (``"figure-1"`` .. ``"table-2"``) to the driver
+modules, so the CLI, the benchmark harness and the report generator can
+enumerate and run every experiment uniformly.
+"""
+
+from __future__ import annotations
+
+from types import ModuleType
+from typing import Callable
+
+from ..errors import ValidationError
+from .base import ExperimentResult
+from . import (
+    fig1_throughput_models,
+    fig2_exanic_latency,
+    fig4_baseline_bandwidth,
+    fig5_baseline_latency,
+    fig6_latency_distribution,
+    fig7_cache_ddio,
+    fig8_numa,
+    fig9_iommu,
+    table1_systems,
+    table2_findings,
+)
+
+#: Experiment drivers in paper order.  Figure 3 is the methodology diagram
+#: (host-buffer layout); it has no data and is covered by the unit tests of
+#: :mod:`repro.sim.hostbuffer` instead of an experiment driver.
+_MODULES: tuple[ModuleType, ...] = (
+    fig1_throughput_models,
+    fig2_exanic_latency,
+    fig4_baseline_bandwidth,
+    fig5_baseline_latency,
+    fig6_latency_distribution,
+    fig7_cache_ddio,
+    fig8_numa,
+    fig9_iommu,
+    table1_systems,
+    table2_findings,
+)
+
+EXPERIMENTS: dict[str, ModuleType] = {
+    module.EXPERIMENT_ID: module for module in _MODULES
+}
+
+
+def experiment_ids() -> list[str]:
+    """All experiment identifiers in paper order."""
+    return list(EXPERIMENTS)
+
+
+def get_runner(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """The ``run`` callable for an experiment id."""
+    key = experiment_id.strip().lower()
+    if key not in EXPERIMENTS:
+        raise ValidationError(
+            f"unknown experiment {experiment_id!r}; known: {', '.join(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key].run
+
+
+def run_experiment(experiment_id: str, *, quick: bool = True) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get_runner(experiment_id)(quick=quick)
+
+
+def run_all(*, quick: bool = True) -> list[ExperimentResult]:
+    """Run every registered experiment in paper order."""
+    return [module.run(quick=quick) for module in _MODULES]

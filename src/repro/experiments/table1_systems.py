@@ -1,0 +1,80 @@
+"""Table 1: system configurations used throughout the evaluation.
+
+The table itself is descriptive — CPU, NUMA arrangement, micro-architecture,
+memory, OS/kernel and adapter of every system — but reproducing it matters
+because every other experiment names its system by a Table 1 identifier.
+The checks verify the registry matches the paper's rows.
+"""
+
+from __future__ import annotations
+
+from ..sim.profiles import TABLE1_PROFILES, get_profile
+from ..units import MIB
+from .base import Check, ExperimentResult
+
+EXPERIMENT_ID = "table-1"
+TITLE = "System configurations (Table 1)"
+
+#: (name, architecture, NUMA sockets, adapter keyword, LLC MiB) per the paper.
+EXPECTED_ROWS = (
+    ("NFP6000-BDW", "Broadwell", 2, "NFP6000", 25),
+    ("NetFPGA-HSW", "Haswell", 1, "NetFPGA", 15),
+    ("NFP6000-HSW", "Haswell", 1, "NFP6000", 15),
+    ("NFP6000-HSW-E3", "Haswell", 1, "NFP6000", 15),
+    ("NFP6000-IB", "Ivy Bridge", 2, "NFP6000", 15),
+    ("NFP6000-SNB", "Sandy Bridge", 1, "NFP6000", 15),
+)
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    """Emit the Table 1 rows from the profile registry and verify them."""
+    headers = ["Name", "CPU", "NUMA", "Architecture", "Memory", "OS/Kernel",
+               "Network Adapter", "LLC"]
+    rows = []
+    for profile in TABLE1_PROFILES:
+        row = profile.table1_row()
+        rows.append([row[column] for column in headers])
+
+    checks = [
+        Check(
+            "All six systems of Table 1 are modelled",
+            len(TABLE1_PROFILES) == len(EXPECTED_ROWS),
+            f"{len(TABLE1_PROFILES)} profiles registered",
+        )
+    ]
+    for name, architecture, sockets, adapter, llc_mib in EXPECTED_ROWS:
+        try:
+            profile = get_profile(name)
+        except Exception as error:  # pragma: no cover - defensive
+            checks.append(Check(f"{name} is registered", False, str(error)))
+            continue
+        matches = (
+            profile.architecture == architecture
+            and profile.sockets == sockets
+            and adapter.lower() in profile.adapter.lower()
+            and int(round(profile.llc_bytes / MIB)) == llc_mib
+        )
+        checks.append(
+            Check(
+                f"{name}: {architecture}, {sockets} socket(s), {adapter}, {llc_mib} MiB LLC",
+                matches,
+                f"{profile.architecture}, {profile.sockets} socket(s), "
+                f"{profile.adapter}, {profile.llc_bytes // MIB} MiB",
+            )
+        )
+    checks.append(
+        Check(
+            "Only the Broadwell system has the larger 25 MiB LLC",
+            sum(1 for p in TABLE1_PROFILES if p.llc_bytes == 25 * MIB) == 1
+            and get_profile("NFP6000-BDW").llc_bytes == 25 * MIB,
+            "one 25 MiB profile: NFP6000-BDW",
+        )
+    )
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        table_headers=headers,
+        table_rows=rows,
+        checks=checks,
+    )

@@ -1,0 +1,395 @@
+"""Last level cache (LLC) and Data Direct I/O (DDIO) models.
+
+On the Intel systems the paper studies, the PCIe root complex is integrated
+with the CPU's uncore and DMAs interact with the last level cache:
+
+* DMA reads are serviced from the LLC when the target line is resident,
+  saving roughly 70 ns over a memory access (§6.3).
+* DMA writes allocate into a slice of the LLC reserved for DDIO (about 10%
+  of the cache).  While the working set fits that slice, writes (and the
+  reads that follow them in ``LAT_WRRD``) stay in the cache; beyond it,
+  dirty lines must be written back to memory first, costing about 70 ns.
+
+Two implementations are provided:
+
+:class:`SetAssociativeCache`
+    A faithful, line-granular, set-associative LRU cache with a DDIO way
+    mask.  Exact but O(lines) to warm, so best suited to unit tests, small
+    windows and detailed studies.
+
+:class:`StatisticalCache`
+    A capacity-occupancy approximation that answers "is this line resident?"
+    probabilistically from the window size, warm state and DDIO capacity.
+    This is what the benchmark fast path uses for multi-megabyte windows,
+    where warming a line-accurate model would dominate run time without
+    changing the observable medians.
+
+Both expose the same :class:`CacheInterface` protocol so the root complex
+does not care which one it is given.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..errors import ValidationError
+from ..units import CACHELINE_BYTES, MIB
+from .rng import SimRng
+
+
+class CacheState(enum.Enum):
+    """How the benchmark prepares the cache before measuring (§4)."""
+
+    #: Cache thrashed before the run: no benchmark line is resident.
+    COLD = "cold"
+    #: Host CPU wrote the window before the run: lines resident up to LLC size.
+    HOST_WARM = "host_warm"
+    #: Device DMA-wrote the window before the run: lines resident only up to
+    #: the DDIO slice of the LLC.
+    DEVICE_WARM = "device_warm"
+
+    @classmethod
+    def from_value(cls, value: "CacheState | str") -> "CacheState":
+        """Coerce ``"cold"`` / ``"warm"`` / ``"host_warm"`` / ``"device_warm"``."""
+        if isinstance(value, cls):
+            return value
+        text = str(value).strip().lower()
+        if text == "warm":
+            return cls.HOST_WARM
+        try:
+            return cls(text)
+        except ValueError as exc:
+            raise ValidationError(f"unknown cache state {value!r}") from exc
+
+
+@dataclass(frozen=True)
+class CacheAccessResult:
+    """Outcome of one cache access initiated by a DMA."""
+
+    #: The access was served by the LLC (line was resident).
+    hit: bool
+    #: The access had to evict a dirty line first (DDIO slice overflow on writes).
+    writeback_required: bool = False
+    #: The line was newly allocated into the cache by this access.
+    allocated: bool = False
+
+
+class CacheInterface(Protocol):
+    """Protocol shared by the faithful and the statistical cache models."""
+
+    llc_bytes: int
+    ddio_fraction: float
+
+    def read(self, line_address: int) -> CacheAccessResult:
+        """Device DMA read touching ``line_address`` (a cache-line index)."""
+
+    def write(self, line_address: int) -> CacheAccessResult:
+        """Device DMA write touching ``line_address`` (a cache-line index)."""
+
+    def prepare(self, state: CacheState, window_lines: int) -> None:
+        """Prime the cache for a benchmark over ``window_lines`` distinct lines."""
+
+    @property
+    def ddio_bytes(self) -> int:
+        """Capacity of the DDIO slice in bytes."""
+        ...
+
+
+#: Fraction of the LLC reserved for DDIO write allocation on the paper's systems.
+DEFAULT_DDIO_FRACTION = 0.10
+#: Default LLC size of the Table 1 systems (all 15 MiB except the 25 MiB BDW).
+DEFAULT_LLC_BYTES = 15 * MIB
+
+
+def _check_cache_args(llc_bytes: int, ddio_fraction: float) -> None:
+    if llc_bytes <= 0:
+        raise ValidationError(f"llc_bytes must be positive, got {llc_bytes}")
+    if not 0.0 < ddio_fraction <= 1.0:
+        raise ValidationError(
+            f"ddio_fraction must be in (0, 1], got {ddio_fraction}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Faithful model
+# ---------------------------------------------------------------------------
+
+
+class SetAssociativeCache:
+    """Line-accurate set-associative LRU cache with a DDIO way restriction.
+
+    The model tracks which cache lines are resident and dirty.  Device writes
+    may only allocate into ``ddio_ways`` of each set (mirroring how DDIO
+    restricts write allocation to a subset of LLC ways), while host warming
+    and device reads that hit keep lines in the general portion.
+    """
+
+    def __init__(
+        self,
+        llc_bytes: int = DEFAULT_LLC_BYTES,
+        *,
+        ways: int = 20,
+        ddio_fraction: float = DEFAULT_DDIO_FRACTION,
+        line_bytes: int = CACHELINE_BYTES,
+    ) -> None:
+        _check_cache_args(llc_bytes, ddio_fraction)
+        if ways <= 0:
+            raise ValidationError(f"ways must be positive, got {ways}")
+        if line_bytes <= 0:
+            raise ValidationError(f"line_bytes must be positive, got {line_bytes}")
+        total_lines = llc_bytes // line_bytes
+        if total_lines < ways:
+            raise ValidationError("cache too small for the requested associativity")
+        self.llc_bytes = llc_bytes
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.ddio_fraction = ddio_fraction
+        self.ddio_ways = max(1, int(round(ways * ddio_fraction)))
+        self.sets = total_lines // ways
+        # Each set maps line_address -> dirty flag, in LRU order (oldest first).
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(self.sets)
+        ]
+        # Lines allocated by device writes (the DDIO-occupancy accounting).
+        self._ddio_lines: list[set[int]] = [set() for _ in range(self.sets)]
+        self.stats = CacheStats()
+
+    @property
+    def ddio_bytes(self) -> int:
+        """Capacity available to DDIO write allocation."""
+        return self.sets * self.ddio_ways * self.line_bytes
+
+    def _set_index(self, line_address: int) -> int:
+        return line_address % self.sets
+
+    # -- device-side accesses -----------------------------------------------------
+
+    def read(self, line_address: int) -> CacheAccessResult:
+        """Device DMA read: hits if resident, never allocates on miss."""
+        index = self._set_index(line_address)
+        cache_set = self._sets[index]
+        if line_address in cache_set:
+            cache_set.move_to_end(line_address)
+            self.stats.read_hits += 1
+            return CacheAccessResult(hit=True)
+        self.stats.read_misses += 1
+        return CacheAccessResult(hit=False)
+
+    def write(self, line_address: int) -> CacheAccessResult:
+        """Device DMA write: hits update in place, misses allocate via DDIO."""
+        index = self._set_index(line_address)
+        cache_set = self._sets[index]
+        if line_address in cache_set:
+            cache_set[line_address] = True
+            cache_set.move_to_end(line_address)
+            self.stats.write_hits += 1
+            return CacheAccessResult(hit=True)
+
+        ddio_lines = self._ddio_lines[index]
+        writeback = False
+        if len(ddio_lines) >= self.ddio_ways:
+            # The DDIO portion of this set is full: evict its oldest line.
+            victim = next(
+                (line for line in cache_set if line in ddio_lines), None
+            )
+            if victim is not None:
+                writeback = cache_set.pop(victim)
+                ddio_lines.discard(victim)
+        cache_set[line_address] = True
+        ddio_lines.add(line_address)
+        self._evict_overflow(index)
+        self.stats.write_misses += 1
+        if writeback:
+            self.stats.writebacks += 1
+        return CacheAccessResult(hit=False, writeback_required=bool(writeback), allocated=True)
+
+    # -- host-side priming ----------------------------------------------------------
+
+    def host_touch(self, line_address: int, *, dirty: bool = True) -> None:
+        """The host CPU reads/writes a line, installing it in the general LLC."""
+        index = self._set_index(line_address)
+        cache_set = self._sets[index]
+        if line_address in cache_set:
+            cache_set.move_to_end(line_address)
+            cache_set[line_address] = cache_set[line_address] or dirty
+            return
+        cache_set[line_address] = dirty
+        self._ddio_lines[index].discard(line_address)
+        self._evict_overflow(index)
+
+    def thrash(self) -> None:
+        """Empty the cache (the benchmark's default cold-cache preparation)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+        for ddio in self._ddio_lines:
+            ddio.clear()
+
+    def prepare(self, state: CacheState, window_lines: int) -> None:
+        """Prime the cache per the benchmark's cache-state parameter."""
+        self.thrash()
+        if state is CacheState.COLD:
+            return
+        for line in range(window_lines):
+            if state is CacheState.HOST_WARM:
+                self.host_touch(line)
+            else:
+                self.write(line)
+
+    # -- internals --------------------------------------------------------------------
+
+    def _evict_overflow(self, index: int) -> None:
+        cache_set = self._sets[index]
+        ddio_lines = self._ddio_lines[index]
+        while len(cache_set) > self.ways:
+            victim, dirty = cache_set.popitem(last=False)
+            ddio_lines.discard(victim)
+            if dirty:
+                self.stats.writebacks += 1
+
+    def resident(self, line_address: int) -> bool:
+        """Whether a line is currently cached (test/inspection helper)."""
+        return line_address in self._sets[self._set_index(line_address)]
+
+    def occupancy(self) -> int:
+        """Number of resident lines."""
+        return sum(len(cache_set) for cache_set in self._sets)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters kept by the faithful cache model."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def read_hit_rate(self) -> float:
+        """Fraction of device reads served by the cache."""
+        total = self.read_hits + self.read_misses
+        return self.read_hits / total if total else 0.0
+
+    @property
+    def write_hit_rate(self) -> float:
+        """Fraction of device writes that found their line resident."""
+        total = self.write_hits + self.write_misses
+        return self.write_hits / total if total else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Statistical model
+# ---------------------------------------------------------------------------
+
+
+class StatisticalCache:
+    """Occupancy-based cache approximation used for large benchmark windows.
+
+    Rather than tracking every line, the model keeps the probability that a
+    uniformly chosen line of the benchmark window is resident, derived from
+    the window size, the preparation state and the DDIO capacity:
+
+    * host-warm: resident fraction ``min(1, llc_capacity / window)``;
+    * device-warm: resident fraction ``min(1, ddio_capacity / window)``;
+    * cold: nothing resident (until device writes allocate lines).
+
+    Device writes allocate lines into the DDIO slice; once the window
+    exceeds that slice a write evicts (and must write back) a previously
+    allocated dirty line with probability ``ddio_capacity / window``
+    approaching one, reproducing the LAT_WRRD behaviour of Figure 7(a).
+    """
+
+    def __init__(
+        self,
+        llc_bytes: int = DEFAULT_LLC_BYTES,
+        *,
+        ddio_fraction: float = DEFAULT_DDIO_FRACTION,
+        line_bytes: int = CACHELINE_BYTES,
+        rng: SimRng | None = None,
+        effective_capacity_fraction: float = 0.95,
+    ) -> None:
+        _check_cache_args(llc_bytes, ddio_fraction)
+        if not 0.0 < effective_capacity_fraction <= 1.0:
+            raise ValidationError(
+                "effective_capacity_fraction must be in (0, 1], got "
+                f"{effective_capacity_fraction}"
+            )
+        self.llc_bytes = llc_bytes
+        self.ddio_fraction = ddio_fraction
+        self.line_bytes = line_bytes
+        self.effective_capacity_fraction = effective_capacity_fraction
+        self._rng = rng or SimRng()
+        self._random = self._rng.spawn("cache.statistical")
+        self._window_lines = 0
+        self._resident_fraction = 0.0
+        self._writeback_probability = 0.0
+        self.stats = CacheStats()
+
+    @property
+    def ddio_bytes(self) -> int:
+        """Capacity available to DDIO write allocation."""
+        return int(self.llc_bytes * self.ddio_fraction)
+
+    @property
+    def llc_lines(self) -> int:
+        """Usable LLC capacity in cache lines."""
+        return int(
+            self.llc_bytes * self.effective_capacity_fraction / self.line_bytes
+        )
+
+    @property
+    def ddio_lines(self) -> int:
+        """DDIO slice capacity in cache lines."""
+        return max(1, int(self.ddio_bytes / self.line_bytes))
+
+    @property
+    def resident_fraction(self) -> float:
+        """Probability that a window line is resident (inspection helper)."""
+        return self._resident_fraction
+
+    def prepare(self, state: CacheState, window_lines: int) -> None:
+        """Prime the model for a benchmark touching ``window_lines`` lines."""
+        if window_lines <= 0:
+            raise ValidationError(
+                f"window_lines must be positive, got {window_lines}"
+            )
+        state = CacheState.from_value(state)
+        self._window_lines = window_lines
+        if state is CacheState.COLD:
+            self._resident_fraction = 0.0
+        elif state is CacheState.HOST_WARM:
+            self._resident_fraction = min(1.0, self.llc_lines / window_lines)
+        else:  # DEVICE_WARM
+            self._resident_fraction = min(1.0, self.ddio_lines / window_lines)
+        # Steady-state pressure on the DDIO slice: when the set of lines the
+        # device writes does not fit the slice, almost every write allocation
+        # evicts a dirty DDIO line that must be written back first (§6.3).
+        self._writeback_probability = max(0.0, 1.0 - self.ddio_lines / window_lines)
+
+    def read(self, line_address: int) -> CacheAccessResult:
+        """Device DMA read: hit with the current resident probability."""
+        hit = bool(self._random.random() < self._resident_fraction)
+        if hit:
+            self.stats.read_hits += 1
+        else:
+            self.stats.read_misses += 1
+        return CacheAccessResult(hit=hit)
+
+    def write(self, line_address: int) -> CacheAccessResult:
+        """Device DMA write: resident lines update in place, misses use DDIO."""
+        hit = bool(self._random.random() < self._resident_fraction)
+        if hit:
+            self.stats.write_hits += 1
+            return CacheAccessResult(hit=True)
+        self.stats.write_misses += 1
+        # Write allocation into the DDIO slice: when the benchmark window
+        # exceeds the slice, allocations evict dirty DDIO lines which must be
+        # written back to memory before the new write can complete.
+        writeback = bool(self._random.random() < self._writeback_probability)
+        if writeback:
+            self.stats.writebacks += 1
+        return CacheAccessResult(hit=False, writeback_required=writeback, allocated=True)

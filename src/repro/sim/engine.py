@@ -1,0 +1,111 @@
+"""Small building blocks for the transaction-level simulation.
+
+The DMA-engine simulation in :mod:`repro.sim.dma` is a pipelined,
+cursor-based discrete-event model rather than a general event-queue
+simulator: transactions are generated in issue order and the only shared
+resources are serial ones (each link direction, the IOMMU page walker, the
+root-complex ingress pipeline) plus a bounded pool of in-flight DMA slots.
+These two primitives — :class:`SerialResource` and :class:`WorkerPool` —
+capture exactly that and keep the hot loop simple and fast.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..errors import SimulationError, ValidationError
+
+
+class SerialResource:
+    """A resource that serves one request at a time (a link direction, a walker).
+
+    The resource is described entirely by the time it next becomes free.
+    ``occupy`` asks for service starting no earlier than ``earliest_start``
+    and lasting ``duration``; it returns the time service begins.
+    """
+
+    def __init__(self, name: str, *, free_at: float = 0.0) -> None:
+        if free_at < 0:
+            raise ValidationError(f"free_at must be non-negative, got {free_at}")
+        self.name = name
+        self._free_at = float(free_at)
+        self.busy_time = 0.0
+        self.served = 0
+
+    @property
+    def free_at(self) -> float:
+        """Earliest time the resource can next start serving."""
+        return self._free_at
+
+    def occupy(self, earliest_start: float, duration: float) -> float:
+        """Reserve the resource; returns the actual service start time."""
+        if duration < 0:
+            raise ValidationError(f"duration must be non-negative, got {duration}")
+        if earliest_start < 0:
+            raise ValidationError(
+                f"earliest_start must be non-negative, got {earliest_start}"
+            )
+        start = max(earliest_start, self._free_at)
+        self._free_at = start + duration
+        self.busy_time += duration
+        self.served += 1
+        return start
+
+    def utilisation(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` time the resource spent serving."""
+        if elapsed <= 0:
+            raise ValidationError(f"elapsed must be positive, got {elapsed}")
+        return min(1.0, self.busy_time / elapsed)
+
+    def reset(self) -> None:
+        """Return the resource to its initial idle state."""
+        self._free_at = 0.0
+        self.busy_time = 0.0
+        self.served = 0
+
+
+class WorkerPool:
+    """A bounded pool of in-flight transaction slots (DMA contexts / tags).
+
+    ``acquire(now)`` returns the earliest time a slot is available (which may
+    be later than ``now`` if all slots are busy); the caller then reports the
+    slot busy until ``release_at`` via ``commit``.
+    """
+
+    def __init__(self, slots: int) -> None:
+        if slots <= 0:
+            raise ValidationError(f"slots must be positive, got {slots}")
+        self.slots = slots
+        # Min-heap of times at which each busy slot frees up.
+        self._busy_until: list[float] = []
+
+    def acquire(self, now: float) -> float:
+        """Earliest time a slot can be handed out, given the current time."""
+        if now < 0:
+            raise ValidationError(f"now must be non-negative, got {now}")
+        if len(self._busy_until) < self.slots:
+            return now
+        return max(now, self._busy_until[0])
+
+    def commit(self, release_at: float) -> None:
+        """Mark one slot busy until ``release_at``."""
+        if release_at < 0:
+            raise ValidationError(
+                f"release_at must be non-negative, got {release_at}"
+            )
+        if len(self._busy_until) < self.slots:
+            heapq.heappush(self._busy_until, release_at)
+            return
+        if not self._busy_until:  # pragma: no cover - guarded by slots > 0
+            raise SimulationError("worker pool has no slots to replace")
+        # Replace the earliest-finishing slot (the one acquire() handed out).
+        heapq.heapreplace(self._busy_until, release_at)
+
+    @property
+    def in_flight(self) -> int:
+        """Number of slots currently committed."""
+        return len(self._busy_until)
+
+    def reset(self) -> None:
+        """Free every slot."""
+        self._busy_until.clear()

@@ -1,0 +1,58 @@
+"""DRAM / memory-controller model.
+
+The memory system's contribution to a DMA is folded into a small number of
+calibrated constants: the time to fetch a line from DRAM through the
+integrated memory controller, the discount when the LLC already holds the
+line, and the cost of writing a dirty victim back.  Per-channel bandwidth is
+modelled as a cap that is far above anything a single Gen3 x8 device can
+generate, matching the paper's observation that DRAM bandwidth is never the
+bottleneck for these workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Calibrated constants for the host memory path.
+
+    Attributes:
+        dram_access_ns: additional latency of servicing a DMA from DRAM
+            compared to an LLC hit (~70 ns on the paper's systems, §6.3).
+        writeback_ns: penalty when a dirty line must be flushed before a DDIO
+            write allocation can proceed (~70 ns, §6.3).
+        channel_bandwidth_gbps: aggregate DRAM bandwidth; only relevant when
+            simulating many devices, never the bottleneck for one NIC.
+    """
+
+    dram_access_ns: float = 70.0
+    writeback_ns: float = 70.0
+    channel_bandwidth_gbps: float = 400.0
+
+    def __post_init__(self) -> None:
+        for attr in ("dram_access_ns", "writeback_ns", "channel_bandwidth_gbps"):
+            if getattr(self, attr) < 0:
+                raise ValidationError(f"{attr} must be non-negative")
+
+
+class MemorySystem:
+    """Stateless helper answering latency questions about the memory path."""
+
+    def __init__(self, config: MemoryConfig | None = None) -> None:
+        self.config = config or MemoryConfig()
+
+    def read_penalty_ns(self, *, cache_hit: bool) -> float:
+        """Extra latency versus an LLC hit when reading a line."""
+        return 0.0 if cache_hit else self.config.dram_access_ns
+
+    def write_allocation_penalty_ns(self, *, writeback_required: bool) -> float:
+        """Extra latency for a DDIO write allocation that must evict a dirty line."""
+        return self.config.writeback_ns if writeback_required else 0.0
+
+    def bytes_per_ns(self) -> float:
+        """Memory bandwidth cap expressed in bytes per nanosecond."""
+        return self.config.channel_bandwidth_gbps * 0.125

@@ -1,0 +1,81 @@
+"""Tests for EXPERIMENTS.md report generation."""
+
+import pytest
+
+from repro.analysis.report import (
+    experiments_markdown,
+    summary_line,
+    write_experiments_markdown,
+)
+from repro.errors import AnalysisError
+from repro.experiments.base import Check, ExperimentResult
+
+
+def make_result(experiment_id="figure-x", passed=True):
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title="A test experiment",
+        series={"curve": [(1.0, 2.0), (2.0, 3.0)]},
+        x_label="size",
+        y_label="Gb/s",
+        table_headers=["col"],
+        table_rows=[["value"], [3.14]],
+        checks=[
+            Check("something holds", passed, "measured detail"),
+            Check("something else", True, "other detail"),
+        ],
+        notes=["a calibration note"],
+    )
+
+
+class TestMarkdownReport:
+    def test_contains_summary_and_sections(self):
+        text = experiments_markdown([make_result("figure-1"), make_result("table-1")])
+        assert "# EXPERIMENTS" in text
+        assert "## figure-1" in text and "## table-1" in text
+        assert "| PASS | something holds | measured detail |" in text
+        assert "*Note: a calibration note*" in text
+
+    def test_failed_checks_marked(self):
+        text = experiments_markdown([make_result(passed=False)])
+        assert "| FAIL |" in text
+
+    def test_float_cells_formatted(self):
+        text = experiments_markdown([make_result()])
+        assert "3.1" in text
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(AnalysisError):
+            experiments_markdown([])
+
+    def test_write_to_file(self, tmp_path):
+        path = write_experiments_markdown([make_result()], tmp_path / "EXPERIMENTS.md")
+        assert path.exists()
+        assert path.read_text().startswith("# EXPERIMENTS")
+
+
+class TestSummaryLine:
+    def test_counts_checks(self):
+        line = summary_line([make_result(), make_result(passed=False)])
+        assert line == "2 experiments, 3/4 checks passed"
+
+
+class TestExperimentResultHelpers:
+    def test_passed_property(self):
+        assert make_result(passed=True).passed
+        assert not make_result(passed=False).passed
+
+    def test_check_summary(self):
+        assert make_result(passed=False).check_summary() == "1/2 checks passed"
+
+    def test_to_text_renders_everything(self):
+        text = make_result().to_text()
+        assert "figure-x" in text
+        assert "paper claim" in text
+        assert "col" in text
+
+    def test_table_rows_without_headers_rejected(self):
+        result = make_result()
+        result.table_headers = []
+        with pytest.raises(AnalysisError):
+            result.to_text()

@@ -1,0 +1,84 @@
+"""Tests for text tables and ASCII plots."""
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.table import format_series_table, format_table
+from repro.errors import AnalysisError
+
+
+class TestFormatTable:
+    def test_headers_and_rows_rendered(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", True]])
+        assert "a" in text and "b" in text
+        assert "2.50" in text
+        assert "yes" in text
+
+    def test_title_rendered(self):
+        text = format_table(["a"], [[1]], title="My table")
+        assert text.startswith("My table")
+
+    def test_column_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(AnalysisError):
+            format_table([], [])
+
+    def test_columns_aligned(self):
+        text = format_table(["name", "v"], [["long-name-here", 1], ["x", 22]])
+        lines = text.splitlines()
+        assert len(set(line.index("|") for line in lines if "|" in line)) == 1
+
+
+class TestFormatSeriesTable:
+    def test_series_aligned_on_x(self):
+        series = {
+            "a": [(64, 1.0), (128, 2.0)],
+            "b": [(64, 3.0), (256, 4.0)],
+        }
+        text = format_series_table(series, x_label="size")
+        assert "size" in text and "a" in text and "b" in text
+        assert "-" in text  # missing point placeholder
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(AnalysisError):
+            format_series_table({})
+
+
+class TestAsciiPlot:
+    def test_plot_contains_markers_and_legend(self):
+        series = {"curve": [(x, x * x) for x in range(10)]}
+        text = ascii_plot(series, width=40, height=10)
+        assert "legend: o curve" in text
+        assert "o" in text
+
+    def test_multiple_series_use_distinct_markers(self):
+        series = {
+            "one": [(0, 0.0), (1, 1.0)],
+            "two": [(0, 1.0), (1, 0.0)],
+        }
+        text = ascii_plot(series, width=20, height=8)
+        assert "o one" in text and "x two" in text
+
+    def test_log_x_axis(self):
+        series = {"w": [(4096, 1.0), (65536, 2.0), (67108864, 3.0)]}
+        text = ascii_plot(series, width=30, height=8, logx=True)
+        assert "legend" in text
+
+    def test_log_axis_rejects_non_positive(self):
+        with pytest.raises(AnalysisError):
+            ascii_plot({"w": [(0, 1.0)]}, logx=True)
+
+    def test_empty_plot_rejected(self):
+        with pytest.raises(AnalysisError):
+            ascii_plot({})
+
+    def test_tiny_plot_area_rejected(self):
+        with pytest.raises(AnalysisError):
+            ascii_plot({"a": [(0, 1.0)]}, width=5, height=2)
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_plot({"flat": [(0, 5.0), (1, 5.0)]}, width=20, height=6)
+        assert "flat" in text

@@ -1,0 +1,55 @@
+"""Shared fixtures for the pcie-bench reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PAPER_DEFAULT_CONFIG, PCIeConfig
+from repro.core.model import PCIeModel
+from repro.sim.dma import DmaEngine
+from repro.sim.host import HostSystem
+from repro.units import KIB
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> PCIeConfig:
+    """The paper's reference PCIe configuration (Gen3 x8, MPS 256, MRRS 512)."""
+    return PAPER_DEFAULT_CONFIG
+
+
+@pytest.fixture(scope="session")
+def model() -> PCIeModel:
+    """A shared analytical model instance."""
+    return PCIeModel.gen3_x8()
+
+
+@pytest.fixture
+def hsw_host() -> HostSystem:
+    """A fresh NFP6000-HSW host (single socket Haswell E5, NFP device)."""
+    return HostSystem.from_profile("NFP6000-HSW", seed=1234)
+
+
+@pytest.fixture
+def netfpga_host() -> HostSystem:
+    """A fresh NetFPGA-HSW host."""
+    return HostSystem.from_profile("NetFPGA-HSW", seed=1234)
+
+
+@pytest.fixture
+def bdw_host() -> HostSystem:
+    """A fresh two-socket Broadwell host (NUMA experiments)."""
+    return HostSystem.from_profile("NFP6000-BDW", seed=1234)
+
+
+@pytest.fixture
+def hsw_engine(hsw_host: HostSystem) -> DmaEngine:
+    """DMA engine bound to the NFP6000-HSW host."""
+    return DmaEngine(hsw_host)
+
+
+@pytest.fixture
+def warm_8k_buffer(hsw_host: HostSystem):
+    """A warm 8 KiB / 64 B buffer on the HSW host (the Figure 4 setting)."""
+    buffer = hsw_host.allocate_buffer(8 * KIB, 64)
+    hsw_host.prepare(buffer, "host_warm")
+    return buffer

@@ -1,0 +1,99 @@
+"""Tests for PCIe endpoint configuration validation and presets."""
+
+import pytest
+
+from repro.core.config import (
+    GEN3_X16_CONFIG,
+    PAPER_DEFAULT_CONFIG,
+    PCIeConfig,
+    config_presets,
+    get_config,
+)
+from repro.core.link import LinkConfig, PCIeGeneration
+from repro.errors import ValidationError
+
+
+class TestPaperDefaultConfig:
+    def test_matches_paper_reference(self):
+        assert PAPER_DEFAULT_CONFIG.generation is PCIeGeneration.GEN3
+        assert PAPER_DEFAULT_CONFIG.lanes == 8
+        assert PAPER_DEFAULT_CONFIG.mps == 256
+        assert PAPER_DEFAULT_CONFIG.mrrs == 512
+        assert PAPER_DEFAULT_CONFIG.addr64 is True
+        assert PAPER_DEFAULT_CONFIG.ecrc is False
+
+    def test_describe_mentions_key_parameters(self):
+        text = PAPER_DEFAULT_CONFIG.describe()
+        assert "Gen3 x8" in text
+        assert "MPS=256B" in text
+        assert "MRRS=512B" in text
+
+
+class TestValidation:
+    def test_invalid_mps_rejected(self):
+        with pytest.raises(ValidationError):
+            PCIeConfig(mps=200)
+
+    def test_invalid_mrrs_rejected(self):
+        with pytest.raises(ValidationError):
+            PCIeConfig(mrrs=100)
+
+    def test_invalid_rcb_rejected(self):
+        with pytest.raises(ValidationError):
+            PCIeConfig(rcb=32)
+
+    def test_invalid_tag_limit_rejected(self):
+        with pytest.raises(ValidationError):
+            PCIeConfig(tag_limit=0)
+
+    def test_all_valid_mps_values(self):
+        for mps in (128, 256, 512, 1024, 2048, 4096):
+            assert PCIeConfig(mps=mps).mps == mps
+
+
+class TestWith:
+    def test_with_replaces_field(self):
+        changed = PAPER_DEFAULT_CONFIG.with_(mps=512)
+        assert changed.mps == 512
+        assert changed.mrrs == PAPER_DEFAULT_CONFIG.mrrs
+
+    def test_with_does_not_mutate_original(self):
+        PAPER_DEFAULT_CONFIG.with_(mps=512)
+        assert PAPER_DEFAULT_CONFIG.mps == 256
+
+    def test_with_validates(self):
+        with pytest.raises(ValidationError):
+            PAPER_DEFAULT_CONFIG.with_(mps=123)
+
+
+class TestConvenienceAccessors:
+    def test_tlp_bandwidth_delegates_to_link(self):
+        assert PAPER_DEFAULT_CONFIG.tlp_bandwidth_gbps == pytest.approx(
+            PAPER_DEFAULT_CONFIG.link.tlp_bandwidth_gbps
+        )
+
+    def test_x16_has_double_bandwidth(self):
+        assert GEN3_X16_CONFIG.tlp_bandwidth_gbps == pytest.approx(
+            2 * PAPER_DEFAULT_CONFIG.tlp_bandwidth_gbps
+        )
+
+
+class TestPresets:
+    def test_gen3x8_preset_is_paper_default(self):
+        assert get_config("gen3x8") == PAPER_DEFAULT_CONFIG
+
+    def test_lookup_is_case_and_separator_insensitive(self):
+        assert get_config("Gen3_x8") == PAPER_DEFAULT_CONFIG
+        assert get_config("GEN4X8").generation is PCIeGeneration.GEN4
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValidationError):
+            get_config("gen9x1")
+
+    def test_all_presets_are_valid_configs(self):
+        for name, config in config_presets().items():
+            assert isinstance(config, PCIeConfig), name
+
+    def test_gen2_preset_uses_8b10b_rates(self):
+        gen2 = get_config("gen2x8")
+        assert gen2.physical_bandwidth_gbps < PAPER_DEFAULT_CONFIG.physical_bandwidth_gbps

@@ -1,0 +1,51 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    BenchmarkError,
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    UnknownProfileError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for error_type in (
+            ConfigurationError,
+            ValidationError,
+            SimulationError,
+            BenchmarkError,
+            AnalysisError,
+            UnknownProfileError,
+        ):
+            assert issubclass(error_type, ReproError)
+
+    def test_validation_error_is_configuration_error(self):
+        assert issubclass(ValidationError, ConfigurationError)
+
+    def test_unknown_profile_error_is_configuration_error(self):
+        assert issubclass(UnknownProfileError, ConfigurationError)
+
+    def test_library_errors_catchable_with_one_clause(self):
+        from repro.core.config import PCIeConfig
+
+        with pytest.raises(ReproError):
+            PCIeConfig(mps=42)
+
+
+class TestUnknownProfileError:
+    def test_message_lists_known_profiles(self):
+        error = UnknownProfileError("BOGUS", ["A", "B"])
+        assert "BOGUS" in str(error)
+        assert "A" in str(error) and "B" in str(error)
+        assert error.known == ["A", "B"]
+
+    def test_without_known_list(self):
+        error = UnknownProfileError("BOGUS")
+        assert "BOGUS" in str(error)
+        assert error.known == []

@@ -1,0 +1,112 @@
+"""Tests for the PCIe link layer model (generations, lanes, bandwidth)."""
+
+import pytest
+
+from repro.core.link import (
+    DEFAULT_DLL_OVERHEAD,
+    GEN3_X8,
+    GEN3_X16,
+    GEN4_X8,
+    Encoding,
+    LinkConfig,
+    PCIeGeneration,
+)
+from repro.errors import ValidationError
+
+
+class TestEncoding:
+    def test_8b10b_efficiency(self):
+        assert Encoding.E8B10B.efficiency == pytest.approx(0.8)
+
+    def test_128b130b_efficiency(self):
+        assert Encoding.E128B130B.efficiency == pytest.approx(128 / 130)
+
+
+class TestPCIeGeneration:
+    def test_gen3_rate(self):
+        assert PCIeGeneration.GEN3.transfer_rate_gtps == 8.0
+
+    def test_gen1_gen2_use_8b10b(self):
+        assert PCIeGeneration.GEN1.encoding is Encoding.E8B10B
+        assert PCIeGeneration.GEN2.encoding is Encoding.E8B10B
+
+    def test_gen3_onwards_use_128b130b(self):
+        for gen in (PCIeGeneration.GEN3, PCIeGeneration.GEN4, PCIeGeneration.GEN5):
+            assert gen.encoding is Encoding.E128B130B
+
+    def test_gen3_lane_bandwidth_matches_paper(self):
+        # The paper quotes 7.87 Gb/s per lane for Gen3.
+        assert PCIeGeneration.GEN3.lane_bandwidth_gbps == pytest.approx(7.877, abs=0.01)
+
+    def test_from_value_int(self):
+        assert PCIeGeneration.from_value(3) is PCIeGeneration.GEN3
+
+    def test_from_value_string(self):
+        assert PCIeGeneration.from_value("gen4") is PCIeGeneration.GEN4
+        assert PCIeGeneration.from_value("2") is PCIeGeneration.GEN2
+
+    def test_from_value_passthrough(self):
+        assert PCIeGeneration.from_value(PCIeGeneration.GEN5) is PCIeGeneration.GEN5
+
+    def test_from_value_invalid(self):
+        with pytest.raises(ValidationError):
+            PCIeGeneration.from_value(7)
+        with pytest.raises(ValidationError):
+            PCIeGeneration.from_value("gen9")
+
+
+class TestLinkConfig:
+    def test_gen3_x8_physical_bandwidth_matches_paper(self):
+        # 8 x 7.87 Gb/s = 62.96 Gb/s at the physical layer.
+        assert GEN3_X8.physical_bandwidth_gbps == pytest.approx(63.0, abs=0.1)
+
+    def test_gen3_x8_tlp_bandwidth_matches_paper(self):
+        # ~57.88 Gb/s at the transaction layer after DLL overheads.
+        assert GEN3_X8.tlp_bandwidth_gbps == pytest.approx(57.88, abs=0.1)
+
+    def test_gen3_x16_doubles_bandwidth(self):
+        assert GEN3_X16.physical_bandwidth_gbps == pytest.approx(
+            2 * GEN3_X8.physical_bandwidth_gbps
+        )
+
+    def test_gen4_doubles_gen3(self):
+        assert GEN4_X8.physical_bandwidth_gbps == pytest.approx(
+            2 * GEN3_X8.physical_bandwidth_gbps, rel=0.01
+        )
+
+    def test_invalid_lane_count_rejected(self):
+        with pytest.raises(ValidationError):
+            LinkConfig(PCIeGeneration.GEN3, 3)
+
+    def test_all_valid_lane_counts_accepted(self):
+        for lanes in (1, 2, 4, 8, 16, 32):
+            assert LinkConfig(PCIeGeneration.GEN3, lanes).lanes == lanes
+
+    def test_invalid_dll_overhead_rejected(self):
+        with pytest.raises(ValidationError):
+            LinkConfig(dll_overhead=1.0)
+        with pytest.raises(ValidationError):
+            LinkConfig(dll_overhead=-0.1)
+
+    def test_default_dll_overhead_is_8_to_10_percent(self):
+        assert 0.05 <= DEFAULT_DLL_OVERHEAD <= 0.11
+
+    def test_name(self):
+        assert GEN3_X8.name == "Gen3 x8"
+        assert GEN4_X8.name == "Gen4 x8"
+
+    def test_serialisation_time_scales_linearly(self):
+        t1 = GEN3_X8.serialisation_time_ns(1000)
+        t2 = GEN3_X8.serialisation_time_ns(2000)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_serialisation_time_for_a_tlp(self):
+        # A 280-byte TLP on ~7.2 GB/s takes roughly 39 ns.
+        assert GEN3_X8.serialisation_time_ns(280) == pytest.approx(38.7, abs=1.0)
+
+    def test_serialisation_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            GEN3_X8.serialisation_time_ns(-1)
+
+    def test_bytes_per_ns_consistent_with_gbps(self):
+        assert GEN3_X8.bytes_per_ns == pytest.approx(GEN3_X8.tlp_bandwidth_gbps / 8)

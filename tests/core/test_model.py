@@ -1,0 +1,99 @@
+"""Tests for the PCIeModel façade."""
+
+import pytest
+
+from repro.core.model import FIGURE1_SIZES, FIGURE4_SIZES, PCIeModel
+from repro.core.nic import SIMPLE_NIC
+from repro.errors import ValidationError
+
+
+class TestConstruction:
+    def test_gen3_x8_constructor(self, model):
+        assert model.config.lanes == 8
+        assert model.config.mps == 256
+
+    def test_from_preset(self):
+        gen4 = PCIeModel.from_preset("gen4x8")
+        assert gen4.config.generation.value == 4
+
+    def test_latency_model_shares_config(self, model):
+        assert model.latency.config == model.config
+
+
+class TestBandwidthApi:
+    def test_effective_bandwidth_kinds(self, model):
+        for kind in ("read", "write", "bidirectional"):
+            assert model.effective_bandwidth_gbps(512, kind=kind) > 0
+
+    def test_invalid_kind(self, model):
+        with pytest.raises(ValidationError):
+            model.effective_bandwidth_gbps(512, kind="diagonal")
+
+    def test_wire_byte_accessors(self, model):
+        assert model.dma_write_bytes(64).device_to_host == 88
+        assert model.dma_read_bytes(64).host_to_device == 84
+
+    def test_bandwidth_sweep_length(self, model):
+        assert len(model.bandwidth_sweep([64, 128, 256])) == 3
+
+    def test_saturation_rate(self, model):
+        assert model.saturation_transaction_rate(64) > 5e7
+
+
+class TestEthernetApi:
+    def test_supports_line_rate_large_frames(self, model):
+        assert model.supports_line_rate(1024)
+
+    def test_small_frames_supported_by_raw_pcie(self, model):
+        # Raw PCIe (without NIC overheads) covers 40G even at 64 B...
+        assert model.supports_line_rate(64)
+
+    def test_but_simple_nic_does_not(self, model):
+        # ...while the simple NIC interaction model does not.
+        assert model.nic_throughput_gbps(SIMPLE_NIC, 64) < (
+            model.ethernet_throughput_gbps(64)
+        )
+
+
+class TestNicApi:
+    def test_nic_lookup_by_name(self, model):
+        assert model.nic_throughput_gbps("simple", 512) == pytest.approx(
+            SIMPLE_NIC.throughput_gbps(512, model.config)
+        )
+
+    def test_nic_sweep(self, model):
+        sweep = model.nic_throughput_sweep("dpdk", [64, 512])
+        assert len(sweep) == 2
+
+    def test_figure1_curves_have_all_series(self, model):
+        curves = model.figure1_curves([64, 512, 1500])
+        assert set(curves) == {
+            "Effective PCIe BW",
+            "40G Ethernet",
+            "Simple NIC",
+            "Modern NIC (kernel driver)",
+            "Modern NIC (DPDK driver)",
+        }
+        for points in curves.values():
+            assert len(points) == 3
+
+
+class TestLatencyApi:
+    def test_read_latency_positive(self, model):
+        assert model.read_latency_ns(64) > 0
+
+    def test_write_read_exceeds_read(self, model):
+        assert model.write_read_latency_ns(64) > model.read_latency_ns(64)
+
+    def test_required_inflight_reasonable(self, model):
+        assert 5 <= model.required_inflight_dmas(128) <= 60
+
+
+class TestDefaultSizeLists:
+    def test_figure1_sizes_cover_frame_range(self):
+        assert FIGURE1_SIZES[0] == 64
+        assert FIGURE1_SIZES[-1] >= 1500
+
+    def test_figure4_sizes_include_boundary_probes(self):
+        assert 255 in FIGURE4_SIZES and 257 in FIGURE4_SIZES
+        assert 2048 in FIGURE4_SIZES

@@ -1,0 +1,115 @@
+"""Tests for the NIC/driver interaction models (Figure 1 curves)."""
+
+import pytest
+
+from repro.core.config import PAPER_DEFAULT_CONFIG
+from repro.core.ethernet import ETHERNET_40G
+from repro.core.nic import (
+    FIGURE1_MODELS,
+    MODERN_NIC_DPDK,
+    MODERN_NIC_KERNEL,
+    SIMPLE_NIC,
+    NicModel,
+    model_by_name,
+)
+from repro.errors import ValidationError
+
+CFG = PAPER_DEFAULT_CONFIG
+
+
+class TestSimpleNic:
+    def test_cannot_sustain_line_rate_at_small_frames(self):
+        assert not SIMPLE_NIC.achieves_line_rate(64)
+        assert not SIMPLE_NIC.achieves_line_rate(256)
+
+    def test_sustains_line_rate_for_large_frames(self):
+        assert SIMPLE_NIC.achieves_line_rate(1024)
+        assert SIMPLE_NIC.achieves_line_rate(1500)
+
+    def test_crossover_is_beyond_512_bytes(self):
+        crossover = SIMPLE_NIC.line_rate_crossover()
+        assert crossover is not None
+        assert 512 <= crossover <= 832
+
+    def test_throughput_far_below_raw_pcie_at_64b(self):
+        from repro.core.bandwidth import effective_bidirectional_bandwidth_gbps
+
+        raw = effective_bidirectional_bandwidth_gbps(64, CFG)
+        assert SIMPLE_NIC.throughput_gbps(64) < raw * 0.6
+
+
+class TestModernNics:
+    def test_kernel_driver_beats_simple_nic(self):
+        for size in (64, 256, 1024, 1500):
+            assert MODERN_NIC_KERNEL.throughput_gbps(size) > SIMPLE_NIC.throughput_gbps(size)
+
+    def test_dpdk_driver_beats_kernel_driver(self):
+        for size in (64, 256, 1024):
+            assert MODERN_NIC_DPDK.throughput_gbps(size) >= MODERN_NIC_KERNEL.throughput_gbps(size)
+
+    def test_modern_crossovers_are_much_smaller(self):
+        kernel = MODERN_NIC_KERNEL.line_rate_crossover()
+        dpdk = MODERN_NIC_DPDK.line_rate_crossover()
+        assert kernel is not None and kernel <= 256
+        assert dpdk is not None and dpdk <= kernel
+
+    def test_dpdk_differs_only_in_driver_behaviour(self):
+        assert MODERN_NIC_DPDK.tx_descriptor_batch == MODERN_NIC_KERNEL.tx_descriptor_batch
+        assert MODERN_NIC_DPDK.interrupts_enabled is False
+        assert MODERN_NIC_DPDK.pointer_reads_enabled is False
+        assert MODERN_NIC_KERNEL.interrupts_enabled is True
+
+
+class TestNicModelMechanics:
+    def test_with_creates_variant(self):
+        variant = SIMPLE_NIC.with_(interrupt_moderation=8.0, name="moderated")
+        assert variant.interrupt_moderation == 8.0
+        assert SIMPLE_NIC.interrupt_moderation == 1.0
+        assert variant.throughput_gbps(256) > SIMPLE_NIC.throughput_gbps(256)
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValidationError):
+            NicModel(name="bad", doorbell_batch=0.0)
+
+    def test_throughput_sweep_matches_pointwise(self):
+        sizes = [64, 256, 1024]
+        sweep = dict(SIMPLE_NIC.throughput_sweep(sizes))
+        for size in sizes:
+            assert sweep[size] == pytest.approx(SIMPLE_NIC.throughput_gbps(size))
+
+    def test_per_packet_wire_bytes_positive_both_directions(self):
+        up, down = SIMPLE_NIC.per_packet_wire_bytes(512)
+        assert up > 512 and down > 512
+
+    def test_zero_packet_size_rejected(self):
+        with pytest.raises(ValidationError):
+            SIMPLE_NIC.throughput_gbps(0)
+
+    def test_crossover_none_when_unreachable(self):
+        crippled = SIMPLE_NIC.with_(name="crippled", doorbell_batch=1.0)
+        assert crippled.line_rate_crossover(sizes=[64, 128]) is None
+
+
+class TestModelLookup:
+    def test_lookup_by_full_name(self):
+        assert model_by_name("Simple NIC") is SIMPLE_NIC
+
+    def test_lookup_by_alias(self):
+        assert model_by_name("dpdk") is MODERN_NIC_DPDK
+        assert model_by_name("kernel") is MODERN_NIC_KERNEL
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError):
+            model_by_name("quantum NIC")
+
+    def test_figure1_models_ordered_simple_first(self):
+        assert FIGURE1_MODELS[0] is SIMPLE_NIC
+
+
+class TestAgainstEthernetReference:
+    def test_achieves_line_rate_consistent_with_throughput(self):
+        for size in (128, 512, 1500):
+            expected = SIMPLE_NIC.throughput_gbps(size) >= (
+                ETHERNET_40G.frame_throughput_gbps(size)
+            )
+            assert SIMPLE_NIC.achieves_line_rate(size) == expected

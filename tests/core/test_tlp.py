@@ -1,0 +1,139 @@
+"""Tests for TLP accounting (header sizes, splitting, wire bytes)."""
+
+import pytest
+
+from repro.core.tlp import (
+    CPLD_HEADER_BYTES,
+    MRD_HEADER_BYTES,
+    MWR_HEADER_BYTES,
+    Tlp,
+    TlpType,
+    split_read_completions,
+    split_read_requests,
+    split_write,
+    tlp_overhead_bytes,
+    total_wire_bytes,
+)
+from repro.errors import ValidationError
+
+
+class TestHeaderSizes:
+    def test_mwr_header_is_24_bytes(self):
+        # 2B framing + 6B DLL + 4B TLP header + 12B MWr header (paper, §3).
+        assert MWR_HEADER_BYTES == 24
+
+    def test_mrd_header_is_24_bytes(self):
+        assert MRD_HEADER_BYTES == 24
+
+    def test_cpld_header_is_20_bytes(self):
+        assert CPLD_HEADER_BYTES == 20
+
+    def test_32bit_addressing_saves_4_bytes(self):
+        assert tlp_overhead_bytes(TlpType.MEMORY_WRITE, addr64=False) == 20
+
+    def test_ecrc_adds_4_bytes(self):
+        assert tlp_overhead_bytes(TlpType.MEMORY_WRITE, ecrc=True) == 28
+
+    def test_completion_overhead_independent_of_addressing(self):
+        assert tlp_overhead_bytes(
+            TlpType.COMPLETION_WITH_DATA, addr64=False
+        ) == tlp_overhead_bytes(TlpType.COMPLETION_WITH_DATA, addr64=True)
+
+
+class TestTlpType:
+    def test_writes_are_posted(self):
+        assert TlpType.MEMORY_WRITE.is_posted
+
+    def test_reads_are_not_posted(self):
+        assert not TlpType.MEMORY_READ.is_posted
+
+    def test_data_carrying_types(self):
+        assert TlpType.MEMORY_WRITE.carries_data
+        assert TlpType.COMPLETION_WITH_DATA.carries_data
+        assert not TlpType.MEMORY_READ.carries_data
+
+
+class TestTlp:
+    def test_wire_bytes_includes_payload(self):
+        tlp = Tlp(TlpType.MEMORY_WRITE, payload_bytes=256)
+        assert tlp.wire_bytes == 256 + 24
+
+    def test_read_request_has_no_payload(self):
+        tlp = Tlp(TlpType.MEMORY_READ)
+        assert tlp.wire_bytes == 24
+
+    def test_payload_on_read_request_rejected(self):
+        with pytest.raises(ValidationError):
+            Tlp(TlpType.MEMORY_READ, payload_bytes=64)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValidationError):
+            Tlp(TlpType.MEMORY_WRITE, payload_bytes=-1)
+
+
+class TestSplitWrite:
+    def test_small_write_single_tlp(self):
+        tlps = split_write(64, 256)
+        assert len(tlps) == 1
+        assert tlps[0].payload_bytes == 64
+
+    def test_large_write_splits_at_mps(self):
+        tlps = split_write(1024, 256)
+        assert len(tlps) == 4
+        assert all(t.payload_bytes == 256 for t in tlps)
+
+    def test_uneven_split_has_remainder(self):
+        tlps = split_write(300, 256)
+        assert [t.payload_bytes for t in tlps] == [256, 44]
+
+    def test_zero_size_yields_no_tlps(self):
+        assert split_write(0, 256) == []
+
+    def test_invalid_mps_rejected(self):
+        with pytest.raises(ValidationError):
+            split_write(64, 0)
+
+
+class TestSplitReadRequests:
+    def test_requests_bounded_by_mrrs(self):
+        assert len(split_read_requests(1024, 512)) == 2
+        assert len(split_read_requests(1025, 512)) == 3
+
+    def test_requests_carry_no_payload(self):
+        for tlp in split_read_requests(2048, 512):
+            assert tlp.payload_bytes == 0
+
+
+class TestSplitReadCompletions:
+    def test_completions_bounded_by_mps(self):
+        tlps = split_read_completions(1024, 256)
+        assert len(tlps) == 4
+        assert sum(t.payload_bytes for t in tlps) == 1024
+
+    def test_aligned_read_minimal_tlps(self):
+        assert len(split_read_completions(512, 256)) == 2
+
+    def test_unaligned_read_generates_extra_tlp(self):
+        aligned = split_read_completions(512, 256, offset=0)
+        unaligned = split_read_completions(512, 256, offset=32)
+        assert len(unaligned) == len(aligned) + 1
+        # First completion only reaches the next RCB.
+        assert unaligned[0].payload_bytes == 32
+
+    def test_unaligned_payload_total_preserved(self):
+        tlps = split_read_completions(777, 256, offset=17)
+        assert sum(t.payload_bytes for t in tlps) == 777
+
+    def test_invalid_rcb_rejected(self):
+        with pytest.raises(ValidationError):
+            split_read_completions(64, 256, rcb=0)
+
+
+class TestTotalWireBytes:
+    def test_sum_matches_equation_1(self):
+        # ceil(sz/MPS) * 24 + sz for a DMA write.
+        tlps = split_write(1000, 256)
+        assert total_wire_bytes(tlps) == 4 * 24 + 1000
+
+    def test_empty_list(self):
+        assert total_wire_bytes([]) == 0

@@ -1,0 +1,92 @@
+"""Tests for the symbolic device/driver transaction sequences."""
+
+import pytest
+
+from repro.core.config import PAPER_DEFAULT_CONFIG
+from repro.core.transactions import (
+    DESCRIPTOR_BYTES,
+    OpKind,
+    Transaction,
+    TransactionSequence,
+    rx_transactions,
+    tx_transactions,
+)
+from repro.errors import ValidationError
+
+CFG = PAPER_DEFAULT_CONFIG
+
+
+class TestTransaction:
+    def test_amortisation_divides_cost(self):
+        full = Transaction(OpKind.DMA_WRITE, 64, 1.0)
+        shared = Transaction(OpKind.DMA_WRITE, 64, 8.0)
+        assert shared.wire_bytes_per_packet(CFG)[0] == pytest.approx(
+            full.wire_bytes_per_packet(CFG)[0] / 8
+        )
+
+    def test_dma_read_costs_both_directions(self):
+        up, down = Transaction(OpKind.DMA_READ, 64).wire_bytes_per_packet(CFG)
+        assert up > 0 and down > 0
+
+    def test_mmio_write_costs_downstream_only(self):
+        up, down = Transaction(OpKind.MMIO_WRITE, 4).wire_bytes_per_packet(CFG)
+        assert up == 0 and down > 0
+
+    def test_invalid_per_packets(self):
+        with pytest.raises(ValidationError):
+            Transaction(OpKind.DMA_READ, 64, 0.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValidationError):
+            Transaction(OpKind.DMA_READ, -4)
+
+
+class TestTxRxSequences:
+    def test_simple_tx_includes_all_five_interactions(self):
+        labels = [t.label for t in tx_transactions(1024)]
+        assert any("doorbell" in label for label in labels)
+        assert any("descriptor" in label for label in labels)
+        assert any("packet" in label for label in labels)
+        assert any("interrupt" in label for label in labels)
+        assert any("pointer" in label for label in labels)
+
+    def test_dpdk_style_tx_drops_interrupt_and_pointer_read(self):
+        transactions = tx_transactions(
+            1024, interrupts_enabled=False, pointer_reads_enabled=False
+        )
+        labels = [t.label for t in transactions]
+        assert not any("interrupt" in label for label in labels)
+        assert not any("pointer" in label for label in labels)
+
+    def test_descriptor_batch_grows_fetch_size(self):
+        batched = tx_transactions(1024, descriptor_batch=40.0)
+        fetch = next(t for t in batched if "descriptor fetch" in t.label)
+        assert fetch.size == DESCRIPTOR_BYTES * 40
+        assert fetch.per_packets == 40.0
+
+    def test_rx_includes_packet_write_and_descriptor_writeback(self):
+        labels = [t.label for t in rx_transactions(512)]
+        assert any("packet delivery" in label for label in labels)
+        assert any("write-back" in label for label in labels)
+
+    def test_invalid_packet_size(self):
+        with pytest.raises(ValidationError):
+            tx_transactions(0)
+        with pytest.raises(ValidationError):
+            rx_transactions(-1)
+
+
+class TestTransactionSequence:
+    def test_per_packet_cost_exceeds_raw_packet_cost(self):
+        sequence = TransactionSequence("tx", tuple(tx_transactions(1024)))
+        up, down = sequence.per_packet_wire_bytes(CFG)
+        # The packet itself is read by the device (downstream completions >
+        # 1024 B) and the extra transactions add more on top.
+        assert down > 1024
+
+    def test_describe_rows_cover_all_transactions(self):
+        transactions = tuple(tx_transactions(256))
+        sequence = TransactionSequence("tx", transactions)
+        rows = sequence.describe(CFG)
+        assert len(rows) == len(transactions)
+        assert all("label" in row for row in rows)

@@ -1,0 +1,80 @@
+"""Tests for the pcie-bench command line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_present(self):
+        parser = build_parser()
+        args = parser.parse_args(["systems"])
+        assert args.command == "systems"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "BW_RD"])
+        assert args.kind == "BW_RD"
+        assert args.size == 64
+        assert args.window == "8K"
+
+    def test_experiment_requires_valid_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "figure-42"])
+
+
+class TestCommands:
+    def test_systems_lists_table1(self, capsys):
+        assert main(["systems"]) == 0
+        out = capsys.readouterr().out
+        assert "NFP6000-HSW" in out and "NetFPGA-HSW" in out
+
+    def test_model_command_prints_series(self, capsys):
+        assert main(["model", "--sizes", "64", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "Effective PCIe BW" in out
+        assert "Simple NIC" in out
+
+    def test_model_command_with_plot(self, capsys):
+        assert main(["model", "--sizes", "64", "256", "512", "--plot"]) == 0
+        assert "legend" in capsys.readouterr().out
+
+    def test_run_bandwidth_benchmark(self, capsys):
+        code = main(
+            ["run", "BW_WR", "--size", "256", "--transactions", "300"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bandwidth (Gb/s)" in out
+
+    def test_run_latency_benchmark(self, capsys):
+        code = main(["run", "LAT_RD", "--size", "64", "--transactions", "300"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "median" in out
+
+    def test_experiment_figure1(self, capsys):
+        assert main(["experiment", "figure-1"]) == 0
+        out = capsys.readouterr().out
+        assert "figure-1" in out and "PASS" in out
+
+    def test_report_writes_markdown(self, tmp_path, capsys, monkeypatch):
+        # Restrict the report to the two analytical experiments to keep the
+        # test fast; the full report is produced by the benchmark harness.
+        from repro.experiments import registry
+
+        quick_modules = (
+            registry.EXPERIMENTS["figure-1"],
+            registry.EXPERIMENTS["table-1"],
+        )
+        monkeypatch.setattr(registry, "_MODULES", quick_modules)
+        output = tmp_path / "EXPERIMENTS.md"
+        assert main(["report", "--output", str(output)]) == 0
+        assert output.exists()
+        assert "figure-1" in output.read_text()
+
+    def test_invalid_run_parameters_return_error_code(self, capsys):
+        code = main(["run", "BW_RD", "--size", "0"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

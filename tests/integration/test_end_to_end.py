@@ -1,0 +1,126 @@
+"""Integration tests spanning model, simulator, benchmarks and experiments.
+
+These tests exercise the library the way a user following the README would:
+build hosts from profiles, run micro-benchmarks, and confirm the headline
+findings of the paper reproduce qualitatively.  Sample counts are kept small
+so the whole suite stays fast; the benchmark harness under ``benchmarks/``
+runs the full-size versions.
+"""
+
+import numpy as np
+import pytest
+
+from repro import PCIeModel, SIMPLE_NIC
+from repro.bench import (
+    BenchmarkParams,
+    BenchmarkRunner,
+    bw_rd,
+    lat_rd,
+)
+from repro.core.ethernet import ETHERNET_40G
+from repro.sim import DmaEngine, HostSystem
+from repro.units import KIB, MIB
+
+
+class TestModelVersusSimulator:
+    def test_simulated_write_bandwidth_tracks_model_at_large_sizes(self):
+        model = PCIeModel.gen3_x8()
+        host = HostSystem.from_profile("NetFPGA-HSW", seed=2)
+        engine = DmaEngine(host)
+        buffer = host.allocate_buffer(8 * KIB, 1024)
+        host.prepare(buffer, "host_warm")
+        measured = engine.measure_bandwidth(buffer, "write", 1500).gbps
+        predicted = model.effective_bandwidth_gbps(1024, kind="write")
+        assert measured == pytest.approx(predicted, rel=0.1)
+
+    def test_simulated_read_bandwidth_below_model_at_small_sizes(self):
+        model = PCIeModel.gen3_x8()
+        measured = bw_rd(64, system="NetFPGA-HSW", transactions=1000).bandwidth_gbps
+        predicted = model.effective_bandwidth_gbps(64, kind="read")
+        assert measured < 0.8 * predicted
+
+    def test_neither_device_sustains_40g_reads_at_64b(self):
+        requirement = ETHERNET_40G.frame_throughput_gbps(64)
+        for system in ("NFP6000-HSW", "NetFPGA-HSW"):
+            measured = bw_rd(64, system=system, transactions=1000).bandwidth_gbps
+            assert measured < requirement
+
+    def test_simple_nic_model_far_below_raw_pcie(self):
+        model = PCIeModel.gen3_x8()
+        assert model.nic_throughput_gbps(SIMPLE_NIC, 64) < (
+            0.6 * model.effective_bandwidth_gbps(64, kind="bidirectional")
+        )
+
+
+class TestHeadlineFindings:
+    def test_cache_residency_speeds_up_small_reads(self):
+        warm = lat_rd(64, cache_state="host_warm", seed=4, transactions=600)
+        cold = lat_rd(64, cache_state="cold", seed=4, transactions=600)
+        discount = cold.latency.median - warm.latency.median
+        assert 40 <= discount <= 110
+
+    def test_iotlb_cliff_at_large_windows(self):
+        runner = BenchmarkRunner()
+        base = BenchmarkParams(
+            kind="BW_RD",
+            transfer_size=64,
+            cache_state="host_warm",
+            system="NFP6000-BDW",
+            transactions=1000,
+        )
+        small_on = runner.run(base.with_(window_size=128 * KIB, iommu_enabled=True))
+        small_off = runner.run(base.with_(window_size=128 * KIB, iommu_enabled=False))
+        large_on = runner.run(base.with_(window_size=16 * MIB, iommu_enabled=True))
+        large_off = runner.run(base.with_(window_size=16 * MIB, iommu_enabled=False))
+        small_change = small_on.bandwidth_gbps / small_off.bandwidth_gbps
+        large_change = large_on.bandwidth_gbps / large_off.bandwidth_gbps
+        assert small_change > 0.9
+        assert large_change < 0.5
+
+    def test_remote_numa_penalty_for_small_reads_only(self):
+        runner = BenchmarkRunner()
+        base = BenchmarkParams(
+            kind="BW_RD",
+            transfer_size=64,
+            window_size=16 * KIB,
+            cache_state="host_warm",
+            system="NFP6000-BDW",
+            transactions=1000,
+        )
+        local_small = runner.run(base.with_(placement="local")).bandwidth_gbps
+        remote_small = runner.run(base.with_(placement="remote")).bandwidth_gbps
+        local_large = runner.run(
+            base.with_(transfer_size=512, placement="local")
+        ).bandwidth_gbps
+        remote_large = runner.run(
+            base.with_(transfer_size=512, placement="remote")
+        ).bandwidth_gbps
+        assert remote_small < 0.95 * local_small
+        assert remote_large > 0.95 * local_large
+
+    def test_e3_latency_distribution_much_worse_than_e5(self):
+        e5 = lat_rd(64, system="NFP6000-HSW", seed=8, transactions=4000)
+        e3 = lat_rd(64, system="NFP6000-HSW-E3", seed=8, transactions=4000)
+        assert e3.latency.median > 1.8 * e5.latency.median
+        assert e3.latency.p99 > 3 * e3.latency.median
+        assert e5.latency.p99 < 1.2 * e5.latency.median
+
+    def test_inflight_dma_sizing_argument(self):
+        # Measured read latency and the 40G packet budget imply tens of
+        # concurrent DMAs, as the paper argues in §2 and §7.
+        result = lat_rd(128, system="NFP6000-HSW", transactions=600)
+        budget = ETHERNET_40G.inter_packet_time_ns(128)
+        inflight = int(np.ceil(result.latency.median / budget))
+        assert 15 <= inflight <= 40
+
+
+class TestReproducibility:
+    def test_same_seed_gives_identical_results(self):
+        a = bw_rd(64, seed=42, transactions=500).bandwidth_gbps
+        b = bw_rd(64, seed=42, transactions=500).bandwidth_gbps
+        assert a == pytest.approx(b)
+
+    def test_different_seeds_give_similar_but_not_identical_results(self):
+        a = lat_rd(64, seed=1, transactions=1000).latency.median
+        b = lat_rd(64, seed=2, transactions=1000).latency.median
+        assert a == pytest.approx(b, rel=0.2)

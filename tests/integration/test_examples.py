@@ -1,0 +1,50 @@
+"""Smoke tests for the example scripts.
+
+The examples double as documentation, so they must at least import cleanly
+and expose a ``main`` entry point; the purely analytical one is executed in
+full (it finishes in well under a second), while the simulation-heavy ones
+are exercised end-to-end by the benchmark harness instead.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesExist:
+    def test_at_least_three_examples_plus_quickstart(self):
+        names = {path.stem for path in EXAMPLE_FILES}
+        assert "quickstart" in names
+        assert len(names) >= 4
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_imports_and_has_main(self, path):
+        module = load_example(path)
+        assert hasattr(module, "main") and callable(module.main)
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_has_module_docstring(self, path):
+        module = load_example(path)
+        assert module.__doc__ and len(module.__doc__.strip()) > 40
+
+
+class TestAnalyticalExampleRuns:
+    def test_nic_design_space_runs_to_completion(self, capsys):
+        module = load_example(EXAMPLES_DIR / "nic_design_space.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "Incremental NIC/driver optimisations" in out
+        assert "100 Gb/s" in out or "100G" in out

@@ -1,0 +1,142 @@
+"""Property-based tests (hypothesis) for the analytical core."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bandwidth import (
+    dma_read_wire_bytes,
+    dma_write_wire_bytes,
+    effective_bidirectional_bandwidth_gbps,
+    effective_read_bandwidth_gbps,
+    effective_write_bandwidth_gbps,
+)
+from repro.core.config import PCIeConfig, VALID_MPS_VALUES, VALID_MRRS_VALUES
+from repro.core.ethernet import EthernetLink
+from repro.core.link import LinkConfig, PCIeGeneration, VALID_LANE_COUNTS
+from repro.core.nic import MODERN_NIC_DPDK, MODERN_NIC_KERNEL, SIMPLE_NIC
+from repro.core.tlp import split_read_completions, split_write
+
+sizes = st.integers(min_value=1, max_value=8192)
+configs = st.builds(
+    PCIeConfig,
+    mps=st.sampled_from(VALID_MPS_VALUES),
+    mrrs=st.sampled_from(VALID_MRRS_VALUES),
+    addr64=st.booleans(),
+    ecrc=st.booleans(),
+)
+
+
+class TestWireByteProperties:
+    @given(size=sizes, config=configs)
+    @settings(max_examples=200)
+    def test_write_wire_bytes_match_equation_1(self, size, config):
+        header = 24 if config.addr64 else 20
+        header += 4 if config.ecrc else 0
+        expected = math.ceil(size / config.mps) * header + size
+        assert dma_write_wire_bytes(size, config).device_to_host == expected
+
+    @given(size=sizes, config=configs)
+    @settings(max_examples=200)
+    def test_read_wire_bytes_cover_payload_plus_headers(self, size, config):
+        wire = dma_read_wire_bytes(size, config)
+        assert wire.host_to_device >= size
+        assert wire.device_to_host >= 20
+        # Larger MRRS never increases the number of request TLPs.
+        assert wire.device_to_host <= math.ceil(size / 128) * 28
+
+    @given(size=sizes, config=configs)
+    @settings(max_examples=200)
+    def test_wire_bytes_monotone_in_size(self, size, config):
+        smaller = dma_write_wire_bytes(size, config).device_to_host
+        larger = dma_write_wire_bytes(size + 1, config).device_to_host
+        assert larger >= smaller + 1
+
+    @given(size=sizes, config=configs)
+    @settings(max_examples=200)
+    def test_tlp_split_preserves_payload(self, size, config):
+        write_tlps = split_write(size, config.mps)
+        completions = split_read_completions(size, config.mps)
+        assert sum(t.payload_bytes for t in write_tlps) == size
+        assert sum(t.payload_bytes for t in completions) == size
+
+    @given(size=sizes, offset=st.integers(min_value=0, max_value=63), config=configs)
+    @settings(max_examples=200)
+    def test_unaligned_completions_never_fewer_tlps(self, size, offset, config):
+        aligned = split_read_completions(size, config.mps, offset=0)
+        unaligned = split_read_completions(size, config.mps, offset=offset)
+        assert len(unaligned) >= len(aligned)
+        assert sum(t.payload_bytes for t in unaligned) == size
+
+
+class TestBandwidthProperties:
+    @given(size=sizes, config=configs)
+    @settings(max_examples=200)
+    def test_effective_bandwidth_positive_and_below_link(self, size, config):
+        for func in (
+            effective_read_bandwidth_gbps,
+            effective_write_bandwidth_gbps,
+            effective_bidirectional_bandwidth_gbps,
+        ):
+            bandwidth = func(size, config)
+            assert 0 < bandwidth < config.tlp_bandwidth_gbps
+
+    @given(size=sizes, config=configs)
+    @settings(max_examples=200)
+    def test_bidirectional_never_exceeds_unidirectional(self, size, config):
+        assert effective_bidirectional_bandwidth_gbps(size, config) <= (
+            min(
+                effective_read_bandwidth_gbps(size, config),
+                effective_write_bandwidth_gbps(size, config),
+            )
+            + 1e-9
+        )
+
+    @given(
+        size=sizes,
+        generation=st.sampled_from(list(PCIeGeneration)),
+        lanes=st.sampled_from(VALID_LANE_COUNTS),
+    )
+    @settings(max_examples=100)
+    def test_bandwidth_scales_with_link_width(self, size, generation, lanes):
+        narrow = PCIeConfig(link=LinkConfig(generation, lanes))
+        if lanes * 2 in VALID_LANE_COUNTS:
+            wide = PCIeConfig(link=LinkConfig(generation, lanes * 2))
+            assert effective_write_bandwidth_gbps(size, wide) > (
+                effective_write_bandwidth_gbps(size, narrow)
+            )
+
+
+class TestNicModelProperties:
+    @given(size=st.integers(min_value=64, max_value=1518))
+    @settings(max_examples=100)
+    def test_optimisation_ordering_holds_everywhere(self, size):
+        simple = SIMPLE_NIC.throughput_gbps(size)
+        kernel = MODERN_NIC_KERNEL.throughput_gbps(size)
+        dpdk = MODERN_NIC_DPDK.throughput_gbps(size)
+        assert simple <= kernel + 1e-9
+        assert kernel <= dpdk + 1e-9
+
+    @given(size=st.integers(min_value=64, max_value=1518))
+    @settings(max_examples=100)
+    def test_nic_throughput_below_raw_pcie(self, size):
+        raw = effective_bidirectional_bandwidth_gbps(size, PCIeConfig())
+        assert SIMPLE_NIC.throughput_gbps(size) <= raw + 1e-9
+
+
+class TestEthernetProperties:
+    @given(
+        size=st.integers(min_value=64, max_value=9000),
+        rate=st.floats(min_value=1.0, max_value=400.0),
+    )
+    @settings(max_examples=200)
+    def test_frame_throughput_below_line_rate(self, size, rate):
+        link = EthernetLink(rate)
+        assert 0 < link.frame_throughput_gbps(size) < rate
+
+    @given(size=st.integers(min_value=64, max_value=9000))
+    @settings(max_examples=100)
+    def test_packet_rate_times_budget_is_one_second(self, size):
+        link = EthernetLink(40.0)
+        product = link.packet_rate_pps(size) * link.inter_packet_time_ns(size)
+        assert math.isclose(product, 1e9, rel_tol=1e-9)

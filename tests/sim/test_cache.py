@@ -1,0 +1,167 @@
+"""Tests for the LLC / DDIO cache models (faithful and statistical)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.sim.cache import (
+    CacheState,
+    SetAssociativeCache,
+    StatisticalCache,
+)
+from repro.sim.rng import SimRng
+from repro.units import KIB, MIB
+
+
+class TestCacheState:
+    def test_from_string(self):
+        assert CacheState.from_value("cold") is CacheState.COLD
+        assert CacheState.from_value("warm") is CacheState.HOST_WARM
+        assert CacheState.from_value("device_warm") is CacheState.DEVICE_WARM
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            CacheState.from_value("lukewarm")
+
+
+class TestSetAssociativeCache:
+    def make(self, **kwargs):
+        defaults = dict(llc_bytes=64 * KIB, ways=8, ddio_fraction=0.25)
+        defaults.update(kwargs)
+        return SetAssociativeCache(**defaults)
+
+    def test_read_miss_then_no_allocation(self):
+        cache = self.make()
+        assert cache.read(0).hit is False
+        # Device reads do not allocate.
+        assert cache.read(0).hit is False
+
+    def test_host_touch_makes_reads_hit(self):
+        cache = self.make()
+        cache.host_touch(7)
+        assert cache.read(7).hit is True
+
+    def test_write_allocates_via_ddio(self):
+        cache = self.make()
+        result = cache.write(11)
+        assert result.hit is False and result.allocated is True
+        assert cache.read(11).hit is True
+
+    def test_ddio_slice_is_fraction_of_llc(self):
+        cache = self.make()
+        assert cache.ddio_bytes == pytest.approx(cache.llc_bytes * 0.25, rel=0.01)
+
+    def test_write_beyond_ddio_ways_evicts_and_writes_back(self):
+        cache = self.make(ways=4, ddio_fraction=0.25)  # 1 DDIO way per set
+        first = 0
+        second = cache.sets  # same set, different line
+        cache.write(first)
+        result = cache.write(second)
+        assert result.writeback_required is True
+        assert cache.read(first).hit is False
+        assert cache.read(second).hit is True
+
+    def test_lru_eviction_within_set(self):
+        cache = self.make(ways=2)
+        lines = [0, cache.sets, 2 * cache.sets]  # all map to set 0
+        cache.host_touch(lines[0])
+        cache.host_touch(lines[1])
+        cache.host_touch(lines[2])  # evicts lines[0]
+        assert cache.read(lines[0]).hit is False
+        assert cache.read(lines[1]).hit is True
+        assert cache.read(lines[2]).hit is True
+
+    def test_thrash_empties_cache(self):
+        cache = self.make()
+        cache.host_touch(1)
+        cache.thrash()
+        assert cache.occupancy() == 0
+        assert cache.read(1).hit is False
+
+    def test_prepare_host_warm(self):
+        cache = self.make()
+        cache.prepare(CacheState.HOST_WARM, window_lines=100)
+        hits = sum(cache.read(line).hit for line in range(100))
+        assert hits == 100
+
+    def test_prepare_cold(self):
+        cache = self.make()
+        cache.prepare(CacheState.COLD, window_lines=100)
+        assert not cache.read(5).hit
+
+    def test_prepare_device_warm_limited_to_ddio(self):
+        cache = self.make(ways=8, ddio_fraction=0.25)
+        window = cache.sets * 8  # as many lines as the whole cache
+        cache.prepare(CacheState.DEVICE_WARM, window_lines=window)
+        hits = sum(cache.read(line).hit for line in range(window))
+        # Only roughly the DDIO share of the window can be resident.
+        assert hits <= window * 0.3
+
+    def test_stats_track_hits_and_misses(self):
+        cache = self.make()
+        cache.host_touch(0)
+        cache.read(0)
+        cache.read(1)
+        assert cache.stats.read_hits == 1
+        assert cache.stats.read_misses == 1
+        assert cache.stats.read_hit_rate == pytest.approx(0.5)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValidationError):
+            SetAssociativeCache(0)
+        with pytest.raises(ValidationError):
+            SetAssociativeCache(64 * KIB, ways=0)
+        with pytest.raises(ValidationError):
+            SetAssociativeCache(64 * KIB, ddio_fraction=0.0)
+
+
+class TestStatisticalCache:
+    def make(self, **kwargs):
+        defaults = dict(llc_bytes=15 * MIB, ddio_fraction=0.1, rng=SimRng(1))
+        defaults.update(kwargs)
+        return StatisticalCache(**defaults)
+
+    def test_host_warm_small_window_always_hits(self):
+        cache = self.make()
+        cache.prepare(CacheState.HOST_WARM, window_lines=128)
+        assert all(cache.read(i).hit for i in range(200))
+
+    def test_cold_never_hits_reads(self):
+        cache = self.make()
+        cache.prepare(CacheState.COLD, window_lines=128)
+        assert not any(cache.read(i).hit for i in range(200))
+
+    def test_host_warm_large_window_hits_proportionally(self):
+        cache = self.make()
+        llc_lines = cache.llc_lines
+        cache.prepare(CacheState.HOST_WARM, window_lines=4 * llc_lines)
+        hits = sum(cache.read(i).hit for i in range(4000))
+        assert 0.15 <= hits / 4000 <= 0.35  # about 25% resident
+
+    def test_device_warm_limited_to_ddio_slice(self):
+        cache = self.make()
+        window = cache.llc_lines  # fits LLC but far exceeds the DDIO slice
+        cache.prepare(CacheState.DEVICE_WARM, window_lines=window)
+        assert cache.resident_fraction == pytest.approx(
+            cache.ddio_lines / window, rel=0.01
+        )
+
+    def test_writes_within_ddio_need_no_writeback(self):
+        cache = self.make()
+        cache.prepare(CacheState.COLD, window_lines=cache.ddio_lines // 2)
+        results = [cache.write(i) for i in range(500)]
+        assert not any(r.writeback_required for r in results)
+
+    def test_writes_beyond_ddio_mostly_write_back(self):
+        cache = self.make()
+        cache.prepare(CacheState.COLD, window_lines=cache.ddio_lines * 50)
+        results = [cache.write(i) for i in range(500)]
+        writebacks = sum(r.writeback_required for r in results)
+        assert writebacks > 400
+
+    def test_prepare_requires_positive_window(self):
+        with pytest.raises(ValidationError):
+            self.make().prepare(CacheState.COLD, window_lines=0)
+
+    def test_invalid_capacity_fraction(self):
+        with pytest.raises(ValidationError):
+            StatisticalCache(15 * MIB, effective_capacity_fraction=0.0)

@@ -1,0 +1,153 @@
+"""Tests for device models and the Table 1 system profiles."""
+
+import pytest
+
+from repro.errors import UnknownProfileError, ValidationError
+from repro.sim.devices import (
+    DEVICE_REGISTRY,
+    EXANIC,
+    NETFPGA,
+    NFP6000,
+    DmaEngineSpec,
+    ExaNicModel,
+    get_device,
+)
+from repro.sim.noise import HeavyTailNoise, TightNoise
+from repro.sim.profiles import (
+    NFP6000_BDW,
+    NFP6000_HSW,
+    NFP6000_HSW_E3,
+    TABLE1_PROFILES,
+    get_profile,
+    profile_names,
+)
+from repro.units import MIB
+
+
+class TestDeviceModels:
+    def test_registry_contains_both_benchmark_devices(self):
+        assert set(DEVICE_REGISTRY) == {"nfp6000", "netfpga"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_device("NFP6000") is NFP6000
+        assert get_device("netfpga") is NETFPGA
+
+    def test_unknown_device(self):
+        with pytest.raises(ValidationError):
+            get_device("connectx")
+
+    def test_nfp_pays_descriptor_enqueue_overhead(self):
+        # §6.1: ~100 ns fixed offset attributed to DMA descriptor enqueue.
+        assert NFP6000.engine.issue_overhead_ns > NETFPGA.engine.issue_overhead_ns + 50
+
+    def test_nfp_staging_grows_with_size(self):
+        assert NFP6000.staging_latency_ns(2048) > NFP6000.staging_latency_ns(64)
+        assert NETFPGA.staging_latency_ns(2048) == 0.0
+
+    def test_nfp_has_command_interface_netfpga_does_not(self):
+        assert NFP6000.engine.has_command_interface
+        assert not NETFPGA.engine.has_command_interface
+
+    def test_timestamp_quantisation(self):
+        # The NFP timestamp counter ticks every 19.2 ns.
+        assert NFP6000.quantise(547.0) % 19.2 == pytest.approx(0.0, abs=1e-9)
+        assert NETFPGA.quantise(547.0) % 4.0 == pytest.approx(0.0, abs=1e-9)
+
+    def test_with_engine_creates_variant(self):
+        variant = NFP6000.with_engine(max_inflight=64)
+        assert variant.engine.max_inflight == 64
+        assert NFP6000.engine.max_inflight != 64
+
+    def test_invalid_engine_spec(self):
+        with pytest.raises(ValidationError):
+            DmaEngineSpec(max_inflight=0)
+        with pytest.raises(ValidationError):
+            DmaEngineSpec(issue_interval_ns=-1)
+
+    def test_staging_negative_size_rejected(self):
+        with pytest.raises(ValidationError):
+            NFP6000.staging_latency_ns(-1)
+
+
+class TestExaNic:
+    def test_128b_round_trip_near_one_microsecond(self):
+        assert EXANIC.total_latency_ns(128) == pytest.approx(1000.0, rel=0.15)
+
+    def test_pcie_contribution_dominates(self):
+        for size in (0, 128, 750, 1500):
+            assert EXANIC.pcie_fraction(size) >= 0.7
+
+    def test_pcie_share_falls_with_size(self):
+        assert EXANIC.pcie_fraction(1500) < EXANIC.pcie_fraction(64)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            ExaNicModel(pcie_base_ns=-1)
+        with pytest.raises(ValidationError):
+            EXANIC.total_latency_ns(-5)
+
+
+class TestProfiles:
+    def test_all_six_table1_systems_present(self):
+        assert len(TABLE1_PROFILES) == 6
+        assert profile_names() == [
+            "NFP6000-BDW",
+            "NetFPGA-HSW",
+            "NFP6000-HSW",
+            "NFP6000-HSW-E3",
+            "NFP6000-IB",
+            "NFP6000-SNB",
+        ]
+
+    def test_lookup_case_insensitive(self):
+        assert get_profile("nfp6000-hsw") is NFP6000_HSW
+
+    def test_unknown_profile_error_lists_known(self):
+        with pytest.raises(UnknownProfileError) as excinfo:
+            get_profile("NFP6000-ARM")
+        assert "NFP6000-HSW" in str(excinfo.value)
+
+    def test_only_broadwell_has_25mib_llc(self):
+        assert NFP6000_BDW.llc_bytes == 25 * MIB
+        others = [p for p in TABLE1_PROFILES if p.name != "NFP6000-BDW"]
+        assert all(p.llc_bytes == 15 * MIB for p in others)
+
+    def test_numa_systems_are_bdw_and_ib(self):
+        numa_names = {p.name for p in TABLE1_PROFILES if p.is_numa}
+        assert numa_names == {"NFP6000-BDW", "NFP6000-IB"}
+
+    def test_e3_uses_heavy_tail_noise_e5_tight(self):
+        assert isinstance(NFP6000_HSW_E3.noise, HeavyTailNoise)
+        assert isinstance(NFP6000_HSW.noise, TightNoise)
+
+    def test_e3_has_slower_ingress(self):
+        assert NFP6000_HSW_E3.per_tlp_ingress_ns > 5 * NFP6000_HSW.per_tlp_ingress_ns
+
+    def test_profiles_map_to_registered_devices(self):
+        for profile in TABLE1_PROFILES:
+            assert profile.device().name in ("NFP6000", "NetFPGA")
+
+    def test_root_complex_config_copies_constants(self):
+        config = NFP6000_HSW.root_complex_config()
+        assert config.base_read_ns == NFP6000_HSW.base_read_ns
+        assert config.per_tlp_ingress_ns == NFP6000_HSW.per_tlp_ingress_ns
+
+    def test_table1_row_formatting(self):
+        row = NFP6000_BDW.table1_row()
+        assert row["NUMA"] == "2-way"
+        assert row["LLC"] == "25MB"
+        assert "Broadwell" in row["Architecture"]
+
+    def test_with_creates_variant_without_mutation(self):
+        variant = NFP6000_HSW.with_(base_read_ns=999.0)
+        assert variant.base_read_ns == 999.0
+        assert NFP6000_HSW.base_read_ns != 999.0
+
+    def test_ddio_bytes_is_10_percent(self):
+        assert NFP6000_HSW.ddio_bytes == pytest.approx(1.5 * MIB, rel=0.01)
+
+    def test_invalid_profile_values(self):
+        with pytest.raises(ValidationError):
+            NFP6000_HSW.with_(sockets=0)
+        with pytest.raises(ValidationError):
+            NFP6000_HSW.with_(ddio_fraction=0.0)

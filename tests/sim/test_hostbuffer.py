@@ -1,0 +1,122 @@
+"""Tests for the Figure 3 host-buffer layout and access-pattern generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.sim.hostbuffer import AccessPattern, HostBuffer
+from repro.sim.rng import SimRng
+from repro.units import CACHELINE_BYTES, KIB, MIB
+
+
+class TestUnitLayout:
+    def test_aligned_unit_is_transfer_rounded_to_cacheline(self):
+        buffer = HostBuffer(window_size=8 * KIB, transfer_size=64)
+        assert buffer.unit_size == 64
+        assert buffer.unit_count == 128
+
+    def test_sub_cacheline_transfer_still_uses_whole_line(self):
+        buffer = HostBuffer(window_size=4 * KIB, transfer_size=8)
+        assert buffer.unit_size == CACHELINE_BYTES
+        assert buffer.cachelines_per_unit == 1
+
+    def test_offset_grows_unit(self):
+        # Figure 3: unit = offset + transfer size rounded up to a cache line,
+        # so every DMA touches the same number of lines.
+        buffer = HostBuffer(window_size=8 * KIB, transfer_size=64, offset=32)
+        assert buffer.unit_size == 128
+        assert buffer.cachelines_per_unit == 2
+
+    def test_window_cachelines(self):
+        buffer = HostBuffer(window_size=8 * KIB, transfer_size=128)
+        assert buffer.window_cachelines == buffer.unit_count * 2
+
+    def test_unit_addresses_include_offset(self):
+        buffer = HostBuffer(window_size=8 * KIB, transfer_size=64, offset=16)
+        assert buffer.unit_address(0) == 16
+        assert buffer.unit_address(1) == buffer.unit_size + 16
+
+    def test_unit_address_out_of_range(self):
+        buffer = HostBuffer(window_size=4 * KIB, transfer_size=64)
+        with pytest.raises(ValidationError):
+            buffer.unit_address(buffer.unit_count)
+
+    def test_window_pages_4k(self):
+        buffer = HostBuffer(window_size=1 * MIB, transfer_size=64)
+        assert buffer.window_pages == 256
+
+    def test_window_pages_superpage(self):
+        buffer = HostBuffer(window_size=4 * MIB, transfer_size=64, page_size=2 * MIB)
+        assert buffer.window_pages == 2
+
+    def test_describe_contains_layout_fields(self):
+        info = HostBuffer(window_size=8 * KIB, transfer_size=64).describe()
+        for key in ("window_size", "unit_size", "unit_count", "window_pages"):
+            assert key in info
+
+
+class TestValidation:
+    def test_window_must_hold_one_unit(self):
+        with pytest.raises(ValidationError):
+            HostBuffer(window_size=64, transfer_size=128)
+
+    def test_offset_bounds(self):
+        with pytest.raises(ValidationError):
+            HostBuffer(window_size=4 * KIB, transfer_size=64, offset=64)
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValidationError):
+            HostBuffer(window_size=-1, transfer_size=64)
+        with pytest.raises(ValidationError):
+            HostBuffer(window_size=4 * KIB, transfer_size=0)
+
+    def test_page_size_must_be_cacheline_multiple(self):
+        with pytest.raises(ValidationError):
+            HostBuffer(window_size=4 * KIB, transfer_size=64, page_size=1000)
+
+    def test_total_size_must_cover_window(self):
+        with pytest.raises(ValidationError):
+            HostBuffer(window_size=8 * KIB, transfer_size=64, total_size=4 * KIB)
+
+
+class TestAccessStreams:
+    def test_random_addresses_within_window(self):
+        buffer = HostBuffer(window_size=64 * KIB, transfer_size=64)
+        addresses = buffer.access_addresses(5000, "random", SimRng(1))
+        assert addresses.min() >= 0
+        assert addresses.max() + 64 <= 64 * KIB
+
+    def test_random_addresses_are_unit_aligned(self):
+        buffer = HostBuffer(window_size=64 * KIB, transfer_size=192, offset=8)
+        addresses = buffer.access_addresses(1000, "random", SimRng(1))
+        assert ((addresses - 8) % buffer.unit_size == 0).all()
+
+    def test_sequential_pattern_wraps(self):
+        buffer = HostBuffer(window_size=4 * KIB, transfer_size=64)
+        addresses = buffer.access_addresses(buffer.unit_count + 3, "sequential")
+        assert addresses[0] == addresses[buffer.unit_count]
+
+    def test_random_covers_most_units(self):
+        buffer = HostBuffer(window_size=8 * KIB, transfer_size=64)
+        addresses = buffer.access_addresses(5000, AccessPattern.RANDOM, SimRng(3))
+        units_seen = len(set(addresses.tolist()))
+        assert units_seen > 0.9 * buffer.unit_count
+
+    def test_zero_count(self):
+        buffer = HostBuffer(window_size=4 * KIB, transfer_size=64)
+        assert buffer.access_addresses(0).size == 0
+
+    def test_negative_count_rejected(self):
+        buffer = HostBuffer(window_size=4 * KIB, transfer_size=64)
+        with pytest.raises(ValidationError):
+            buffer.access_addresses(-1)
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValidationError):
+            AccessPattern.from_value("zigzag")
+
+    def test_reproducible_with_same_seed(self):
+        buffer = HostBuffer(window_size=64 * KIB, transfer_size=64)
+        a = buffer.access_addresses(100, "random", SimRng(9))
+        b = buffer.access_addresses(100, "random", SimRng(9))
+        assert np.array_equal(a, b)

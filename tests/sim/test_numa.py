@@ -1,0 +1,75 @@
+"""Tests for the NUMA topology model."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.sim.numa import NumaNode, NumaTopology
+
+
+class TestTopologies:
+    def test_single_socket_is_not_numa(self):
+        topo = NumaTopology.single_socket()
+        assert topo.node_count == 1
+        assert not topo.is_numa
+
+    def test_dual_socket_is_numa(self):
+        topo = NumaTopology.dual_socket()
+        assert topo.node_count == 2
+        assert topo.is_numa
+
+    def test_device_node_must_exist(self):
+        with pytest.raises(ValidationError):
+            NumaTopology(nodes=(NumaNode(0),), device_node=3)
+
+    def test_duplicate_node_ids_rejected(self):
+        with pytest.raises(ValidationError):
+            NumaTopology(nodes=(NumaNode(0), NumaNode(0)))
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(ValidationError):
+            NumaTopology(nodes=())
+
+    def test_invalid_remote_factor(self):
+        with pytest.raises(ValidationError):
+            NumaTopology.dual_socket().__class__(
+                nodes=(NumaNode(0), NumaNode(1)), remote_bandwidth_factor=0.0
+            )
+
+
+class TestLocality:
+    def test_local_access_has_no_penalty(self):
+        topo = NumaTopology.dual_socket(remote_penalty_ns=100.0)
+        assert topo.is_local(0)
+        assert topo.access_penalty_ns(0) == 0.0
+
+    def test_remote_access_pays_the_interconnect(self):
+        topo = NumaTopology.dual_socket(remote_penalty_ns=100.0)
+        assert not topo.is_local(1)
+        assert topo.access_penalty_ns(1) == 100.0
+
+    def test_remote_node_lookup(self):
+        topo = NumaTopology.dual_socket()
+        assert topo.remote_node() == 1
+
+    def test_remote_node_unavailable_on_single_socket(self):
+        with pytest.raises(ValidationError):
+            NumaTopology.single_socket().remote_node()
+
+    def test_unknown_node_rejected(self):
+        topo = NumaTopology.dual_socket()
+        with pytest.raises(ValidationError):
+            topo.access_penalty_ns(5)
+
+    def test_default_penalty_matches_paper(self):
+        # §6.4: remote accesses add a constant ~100 ns.
+        assert NumaTopology.dual_socket().remote_penalty_ns == pytest.approx(100.0)
+
+
+class TestNumaNode:
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValidationError):
+            NumaNode(-1)
+
+    def test_zero_memory_rejected(self):
+        with pytest.raises(ValidationError):
+            NumaNode(0, memory_bytes=0)
