@@ -2,13 +2,14 @@
 
 from .ascii_plot import ascii_plot
 from .report import experiments_markdown, summary_line, write_experiments_markdown
-from .table import format_series_table, format_table
+from .table import format_nicsim_summary, format_series_table, format_table
 
 __all__ = [
     "ascii_plot",
     "experiments_markdown",
     "summary_line",
     "write_experiments_markdown",
+    "format_nicsim_summary",
     "format_series_table",
     "format_table",
 ]

@@ -66,6 +66,61 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_nicsim_summary(
+    records: Sequence[dict],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render NIC datapath simulation results as a per-direction table.
+
+    ``records`` are :meth:`repro.sim.nicsim.NicSimResult.as_dict` outputs
+    (plain dictionaries, so this module stays independent of the simulator).
+    Each active direction becomes one row with throughput, drop, ring
+    occupancy and latency-percentile columns.
+    """
+    if not records:
+        raise AnalysisError("no simulation results to format")
+    headers = [
+        "model",
+        "workload",
+        "dir",
+        "Gb/s",
+        "pkts/s",
+        "delivered",
+        "drops",
+        "ring mean",
+        "ring max",
+        "p50 (ns)",
+        "p99 (ns)",
+        "p99.9 (ns)",
+    ]
+    rows = []
+    for record in records:
+        for direction in ("tx", "rx"):
+            path = record.get(direction)
+            if path is None:
+                continue
+            ring = path["ring"]
+            latency = path.get("latency_ns") or {}
+            rows.append(
+                [
+                    record["model"],
+                    record["workload"],
+                    direction.upper(),
+                    path["throughput_gbps"],
+                    path["packet_rate_pps"],
+                    path["delivered_packets"],
+                    path["drops"],
+                    ring["mean_occupancy"],
+                    ring["max_occupancy"],
+                    latency.get("median", "-"),
+                    latency.get("p99", "-"),
+                    latency.get("p99.9", "-"),
+                ]
+            )
+    return format_table(headers, rows, title=title, float_format="{:.1f}")
+
+
 def format_series_table(
     series: dict[str, list[tuple[float, float]]],
     *,

@@ -2,6 +2,7 @@
 
 from .bandwidth import bw_rd, bw_rdwr, bw_wr, run_bandwidth_benchmark
 from .latency import lat_rd, lat_wrrd, run_latency_benchmark
+from .nicsim import NICSIM_KIND, NicSimParams, run_nicsim_benchmark
 from .params import (
     COMMON_TRANSFER_SIZES,
     DEFAULT_BANDWIDTH_TRANSACTIONS,
@@ -29,6 +30,9 @@ __all__ = [
     "lat_rd",
     "lat_wrrd",
     "run_latency_benchmark",
+    "NICSIM_KIND",
+    "NicSimParams",
+    "run_nicsim_benchmark",
     "COMMON_TRANSFER_SIZES",
     "DEFAULT_BANDWIDTH_TRANSACTIONS",
     "DEFAULT_LATENCY_SAMPLES",

@@ -1,0 +1,137 @@
+"""NIC datapath simulation as a first-class benchmark.
+
+:class:`NicSimParams` plays the role :class:`~repro.bench.params.BenchmarkParams`
+plays for the pcie-bench micro-benchmarks: a frozen, validated, serialisable
+description of one run — NIC/driver model, traffic workload, offered load,
+ring depth — that the :class:`~repro.bench.runner.BenchmarkRunner` can
+execute alongside the classic ``LAT_*``/``BW_*`` kinds and that sweeps can
+derive variants from with :meth:`NicSimParams.with_`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.nic import model_by_name
+from ..errors import ValidationError
+from ..sim.nicsim import NicSimResult, simulate_nic
+from ..workloads import workload_names
+
+#: The ``kind`` tag used in labels and serialised records, mirroring the
+#: ``BenchmarkKind`` values of the classic micro-benchmarks.
+NICSIM_KIND = "NICSIM"
+
+
+@dataclass(frozen=True)
+class NicSimParams:
+    """Complete description of one NIC datapath simulation run.
+
+    Attributes:
+        model: NIC/driver model name (``"simple"``, ``"kernel"``,
+            ``"dpdk"`` or a full Figure 1 model name).
+        workload: named traffic workload (see :mod:`repro.workloads`).
+        packet_size: frame size for the fixed-size workload families.
+        offered_load_gbps: offered load per direction; ``None`` saturates.
+        packets: packets simulated per direction.
+        ring_depth: descriptor ring depth per direction.
+        duplex: full-duplex (TX and RX) or TX-only traffic.
+        rx_backpressure: stall instead of dropping when the RX ring fills.
+        seed: workload RNG seed (``None`` uses the library default).
+    """
+
+    model: str = "Simple NIC"
+    workload: str = "fixed"
+    packet_size: int = 1024
+    offered_load_gbps: float | None = None
+    packets: int = 4000
+    ring_depth: int = 512
+    duplex: bool = True
+    rx_backpressure: bool = False
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        # Normalise aliases ("dpdk") to the canonical model name and fail
+        # fast on unknown models/workloads, as BenchmarkParams does.
+        object.__setattr__(self, "model", model_by_name(self.model).name)
+        key = self.workload.strip().lower()
+        if key not in workload_names():
+            raise ValidationError(
+                f"unknown workload {self.workload!r}; known workloads: "
+                + ", ".join(workload_names())
+            )
+        object.__setattr__(self, "workload", key)
+        if self.packet_size <= 0:
+            raise ValidationError(
+                f"packet_size must be positive, got {self.packet_size}"
+            )
+        if self.offered_load_gbps is not None and self.offered_load_gbps <= 0:
+            raise ValidationError(
+                f"offered_load_gbps must be positive, got {self.offered_load_gbps}"
+            )
+        if self.packets <= 0:
+            raise ValidationError(f"packets must be positive, got {self.packets}")
+        if self.ring_depth <= 0:
+            raise ValidationError(
+                f"ring_depth must be positive, got {self.ring_depth}"
+            )
+
+    @property
+    def kind(self) -> str:
+        """Benchmark kind tag (always ``"NICSIM"``)."""
+        return NICSIM_KIND
+
+    def with_(self, **changes: object) -> "NicSimParams":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    def label(self) -> str:
+        """Compact human-readable description used in logs and reports."""
+        parts = [NICSIM_KIND, self.model, self.workload]
+        if self.workload in ("fixed", "poisson", "bursty"):
+            parts.append(f"{self.packet_size}B")
+        parts.append(
+            "saturating"
+            if self.offered_load_gbps is None
+            else f"{self.offered_load_gbps:g}Gb/s"
+        )
+        parts.append(f"ring={self.ring_depth}")
+        if not self.duplex:
+            parts.append("tx-only")
+        return " ".join(parts)
+
+    def as_dict(self) -> dict[str, object]:
+        """Serialisable representation of the parameters."""
+        return {
+            "kind": NICSIM_KIND,
+            "model": self.model,
+            "workload": self.workload,
+            "packet_size": self.packet_size,
+            "offered_load_gbps": self.offered_load_gbps,
+            "packets": self.packets,
+            "ring_depth": self.ring_depth,
+            "duplex": self.duplex,
+            "rx_backpressure": self.rx_backpressure,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "NicSimParams":
+        """Rebuild parameters from :meth:`as_dict` output."""
+        known = {f.name for f in cls.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+        kwargs = {key: value for key, value in data.items() if key in known}
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+
+def run_nicsim_benchmark(params: NicSimParams) -> NicSimResult:
+    """Run one NIC datapath simulation as described by ``params``."""
+    return simulate_nic(
+        params.model,
+        params.workload,
+        packets=params.packets,
+        packet_size=params.packet_size,
+        load_gbps=params.offered_load_gbps,
+        duplex=params.duplex,
+        ring_depth=params.ring_depth,
+        rx_backpressure=params.rx_backpressure,
+        seed=params.seed,
+    )

@@ -18,6 +18,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..errors import AnalysisError, ValidationError
+from ..sim.nicsim import NicSimResult
 from .params import BenchmarkParams
 from .stats import LatencyStats
 
@@ -120,23 +121,39 @@ def _optional_float(value: object) -> float | None:
 
 
 def save_results_json(
-    results: Sequence[BenchmarkResult],
+    results: Sequence["BenchmarkResult | NicSimResult"],
     path: str | Path,
     *,
     include_samples: bool = False,
 ) -> None:
-    """Write results to a JSON file."""
-    records = [result.as_dict(include_samples=include_samples) for result in results]
+    """Write results to a JSON file (micro-benchmark and/or simulation)."""
+    records = [
+        result.as_dict(include_samples=include_samples)
+        if isinstance(result, BenchmarkResult)
+        else result.as_dict()
+        for result in results
+    ]
     Path(path).write_text(json.dumps(records, indent=2))
 
 
-def load_results_json(path: str | Path) -> list[BenchmarkResult]:
-    """Read results back from :func:`save_results_json` output."""
+def load_results_json(path: str | Path) -> list["BenchmarkResult | NicSimResult"]:
+    """Read results back from saved JSON.
+
+    Handles both plain micro-benchmark files and mixed files written by
+    :meth:`repro.bench.runner.BenchmarkRunner.save`: records tagged
+    ``"kind": "NICSIM"`` are rebuilt as
+    :class:`~repro.sim.nicsim.NicSimResult`.
+    """
     text = Path(path).read_text()
     records = json.loads(text)
     if not isinstance(records, list):
         raise AnalysisError(f"expected a list of results in {path}")
-    return [BenchmarkResult.from_dict(record) for record in records]
+    return [
+        NicSimResult.from_dict(record)
+        if record.get("kind") == "NICSIM"
+        else BenchmarkResult.from_dict(record)
+        for record in records
+    ]
 
 
 def save_results_csv(results: Sequence[BenchmarkResult], path: str | Path) -> None:

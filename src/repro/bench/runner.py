@@ -2,24 +2,34 @@
 
 The NFP control program of §5.4 runs individual tests or a full suite of
 roughly 2500 tests (about four hours on hardware).  :class:`BenchmarkRunner`
-plays that role here: it executes lists of :class:`BenchmarkParams`, reuses
-host systems across runs on the same configuration, supports parameter
-sweeps, and can persist results for later analysis.
+plays that role here: it executes lists of :class:`BenchmarkParams` (and
+:class:`~repro.bench.nicsim.NicSimParams` datapath simulations), reuses host
+systems across runs on the same configuration, supports parameter sweeps,
+can fan independent parameter sets out over a process pool, and can persist
+results for later analysis.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
-from ..errors import BenchmarkError
+from ..errors import BenchmarkError, ValidationError
 from ..sim.dma import DmaEngine
 from ..sim.host import HostSystem
+from ..sim.nicsim import NicSimResult
 from .bandwidth import run_bandwidth_benchmark
 from .latency import run_latency_benchmark
+from .nicsim import NicSimParams, run_nicsim_benchmark
 from .params import BenchmarkKind, BenchmarkParams, WINDOW_SWEEP
 from .results import BenchmarkResult, save_results_csv, save_results_json
+
+#: Anything the runner can execute.
+RunnableParams = BenchmarkParams | NicSimParams
+#: Anything the runner can produce.
+RunnerResult = BenchmarkResult | NicSimResult
 
 
 @dataclass
@@ -30,10 +40,12 @@ class BenchmarkRunner:
         keep_samples: attach raw latency samples to latency results.
         progress: optional callback invoked as ``progress(index, total,
             params)`` before each run (used by the CLI for status output).
+            With parallel execution it fires as runs complete, with a
+            running completion count as the index.
     """
 
     keep_samples: bool = False
-    progress: Callable[[int, int, BenchmarkParams], None] | None = None
+    progress: Callable[[int, int, RunnableParams], None] | None = None
     _hosts: dict[tuple[str, bool, int, object], HostSystem] = field(
         default_factory=dict, repr=False
     )
@@ -41,16 +53,12 @@ class BenchmarkRunner:
     def host_for(self, params: BenchmarkParams) -> HostSystem:
         """Host system for a parameter set, building it on first use.
 
-        Hosts are keyed by (system, IOMMU state, page size, seed) so sweeps
-        over window or transfer size share one host the way a real suite
-        shares one machine.
+        Hosts are keyed by (system, IOMMU state, page size, seed) so
+        repeated ``run`` calls on the same configuration share one host the
+        way an interactive session shares one machine.  (``run_all``
+        deliberately bypasses this cache; see its docstring.)
         """
-        key = (
-            params.system.lower(),
-            params.iommu_enabled,
-            params.iommu_page_size,
-            params.seed,
-        )
+        key = _host_key(params)
         if key not in self._hosts:
             seed_kwargs = {} if params.seed is None else {"seed": params.seed}
             self._hosts[key] = HostSystem.from_profile(
@@ -61,8 +69,10 @@ class BenchmarkRunner:
             )
         return self._hosts[key]
 
-    def run(self, params: BenchmarkParams) -> BenchmarkResult:
-        """Run a single benchmark."""
+    def run(self, params: RunnableParams) -> RunnerResult:
+        """Run a single benchmark (micro-benchmark or datapath simulation)."""
+        if isinstance(params, NicSimParams):
+            return run_nicsim_benchmark(params)
         host = self.host_for(params)
         engine = DmaEngine(host)
         if params.kind.is_latency:
@@ -71,15 +81,62 @@ class BenchmarkRunner:
             )
         return run_bandwidth_benchmark(params, host=host, engine=engine)
 
-    def run_all(self, params_list: Sequence[BenchmarkParams]) -> list[BenchmarkResult]:
-        """Run a list of benchmarks in order."""
-        results = []
+    def run_all(
+        self,
+        params_list: Sequence[RunnableParams],
+        *,
+        jobs: int | None = None,
+    ) -> list[RunnerResult]:
+        """Run a list of benchmarks, optionally over a process pool.
+
+        ``run_all`` executes every parameter set in *isolation*: each run
+        gets a freshly built host, so its result depends only on its own
+        parameters (and seed), never on its position in the list.  That is
+        what makes the parameter sets independent and lets ``jobs`` fan
+        them out over worker processes with results identical — same
+        ordering, equal values — to the serial path.  (``run`` by contrast
+        reuses cached hosts across calls, the way an interactive session
+        on one machine would.)
+
+        Args:
+            params_list: the benchmarks to run.
+            jobs: worker process count; ``None`` or 1 runs serially.
+        """
+        if jobs is not None and jobs <= 0:
+            raise ValidationError(f"jobs must be positive, got {jobs}")
         total = len(params_list)
-        for index, params in enumerate(params_list):
-            if self.progress is not None:
-                self.progress(index, total, params)
-            results.append(self.run(params))
-        return results
+        if jobs is None or jobs == 1 or total <= 1:
+            results = []
+            for index, params in enumerate(params_list):
+                if self.progress is not None:
+                    self.progress(index, total, params)
+                results.append(_run_isolated(self.keep_samples, params))
+            return results
+
+        chunk_size = max(1, -(-total // (jobs * 4)))
+        indexed = list(enumerate(params_list))
+        chunks = [
+            indexed[start : start + chunk_size]
+            for start in range(0, total, chunk_size)
+        ]
+        ordered: list[RunnerResult | None] = [None] * total
+        completed = 0
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(
+                    _run_chunk, self.keep_samples, [params for _, params in chunk]
+                ): chunk
+                for chunk in chunks
+            }
+            for future in as_completed(futures):
+                chunk = futures[future]
+                for (index, params), result in zip(chunk, future.result()):
+                    ordered[index] = result
+                    if self.progress is not None:
+                        self.progress(completed, total, params)
+                        completed += 1
+        assert all(result is not None for result in ordered)
+        return list(ordered)  # type: ignore[arg-type]
 
     # -- sweeps -------------------------------------------------------------------
 
@@ -105,18 +162,58 @@ class BenchmarkRunner:
 
     @staticmethod
     def save(
-        results: Sequence[BenchmarkResult],
+        results: Sequence[RunnerResult],
         path: str | Path,
         *,
         fmt: str = "json",
     ) -> None:
-        """Persist results as JSON or CSV depending on ``fmt``."""
+        """Persist results as JSON or CSV depending on ``fmt``.
+
+        JSON accepts any mix of micro-benchmark and datapath-simulation
+        results; the flat CSV schema is keyed on micro-benchmark parameters
+        and rejects simulation results.
+        """
         if fmt == "json":
             save_results_json(results, path)
         elif fmt == "csv":
-            save_results_csv(results, path)
+            if any(isinstance(result, NicSimResult) for result in results):
+                raise BenchmarkError(
+                    "CSV export supports micro-benchmark results only; "
+                    "save NIC datapath simulations as JSON"
+                )
+            save_results_csv(results, path)  # type: ignore[arg-type]
         else:
             raise BenchmarkError(f"unknown result format {fmt!r} (use 'json' or 'csv')")
+
+
+def _host_key(params: BenchmarkParams) -> tuple[str, bool, int, object]:
+    """The host-sharing key: system, IOMMU state, page size and seed."""
+    return (
+        params.system.lower(),
+        params.iommu_enabled,
+        params.iommu_page_size,
+        params.seed,
+    )
+
+
+def _run_isolated(keep_samples: bool, params: RunnableParams) -> RunnerResult:
+    """Run one parameter set on a freshly built host.
+
+    Because nothing is shared between runs, serial and parallel execution
+    of ``run_all`` produce identical results by construction.
+    """
+    if isinstance(params, NicSimParams):
+        return run_nicsim_benchmark(params)
+    if params.kind.is_latency:
+        return run_latency_benchmark(params, keep_samples=keep_samples)
+    return run_bandwidth_benchmark(params)
+
+
+def _run_chunk(
+    keep_samples: bool, params_chunk: list[RunnableParams]
+) -> list[RunnerResult]:
+    """Process-pool worker entry point: run one chunk of isolated params."""
+    return [_run_isolated(keep_samples, params) for params in params_chunk]
 
 
 def full_suite_params(
@@ -130,22 +227,28 @@ def full_suite_params(
     """Build the cross-product parameter list of a full pcie-bench suite run.
 
     The defaults generate a few hundred tests, a scaled-down analogue of the
-    ~2500-test suite the paper's control program executes.
+    ~2500-test suite the paper's control program executes.  Combinations
+    whose window is smaller than the transfer size are skipped, and
+    duplicate combinations (overlapping ``transfer_sizes``/``windows``
+    inputs) are generated only once.
     """
-    params = []
+    params: list[BenchmarkParams] = []
+    seen: set[BenchmarkParams] = set()
     for kind in kinds:
         for size in transfer_sizes:
             for window in windows:
                 if window < size:
                     continue
                 for state in cache_states:
-                    params.append(
-                        BenchmarkParams(
-                            kind=kind,
-                            transfer_size=size,
-                            window_size=window,
-                            cache_state=state,
-                            system=system,
-                        )
+                    candidate = BenchmarkParams(
+                        kind=kind,
+                        transfer_size=size,
+                        window_size=window,
+                        cache_state=state,
+                        system=system,
                     )
+                    if candidate in seen:
+                        continue
+                    seen.add(candidate)
+                    params.append(candidate)
     return params

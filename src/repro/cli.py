@@ -8,8 +8,10 @@ Examples::
 
     pcie-bench model --sizes 64 256 1024
     pcie-bench run BW_RD --size 64 --window 8K --system NFP6000-HSW
+    pcie-bench nicsim --model dpdk --workload imix --load 24
+    pcie-bench nicsim --model all --size 64 --compare-analytic
     pcie-bench experiment figure-9
-    pcie-bench suite --output results.json
+    pcie-bench suite --jobs 4 --output results.json
     pcie-bench report --output EXPERIMENTS.md
 """
 
@@ -21,14 +23,18 @@ from typing import Sequence
 
 from .analysis.ascii_plot import ascii_plot
 from .analysis.report import summary_line, write_experiments_markdown
-from .analysis.table import format_series_table, format_table
+from .analysis.table import format_nicsim_summary, format_series_table, format_table
+from .bench.nicsim import NicSimParams, run_nicsim_benchmark
 from .bench.params import BenchmarkKind, BenchmarkParams
 from .bench.runner import BenchmarkRunner, full_suite_params
 from .core.model import PCIeModel
+from .core.nic import FIGURE1_MODELS, model_by_name
 from .errors import ReproError
 from .experiments.registry import experiment_ids, run_all, run_experiment
+from .sim.nicsim import cross_validate
 from .sim.profiles import profile_names
 from .units import parse_size
+from .workloads import workload_names
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,6 +61,36 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--iommu", action="store_true", help="enable the IOMMU")
     run.add_argument("--transactions", type=int, default=None)
 
+    nicsim = sub.add_parser(
+        "nicsim", help="packet-level NIC datapath simulation under a traffic workload"
+    )
+    nicsim.add_argument(
+        "--model",
+        default="dpdk",
+        help="NIC/driver model: simple, kernel, dpdk, all, or a full name",
+    )
+    nicsim.add_argument("--workload", default="fixed", choices=workload_names())
+    nicsim.add_argument(
+        "--size", type=int, default=1024,
+        help="packet size in bytes (fixed-size workload families)",
+    )
+    nicsim.add_argument(
+        "--load", type=float, default=None,
+        help="offered load per direction in Gb/s (default: saturating)",
+    )
+    nicsim.add_argument("--packets", type=int, default=4000, help="packets per direction")
+    nicsim.add_argument("--ring-depth", type=int, default=512)
+    nicsim.add_argument(
+        "--unidirectional", action="store_true", help="TX-only traffic"
+    )
+    nicsim.add_argument("--seed", type=int, default=None)
+    nicsim.add_argument(
+        "--compare-analytic",
+        action="store_true",
+        help="also cross-validate against the analytic NIC model "
+        "(fixed-size workloads)",
+    )
+
     experiment = sub.add_parser("experiment", help="run one figure/table experiment")
     experiment.add_argument("id", choices=experiment_ids())
     experiment.add_argument("--full", action="store_true", help="use full sample counts")
@@ -63,6 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
     suite = sub.add_parser("suite", help="run a scaled-down full pcie-bench suite")
     suite.add_argument("--system", default="NFP6000-HSW", choices=profile_names())
     suite.add_argument("--output", default=None, help="write JSON results to this path")
+    suite.add_argument(
+        "--jobs", type=int, default=None,
+        help="run the suite over N worker processes (results identical to serial)",
+    )
 
     report = sub.add_parser("report", help="run all experiments and write EXPERIMENTS.md")
     report.add_argument("--output", default="EXPERIMENTS.md")
@@ -88,6 +128,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_model(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "nicsim":
+        return _cmd_nicsim(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "suite":
@@ -146,6 +188,58 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_nicsim(args: argparse.Namespace) -> int:
+    if args.compare_analytic and args.workload != "fixed":
+        raise ReproError(
+            "--compare-analytic requires the fixed-size workload "
+            "(the analytic model has no notion of mixed traffic)"
+        )
+    if args.model.strip().lower() == "all":
+        models = [model.name for model in FIGURE1_MODELS]
+    else:
+        models = [model_by_name(args.model).name]
+    records = []
+    for model in models:
+        params = NicSimParams(
+            model=model,
+            workload=args.workload,
+            packet_size=args.size,
+            offered_load_gbps=args.load,
+            packets=args.packets,
+            ring_depth=args.ring_depth,
+            duplex=not args.unidirectional,
+            seed=args.seed,
+        )
+        print(params.label(), file=sys.stderr)
+        records.append(run_nicsim_benchmark(params).as_dict())
+    print(format_nicsim_summary(records, title="NIC datapath simulation"))
+    if args.compare_analytic:
+        rows = []
+        for model in models:
+            for point in cross_validate(
+                model, (args.size,), packets=args.packets,
+                ring_depth=args.ring_depth, seed=args.seed,
+            ):
+                rows.append(
+                    [
+                        point.model,
+                        point.packet_size,
+                        point.analytic_gbps,
+                        point.simulated_gbps,
+                        point.relative_error * 100.0,
+                    ]
+                )
+        print()
+        print(
+            format_table(
+                ["model", "size (B)", "analytic Gb/s", "simulated Gb/s", "error %"],
+                rows,
+                title="Cross-validation vs analytic model",
+            )
+        )
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     result = run_experiment(args.id, quick=not args.full)
     print(result.to_text())
@@ -164,12 +258,17 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 def _cmd_suite(args: argparse.Namespace) -> int:
     params_list = full_suite_params(system=args.system)
+    print(
+        f"suite: {len(params_list)} unique benchmarks on {args.system}"
+        + (f", {args.jobs} worker processes" if args.jobs else ""),
+        file=sys.stderr,
+    )
     runner = BenchmarkRunner(
         progress=lambda i, total, params: print(
             f"[{i + 1}/{total}] {params.label()}", file=sys.stderr
         )
     )
-    results = runner.run_all(params_list)
+    results = runner.run_all(params_list, jobs=args.jobs)
     print(f"ran {len(results)} benchmarks on {args.system}")
     if args.output:
         runner.save(results, args.output)

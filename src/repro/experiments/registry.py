@@ -13,6 +13,7 @@ from typing import Callable
 from ..errors import ValidationError
 from .base import ExperimentResult
 from . import (
+    fig1_sim,
     fig1_throughput_models,
     fig2_exanic_latency,
     fig4_baseline_bandwidth,
@@ -30,6 +31,7 @@ from . import (
 #: :mod:`repro.sim.hostbuffer` instead of an experiment driver.
 _MODULES: tuple[ModuleType, ...] = (
     fig1_throughput_models,
+    fig1_sim,
     fig2_exanic_latency,
     fig4_baseline_bandwidth,
     fig5_baseline_latency,

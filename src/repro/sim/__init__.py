@@ -24,6 +24,18 @@ from .devices import (
 )
 from .dma import BandwidthMeasurement, DmaEngine, DmaOperation, LatencyMeasurement
 from .engine import SerialResource, WorkerPool
+from .nicsim import (
+    CrossValidationPoint,
+    LatencySummary,
+    NicDatapathSimulator,
+    NicSimConfig,
+    NicSimResult,
+    PathResult,
+    RingStats,
+    cross_validate,
+    cross_validate_figure1,
+    simulate_nic,
+)
 from .host import HostSystem
 from .hostbuffer import AccessPattern, HostBuffer
 from .iommu import Iommu, IommuConfig, Iotlb, TranslationResult
@@ -64,6 +76,16 @@ __all__ = [
     "LatencyMeasurement",
     "SerialResource",
     "WorkerPool",
+    "CrossValidationPoint",
+    "LatencySummary",
+    "NicDatapathSimulator",
+    "NicSimConfig",
+    "NicSimResult",
+    "PathResult",
+    "RingStats",
+    "cross_validate",
+    "cross_validate_figure1",
+    "simulate_nic",
     "HostSystem",
     "AccessPattern",
     "HostBuffer",

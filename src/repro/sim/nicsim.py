@@ -1,0 +1,919 @@
+"""Packet-level NIC datapath simulation (the dynamic counterpart of Figure 1).
+
+The analytic models in :mod:`repro.core.nic` turn a packet size into
+*average* PCIe bytes per packet; every doorbell, descriptor fetch and
+interrupt is amortised into a per-packet fraction.  This module replays the
+same declarative :class:`~repro.core.nic.NicModel` transaction sequences as
+*individual* PCIe transactions: TX and RX descriptor rings of finite depth,
+doorbell MMIO writes, batched descriptor fetch/write-back DMAs, per-packet
+payload DMAs, interrupts and pointer reads, each occupying the two link
+directions (modelled as :class:`~repro.sim.engine.SerialResource`) for its
+real serialisation time.
+
+Unlike the cursor-based pipeline in :mod:`repro.sim.dma` — whose
+transactions are homogeneous enough to be generated in issue order — the
+NIC datapath mixes transactions with very different causal delays
+(a doorbell is ready instantly, a read completion only after the host
+round trip), so transactions here are scheduled through a small
+discrete-event loop and claim link time only at the moment they are
+actually ready.  That keeps link service FIFO in *time* order, which is
+what lets unrelated transactions fill the gaps a latency-bound chain would
+otherwise leave.
+
+Batched (amortised) transactions are issued as real instances: fetch-side
+transactions fire at the head of each batch (the NIC prefetches a batch of
+descriptors), completion-report transactions fire when the batch fills
+(write-backs and moderated interrupts trail their packets), and a packet
+is *complete* when its driver learns about it — the interrupt for
+interrupt-driven models, the descriptor write-back for polling drivers.
+
+Under smooth fixed-size load the simulation converges on the closed-form
+:meth:`~repro.core.nic.NicModel.throughput_gbps` (the cross-validation
+harness at the bottom of this module checks that); under bursty or
+mixed-size traffic it additionally exposes what the averages hide — ring
+occupancy, head-of-line waits, drops, and the latency cost of interrupt
+moderation — which is the new scientific output of the subsystem.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.config import PAPER_DEFAULT_CONFIG, PCIeConfig
+from ..core.nic import FIGURE1_MODELS, NicModel, model_by_name
+from ..core.transactions import OpKind
+from ..errors import SimulationError, ValidationError
+from ..units import bytes_over_time_to_gbps, ns_to_s
+from ..workloads import Workload, build_workload
+from .engine import SerialResource
+from .rng import DEFAULT_SEED, SimRng
+
+#: Packet size used to classify a model's transaction sequence (any valid
+#: frame size works; it only needs to dominate descriptor-sized DMAs).
+_REFERENCE_PACKET = 1024
+
+
+@dataclass(frozen=True)
+class NicSimConfig:
+    """Datapath parameters not captured by the :class:`NicModel` itself.
+
+    Attributes:
+        ring_depth: descriptor ring depth per direction (entries).
+        host_read_latency_ns: host-side latency from a DMA read request
+            arriving at the root complex to the first completion data.
+        mmio_read_latency_ns: device-register read turnaround for driver
+            pointer reads.
+        warmup_fraction: leading fraction of delivered packets excluded
+            from throughput and latency statistics (pipeline fill).
+        rx_backpressure: when true a full RX ring stalls the source instead
+            of dropping — the lossless-fabric premise of the closed-form
+            model, used by the cross-validation harness.  The realistic
+            default tail-drops, as a NIC must when the wire does not wait.
+    """
+
+    ring_depth: int = 512
+    host_read_latency_ns: float = 400.0
+    mmio_read_latency_ns: float = 300.0
+    warmup_fraction: float = 0.25
+    rx_backpressure: bool = False
+
+    def __post_init__(self) -> None:
+        if self.ring_depth <= 0:
+            raise ValidationError(
+                f"ring_depth must be positive, got {self.ring_depth}"
+            )
+        for attr in ("host_read_latency_ns", "mmio_read_latency_ns"):
+            if getattr(self, attr) < 0:
+                raise ValidationError(f"{attr} must be non-negative")
+        if not 0.0 <= self.warmup_fraction < 0.9:
+            raise ValidationError(
+                f"warmup_fraction must be within [0, 0.9), got {self.warmup_fraction}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Result records
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RingStats:
+    """Occupancy and drop accounting for one descriptor ring."""
+
+    depth: int
+    posts: int
+    drops: int
+    max_occupancy: int
+    mean_occupancy: float
+
+    def as_dict(self) -> dict[str, object]:
+        """Serialisable representation."""
+        return {
+            "depth": self.depth,
+            "posts": self.posts,
+            "drops": self.drops,
+            "max_occupancy": self.max_occupancy,
+            "mean_occupancy": self.mean_occupancy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RingStats":
+        """Rebuild ring statistics from :meth:`as_dict` output."""
+        return cls(
+            depth=int(data["depth"]),
+            posts=int(data["posts"]),
+            drops=int(data["drops"]),
+            max_occupancy=int(data["max_occupancy"]),
+            mean_occupancy=float(data["mean_occupancy"]),
+        )
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Per-packet latency percentiles in nanoseconds."""
+
+    count: int
+    mean: float
+    median: float
+    p90: float
+    p99: float
+    p999: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples_ns: np.ndarray) -> "LatencySummary":
+        """Compute the summary from raw samples."""
+        samples = np.asarray(samples_ns, dtype=np.float64)
+        if samples.size == 0:
+            raise SimulationError("cannot summarise zero latency samples")
+        return cls(
+            count=int(samples.size),
+            mean=float(np.mean(samples)),
+            median=float(np.median(samples)),
+            p90=float(np.percentile(samples, 90)),
+            p99=float(np.percentile(samples, 99)),
+            p999=float(np.percentile(samples, 99.9)),
+            minimum=float(np.min(samples)),
+            maximum=float(np.max(samples)),
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Serialisable representation."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "p90": self.p90,
+            "p99": self.p99,
+            "p99.9": self.p999,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencySummary":
+        """Rebuild a latency summary from :meth:`as_dict` output."""
+        return cls(
+            count=int(data["count"]),
+            mean=float(data["mean"]),
+            median=float(data["median"]),
+            p90=float(data["p90"]),
+            p99=float(data["p99"]),
+            p999=float(data["p99.9"]),
+            minimum=float(data["min"]),
+            maximum=float(data["max"]),
+        )
+
+
+@dataclass(frozen=True)
+class PathResult:
+    """Measured behaviour of one direction (TX or RX) of the datapath."""
+
+    direction: str
+    offered_packets: int
+    delivered_packets: int
+    drops: int
+    payload_bytes: int
+    throughput_gbps: float
+    packet_rate_pps: float
+    latency: LatencySummary | None
+    ring: RingStats
+
+    def as_dict(self) -> dict[str, object]:
+        """Serialisable representation."""
+        record: dict[str, object] = {
+            "direction": self.direction,
+            "offered_packets": self.offered_packets,
+            "delivered_packets": self.delivered_packets,
+            "drops": self.drops,
+            "payload_bytes": self.payload_bytes,
+            "throughput_gbps": self.throughput_gbps,
+            "packet_rate_pps": self.packet_rate_pps,
+            "ring": self.ring.as_dict(),
+        }
+        if self.latency is not None:
+            record["latency_ns"] = self.latency.as_dict()
+        return record
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PathResult":
+        """Rebuild a path result from :meth:`as_dict` output."""
+        latency = data.get("latency_ns")
+        return cls(
+            direction=str(data["direction"]),
+            offered_packets=int(data["offered_packets"]),
+            delivered_packets=int(data["delivered_packets"]),
+            drops=int(data["drops"]),
+            payload_bytes=int(data["payload_bytes"]),
+            throughput_gbps=float(data["throughput_gbps"]),
+            packet_rate_pps=float(data["packet_rate_pps"]),
+            latency=LatencySummary.from_dict(latency) if latency else None,
+            ring=RingStats.from_dict(data["ring"]),
+        )
+
+
+@dataclass(frozen=True)
+class NicSimResult:
+    """Everything one simulated workload run produced."""
+
+    model: str
+    workload: str
+    packets: int
+    duration_ns: float
+    tx: PathResult
+    rx: PathResult | None
+    link_utilisation_up: float
+    link_utilisation_down: float
+
+    @property
+    def throughput_gbps(self) -> float:
+        """Mean per-direction payload throughput across the active paths."""
+        paths = [path for path in (self.tx, self.rx) if path is not None]
+        return sum(path.throughput_gbps for path in paths) / len(paths)
+
+    @property
+    def total_drops(self) -> int:
+        """Drops across both rings."""
+        drops = self.tx.drops
+        if self.rx is not None:
+            drops += self.rx.drops
+        return drops
+
+    def as_dict(self) -> dict[str, object]:
+        """Serialisable representation (used by the CLI and reports).
+
+        The ``"kind"`` tag distinguishes these records from micro-benchmark
+        results when both are persisted in one file.
+        """
+        record: dict[str, object] = {
+            "kind": "NICSIM",
+            "model": self.model,
+            "workload": self.workload,
+            "packets": self.packets,
+            "duration_ns": self.duration_ns,
+            "throughput_gbps": self.throughput_gbps,
+            "link_utilisation_up": self.link_utilisation_up,
+            "link_utilisation_down": self.link_utilisation_down,
+            "tx": self.tx.as_dict(),
+        }
+        if self.rx is not None:
+            record["rx"] = self.rx.as_dict()
+        return record
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NicSimResult":
+        """Rebuild a result from :meth:`as_dict` output."""
+        rx = data.get("rx")
+        return cls(
+            model=str(data["model"]),
+            workload=str(data["workload"]),
+            packets=int(data["packets"]),
+            duration_ns=float(data["duration_ns"]),
+            tx=PathResult.from_dict(data["tx"]),
+            rx=PathResult.from_dict(rx) if rx else None,
+            link_utilisation_up=float(data["link_utilisation_up"]),
+            link_utilisation_down=float(data["link_utilisation_down"]),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Event-loop machinery
+# ---------------------------------------------------------------------------
+
+
+class _EventLoop:
+    """A minimal discrete-event scheduler (time-ordered, FIFO on ties)."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[float], None]]] = []
+        self._sequence = 0
+
+    def at(self, time: float, fn: Callable[[float], None]) -> None:
+        heapq.heappush(self._heap, (time, self._sequence, fn))
+        self._sequence += 1
+
+    def run(self) -> None:
+        while self._heap:
+            time, _, fn = heapq.heappop(self._heap)
+            fn(time)
+
+
+class _Signal:
+    """A one-shot completion other work can wait on (a batch's fetch DMA)."""
+
+    __slots__ = ("time", "_waiters")
+
+    def __init__(self) -> None:
+        self.time: float | None = None
+        self._waiters: list[Callable[[float], None]] = []
+
+    def fire(self, now: float) -> None:
+        self.time = now
+        waiters, self._waiters = self._waiters, []
+        for fn in waiters:
+            fn(now)
+
+    def wait(self, now: float, fn: Callable[[float], None]) -> None:
+        if self.time is not None:
+            fn(max(now, self.time))
+        else:
+            self._waiters.append(fn)
+
+
+@dataclass(frozen=True)
+class _CompiledOp:
+    """One transaction of a sequence with its serialisation times resolved."""
+
+    kind: OpKind
+    per_packets: float
+    up_ns: float
+    down_ns: float
+    label: str
+
+
+class _Ring:
+    """A descriptor ring: bounded entries, completion-batched reclamation.
+
+    Entries are claimed when a packet posts and freed when the driver
+    learns the packet finished — which, for batched write-backs and
+    moderated interrupts, happens for several entries at once (the source
+    of the occupancy plateaus the analytic model cannot show).  A full TX
+    ring backpressures the sender; a full RX ring drops the packet, since
+    the wire does not wait.
+    """
+
+    def __init__(self, name: str, depth: int) -> None:
+        self.name = name
+        self.depth = depth
+        self._used = 0
+        self._waiters: deque[Callable[[float], None]] = deque()
+        self.posts = 0
+        self.drops = 0
+        self.max_occupancy = 0
+        # Time-weighted occupancy accounting: sampling only at events would
+        # weight busy bursts and ignore idle periods entirely.
+        self._occupancy_integral = 0.0
+        self._first_event: float | None = None
+        self._last_event = 0.0
+
+    @property
+    def occupancy(self) -> int:
+        """Entries currently held."""
+        return self._used
+
+    def _advance(self, now: float) -> None:
+        if self._first_event is None:
+            self._first_event = now
+        elif now > self._last_event:
+            self._occupancy_integral += self._used * (now - self._last_event)
+        self._last_event = max(self._last_event, now)
+
+    def admit(
+        self, now: float, on_post: Callable[[float], None], *, wait: bool
+    ) -> None:
+        """Claim an entry at ``now``; posts now, later (TX), or drops (RX)."""
+        self._advance(now)
+        if self._used < self.depth:
+            self._used += 1
+            self.posts += 1
+            self.max_occupancy = max(self.max_occupancy, self._used)
+            on_post(now)
+        elif wait:
+            self._waiters.append(on_post)
+        else:
+            self.drops += 1
+
+    def release(self, now: float, count: int) -> None:
+        """Free ``count`` entries, handing them straight to any waiters."""
+        self._advance(now)
+        for _ in range(count):
+            if self._waiters:
+                self.posts += 1
+                self._waiters.popleft()(now)
+            else:
+                if self._used <= 0:
+                    raise SimulationError(f"ring {self.name} released too often")
+                self._used -= 1
+
+    def stats(self) -> RingStats:
+        """Snapshot of the ring accounting."""
+        elapsed = (
+            self._last_event - self._first_event
+            if self._first_event is not None
+            else 0.0
+        )
+        mean = self._occupancy_integral / elapsed if elapsed > 0 else 0.0
+        return RingStats(
+            depth=self.depth,
+            posts=self.posts,
+            drops=self.drops,
+            max_occupancy=self.max_occupancy,
+            mean_occupancy=mean,
+        )
+
+
+def _ignore(_now: float) -> None:
+    """Completion sink for transactions nothing waits on."""
+
+
+class _Datapath:
+    """One direction (TX or RX) of the simulated NIC datapath."""
+
+    def __init__(
+        self,
+        direction: str,
+        model: NicModel,
+        config: PCIeConfig,
+        sim_config: NicSimConfig,
+        loop: _EventLoop,
+        link_up: SerialResource,
+        link_down: SerialResource,
+    ) -> None:
+        self.direction = direction
+        self._model = model
+        self._config = config
+        self._sim_config = sim_config
+        self._loop = loop
+        self._link_up = link_up
+        self._link_down = link_down
+        self.ring = _Ring(f"{direction}_ring", sim_config.ring_depth)
+        self._compiled: dict[int, list[_CompiledOp]] = {}
+
+        reference = self._ops_for(_REFERENCE_PACKET)
+        self._payload_idx = self._find_payload(reference)
+        self._notify_idx = self._find_notify(reference, self._payload_idx)
+        if self._notify_idx is not None:
+            notify = reference[self._notify_idx]
+            if sim_config.ring_depth < notify.per_packets:
+                # Entries free only when a completion report fires, and the
+                # report fires only after per_packets payloads complete: a
+                # shallower ring can never fill a batch and deadlocks.
+                raise ValidationError(
+                    f"ring_depth {sim_config.ring_depth} is shallower than "
+                    f"the model's completion-report batch "
+                    f"({notify.label!r} every {notify.per_packets:g} "
+                    "packets); the datapath could never report a batch"
+                )
+        # Fetch-side (gating) transactions start with a full credit so the
+        # first packet of every batch issues the instance (prefetch);
+        # completion-report (trailing) transactions start empty so the
+        # instance fires when the batch fills.
+        self._credits = [
+            op.per_packets if index < self._payload_idx else 0.0
+            for index, op in enumerate(reference)
+        ]
+        self._signals: list[_Signal] = [_Signal() for _ in reference]
+        for signal in self._signals:
+            signal.fire(0.0)  # nothing to wait for until an instance issues
+        self._pending: list[tuple[float, float, int]] = []  # arrival, done, size
+
+        self.arrivals: list[float] = []
+        self.dones: list[float] = []
+        self.notifies: list[float] = []
+        self.delivered_sizes: list[int] = []
+        self.offered = 0
+
+    # -- sequence compilation ---------------------------------------------------
+
+    def _ops_for(self, size: int) -> list[_CompiledOp]:
+        ops = self._compiled.get(size)
+        if ops is None:
+            sequence = (
+                self._model.tx_sequence(size)
+                if self.direction == "tx"
+                else self._model.rx_sequence(size)
+            )
+            link = self._config.link
+            ops = []
+            for transaction in sequence.transactions:
+                wire = transaction.wire_bytes(self._config)
+                ops.append(
+                    _CompiledOp(
+                        kind=transaction.kind,
+                        per_packets=transaction.per_packets,
+                        up_ns=link.serialisation_time_ns(wire.device_to_host),
+                        down_ns=link.serialisation_time_ns(wire.host_to_device),
+                        label=transaction.label,
+                    )
+                )
+            self._compiled[size] = ops
+        return ops
+
+    @staticmethod
+    def _find_payload(reference: list[_CompiledOp]) -> int:
+        payload = None
+        payload_time = None
+        for index, op in enumerate(reference):
+            if op.per_packets != 1.0:
+                continue
+            if op.kind not in (OpKind.DMA_READ, OpKind.DMA_WRITE):
+                continue
+            # The payload is the per-packet DMA whose wire time scales with
+            # the reference packet, i.e. the largest per-packet DMA.
+            time = max(op.up_ns, op.down_ns)
+            if payload_time is None or time > payload_time:
+                payload_time = time
+                payload = index
+        if payload is None:
+            raise SimulationError(
+                "transaction sequence has no per-packet payload DMA"
+            )
+        return payload
+
+    @staticmethod
+    def _find_notify(reference: list[_CompiledOp], payload_idx: int) -> int | None:
+        trailing = range(payload_idx + 1, len(reference))
+        for index in trailing:
+            op = reference[index]
+            if op.kind is OpKind.DMA_WRITE and "interrupt" in op.label.lower():
+                return index
+        for index in trailing:
+            if reference[index].kind is OpKind.DMA_WRITE:
+                return index
+        return None
+
+    # -- transaction issue ------------------------------------------------------
+
+    def _issue(
+        self, op: _CompiledOp, now: float, on_done: Callable[[float], None]
+    ) -> None:
+        """Claim link time for one instance; ``on_done`` fires at completion."""
+        if op.kind is OpKind.DMA_READ:
+            start = self._link_up.occupy(now, op.up_ns)
+            at_host = start + op.up_ns + self._sim_config.host_read_latency_ns
+
+            def completion(time: float) -> None:
+                completion_start = self._link_down.occupy(time, op.down_ns)
+                self._loop.at(completion_start + op.down_ns, on_done)
+
+            self._loop.at(at_host, completion)
+        elif op.kind is OpKind.DMA_WRITE:
+            start = self._link_up.occupy(now, op.up_ns)
+            self._loop.at(start + op.up_ns, on_done)
+        elif op.kind is OpKind.MMIO_WRITE:
+            start = self._link_down.occupy(now, op.down_ns)
+            self._loop.at(start + op.down_ns, on_done)
+        else:  # MMIO_READ: request downstream, completion upstream
+            start = self._link_down.occupy(now, op.down_ns)
+            at_device = start + op.down_ns + self._sim_config.mmio_read_latency_ns
+
+            def mmio_completion(time: float) -> None:
+                completion_start = self._link_up.occupy(time, op.up_ns)
+                self._loop.at(completion_start + op.up_ns, on_done)
+
+            self._loop.at(at_device, mmio_completion)
+
+    # -- packet lifecycle -------------------------------------------------------
+
+    def on_arrival(self, now: float, size: int) -> None:
+        """A packet reaches the datapath (driver for TX, wire for RX)."""
+        self.offered += 1
+        self.ring.admit(
+            now,
+            lambda post: self._step(self._ops_for(size), 0, post, now, size),
+            wait=self.direction == "tx" or self._sim_config.rx_backpressure,
+        )
+
+    def _step(
+        self,
+        ops: list[_CompiledOp],
+        index: int,
+        now: float,
+        arrival: float,
+        size: int,
+    ) -> None:
+        """Walk the gating transactions in causal order, then the payload."""
+        if index == self._payload_idx:
+            self._issue(
+                ops[index],
+                now,
+                lambda done: self._on_payload(arrival, done, size),
+            )
+            return
+        op = ops[index]
+        if self._credits[index] >= op.per_packets:
+            self._credits[index] -= op.per_packets
+            signal = _Signal()
+            self._signals[index] = signal
+            self._issue(op, now, signal.fire)
+        self._credits[index] += 1.0
+        self._signals[index].wait(
+            now, lambda time: self._step(ops, index + 1, time, arrival, size)
+        )
+
+    def _on_payload(self, arrival: float, done: float, size: int) -> None:
+        """Payload DMA finished: account trailing (report-side) transactions."""
+        self._pending.append((arrival, done, size))
+        ops = self._ops_for(size)
+        for index in range(self._payload_idx + 1, len(ops)):
+            op = ops[index]
+            self._credits[index] += 1.0
+            while self._credits[index] >= op.per_packets:
+                self._credits[index] -= op.per_packets
+                if index == self._notify_idx:
+                    batch, self._pending = self._pending, []
+                    self._issue(
+                        op,
+                        done,
+                        lambda time, batch=batch: self._flush(batch, time),
+                    )
+                else:
+                    self._issue(op, done, _ignore)
+        if self._notify_idx is None:
+            batch, self._pending = self._pending, []
+            self._flush(batch, done)
+
+    def _flush(self, batch: list[tuple[float, float, int]], report: float) -> None:
+        """The driver learned about a batch: free ring entries, sample stats."""
+        self.ring.release(report, len(batch))
+        for arrival, done, size in batch:
+            notify = max(done, report)
+            self.arrivals.append(arrival)
+            self.dones.append(done)
+            self.notifies.append(notify)
+            self.delivered_sizes.append(size)
+
+    def finish(self) -> None:
+        """Account packets whose completion report never fired (end of run).
+
+        The last, partial batch has delivered its payloads but the
+        moderated interrupt / write-back that would report it never came;
+        record those packets with their payload-completion time so the
+        delivered/latency accounting covers every packet.  Ring state no
+        longer matters once the event loop has drained.
+        """
+        batch, self._pending = self._pending, []
+        for arrival, done, size in batch:
+            self.arrivals.append(arrival)
+            self.dones.append(done)
+            self.notifies.append(done)
+            self.delivered_sizes.append(size)
+
+    # -- statistics -------------------------------------------------------------
+
+    def result(self) -> PathResult:
+        """Summarise this direction after the run."""
+        delivered = len(self.dones)
+        latency = None
+        throughput = 0.0
+        rate = 0.0
+        payload = int(sum(self.delivered_sizes))
+        if delivered >= 2:
+            order = np.argsort(np.asarray(self.dones), kind="stable")
+            # The pipeline-fill transient lasts about one ring depth of
+            # packets; skip at least that much (up to half the run) on top
+            # of the configured warmup fraction.
+            warmup = max(
+                int(delivered * self._sim_config.warmup_fraction),
+                min(self._sim_config.ring_depth, delivered // 2),
+            )
+            warmup = min(warmup, delivered - 2)
+            measured = order[warmup:]
+            dones = np.asarray(self.dones, dtype=np.float64)[measured]
+            sizes = np.asarray(self.delivered_sizes, dtype=np.int64)[measured]
+            elapsed = float(dones[-1] - dones[0])
+            if elapsed > 0.0:
+                # The first measured packet marks t0; its own bytes precede it.
+                throughput = bytes_over_time_to_gbps(int(sizes[1:].sum()), elapsed)
+                rate = (sizes.size - 1) / ns_to_s(elapsed)
+            samples = (
+                np.asarray(self.notifies, dtype=np.float64)
+                - np.asarray(self.arrivals, dtype=np.float64)
+            )[measured]
+            latency = LatencySummary.from_samples(samples)
+        return PathResult(
+            direction=self.direction,
+            offered_packets=self.offered,
+            delivered_packets=delivered,
+            drops=self.ring.drops,
+            payload_bytes=payload,
+            throughput_gbps=throughput,
+            packet_rate_pps=rate,
+            latency=latency,
+            ring=self.ring.stats(),
+        )
+
+
+# ---------------------------------------------------------------------------
+# The simulator façade
+# ---------------------------------------------------------------------------
+
+
+class NicDatapathSimulator:
+    """Replays workloads through a NIC/driver model, packet by packet."""
+
+    def __init__(
+        self,
+        model: NicModel | str,
+        config: PCIeConfig = PAPER_DEFAULT_CONFIG,
+        sim_config: NicSimConfig | None = None,
+    ) -> None:
+        self.model = model_by_name(model) if isinstance(model, str) else model
+        self.config = config
+        self.sim_config = sim_config or NicSimConfig()
+
+    def run(
+        self,
+        workload: Workload,
+        packets: int,
+        *,
+        seed: int | None = None,
+    ) -> NicSimResult:
+        """Simulate ``packets`` packets per active direction.
+
+        Args:
+            workload: the traffic description to replay.
+            packets: packets per direction (full duplex runs 2x this).
+            seed: RNG seed for the workload draws (defaults to the library
+                seed so runs are reproducible).
+        """
+        if packets <= 0:
+            raise ValidationError(f"packets must be positive, got {packets}")
+        rng = SimRng(DEFAULT_SEED if seed is None else seed)
+        loop = _EventLoop()
+        link_up = SerialResource("nicsim.device_to_host")
+        link_down = SerialResource("nicsim.host_to_device")
+        paths: list[_Datapath] = []
+        for direction in ("tx", "rx") if workload.duplex else ("tx",):
+            path = _Datapath(
+                direction,
+                self.model,
+                self.config,
+                self.sim_config,
+                loop,
+                link_up,
+                link_down,
+            )
+            schedule = workload.generate(packets, rng, stream=direction)
+            for index in range(schedule.count):
+                time = float(schedule.arrival_times_ns[index])
+                size = int(schedule.sizes[index])
+                loop.at(
+                    time,
+                    lambda now, path=path, size=size: path.on_arrival(now, size),
+                )
+            paths.append(path)
+        loop.run()
+        for path in paths:
+            path.finish()
+
+        duration = max(
+            [0.0] + [max(path.notifies) for path in paths if path.notifies]
+        )
+        tx = paths[0]
+        rx = paths[1] if len(paths) > 1 else None
+        return NicSimResult(
+            model=self.model.name,
+            workload=workload.name,
+            packets=packets,
+            duration_ns=duration,
+            tx=tx.result(),
+            rx=rx.result() if rx is not None else None,
+            link_utilisation_up=(
+                link_up.utilisation(duration) if duration > 0 else 0.0
+            ),
+            link_utilisation_down=(
+                link_down.utilisation(duration) if duration > 0 else 0.0
+            ),
+        )
+
+
+def simulate_nic(
+    model: NicModel | str,
+    workload: Workload | str = "fixed",
+    *,
+    packets: int = 4000,
+    packet_size: int = 1024,
+    load_gbps: float | None = None,
+    duplex: bool = True,
+    ring_depth: int = 512,
+    rx_backpressure: bool = False,
+    seed: int | None = None,
+    config: PCIeConfig = PAPER_DEFAULT_CONFIG,
+) -> NicSimResult:
+    """One-call convenience wrapper around :class:`NicDatapathSimulator`.
+
+    ``workload`` accepts either a prepared :class:`Workload` or a registry
+    name (``"fixed"``, ``"imix"``, ``"bursty"``, ...); the ``packet_size``,
+    ``load_gbps`` and ``duplex`` knobs only apply when building by name.
+    """
+    if isinstance(workload, str):
+        workload = build_workload(
+            workload, size=packet_size, load_gbps=load_gbps, duplex=duplex
+        )
+    simulator = NicDatapathSimulator(
+        model,
+        config=config,
+        sim_config=NicSimConfig(
+            ring_depth=ring_depth, rx_backpressure=rx_backpressure
+        ),
+    )
+    return simulator.run(workload, packets, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Cross-validation against the analytic model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CrossValidationPoint:
+    """Analytic vs simulated throughput for one (model, packet size) pair."""
+
+    model: str
+    packet_size: int
+    analytic_gbps: float
+    simulated_gbps: float
+
+    @property
+    def relative_error(self) -> float:
+        """``|simulated - analytic| / analytic``."""
+        return abs(self.simulated_gbps - self.analytic_gbps) / self.analytic_gbps
+
+    def within(self, tolerance: float = 0.1) -> bool:
+        """Whether the simulation agrees with the model to ``tolerance``."""
+        return self.relative_error <= tolerance
+
+
+def cross_validate(
+    model: NicModel | str,
+    sizes: tuple[int, ...] = (64, 512, 1500),
+    *,
+    packets: int = 2000,
+    ring_depth: int = 512,
+    seed: int | None = None,
+    config: PCIeConfig = PAPER_DEFAULT_CONFIG,
+) -> list[CrossValidationPoint]:
+    """Compare steady-state simulated throughput with the analytic curve.
+
+    Runs a fixed-size full-duplex saturating workload per size — the exact
+    setting the closed-form model describes — and pairs the measured
+    per-direction payload throughput with
+    :meth:`~repro.core.nic.NicModel.throughput_gbps`.  RX backpressure is
+    enabled so both directions stay in the 1:1 lossless mix the model
+    assumes (with tail-drop, dropped RX packets would free upstream
+    bandwidth and let TX exceed the model's bound).  Agreement here is
+    what licenses trusting the simulator where the model cannot go (bursty
+    arrivals, mixed sizes, shallow rings).
+    """
+    resolved = model_by_name(model) if isinstance(model, str) else model
+    points = []
+    for size in sizes:
+        result = simulate_nic(
+            resolved,
+            "fixed",
+            packets=packets,
+            packet_size=size,
+            ring_depth=ring_depth,
+            rx_backpressure=True,
+            seed=seed,
+            config=config,
+        )
+        points.append(
+            CrossValidationPoint(
+                model=resolved.name,
+                packet_size=size,
+                analytic_gbps=resolved.throughput_gbps(size, config),
+                simulated_gbps=result.throughput_gbps,
+            )
+        )
+    return points
+
+
+def cross_validate_figure1(
+    sizes: tuple[int, ...] = (64, 512, 1500),
+    *,
+    packets: int = 2000,
+    config: PCIeConfig = PAPER_DEFAULT_CONFIG,
+) -> dict[str, list[CrossValidationPoint]]:
+    """Cross-validate all three Figure 1 models; keyed by model name."""
+    return {
+        model.name: cross_validate(model, sizes, packets=packets, config=config)
+        for model in FIGURE1_MODELS
+    }

@@ -8,6 +8,8 @@ derive independent streams without correlating with each other.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from ..errors import ValidationError
@@ -51,8 +53,13 @@ class SimRng:
         order in which components ask for their streams does not matter.
         """
         if name not in self._children:
+            # zlib.crc32 rather than hash(): string hashes are salted per
+            # interpreter process (PYTHONHASHSEED), which would make the
+            # "same seed, same stream" guarantee false across invocations
+            # and across process-pool workers.
             child_seed = np.random.SeedSequence(
-                entropy=self._seed, spawn_key=(hash(name) & 0xFFFF_FFFF,)
+                entropy=self._seed,
+                spawn_key=(zlib.crc32(name.encode("utf-8")) & 0xFFFF_FFFF,),
             )
             self._children[name] = np.random.Generator(np.random.PCG64(child_seed))
         return self._children[name]

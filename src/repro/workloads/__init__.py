@@ -1,0 +1,55 @@
+"""Traffic workloads for the packet-level NIC datapath simulator.
+
+Where :mod:`repro.core.nic` evaluates NIC/driver designs under an idealised
+steady stream of equal packets, this package describes *traffic*: frame-size
+distributions (fixed, uniform, trimodal, IMIX), arrival processes (smooth,
+Poisson, bursty on/off) and offered load, combined into declarative
+:class:`Workload` objects that :mod:`repro.sim.nicsim` replays packet by
+packet.
+"""
+
+from .arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    PoissonArrivals,
+    UniformArrivals,
+)
+from .sizes import IMIX, FixedSize, SizeDistribution, TrimodalSize, UniformSize
+from .traffic import (
+    SATURATING_LOAD_GBPS,
+    WORKLOAD_FACTORIES,
+    PacketSchedule,
+    Workload,
+    build_workload,
+    bursty_imix_workload,
+    bursty_workload,
+    fixed_workload,
+    imix_workload,
+    poisson_workload,
+    uniform_workload,
+    workload_names,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "PoissonArrivals",
+    "UniformArrivals",
+    "IMIX",
+    "FixedSize",
+    "SizeDistribution",
+    "TrimodalSize",
+    "UniformSize",
+    "SATURATING_LOAD_GBPS",
+    "WORKLOAD_FACTORIES",
+    "PacketSchedule",
+    "Workload",
+    "build_workload",
+    "bursty_imix_workload",
+    "bursty_workload",
+    "fixed_workload",
+    "imix_workload",
+    "poisson_workload",
+    "uniform_workload",
+    "workload_names",
+]

@@ -1,0 +1,139 @@
+"""Packet-size distributions for NIC traffic workloads.
+
+The analytic Figure 1 curves are evaluated at a single packet size at a
+time; real traffic mixes sizes.  The distributions here cover the standard
+evaluation mixes: fixed-size (the paper's setting), uniform over a range,
+weighted trimodal mixes, and the classic IMIX blend (7:4:1 over 64 B,
+594 B and 1518 B frames) used by router and NIC vendors to approximate
+Internet traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.ethernet import MAX_FRAME_BYTES, MIN_FRAME_BYTES
+from ..errors import ValidationError
+
+
+class SizeDistribution:
+    """Interface: a source of per-packet frame sizes in bytes.
+
+    Implementations are immutable value objects; all randomness comes from
+    the generator passed to :meth:`sample`, keeping workloads reproducible.
+    """
+
+    name: str = "sizes"
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` packet sizes (int64 array of bytes)."""
+        raise NotImplementedError
+
+    def mean_size(self) -> float:
+        """Expected packet size in bytes (used to pace offered load)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedSize(SizeDistribution):
+    """Every packet has the same size (the Figure 1 setting)."""
+
+    size: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValidationError(f"packet size must be positive, got {self.size}")
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"fixed-{self.size}B"
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        _check_count(count)
+        return np.full(count, self.size, dtype=np.int64)
+
+    def mean_size(self) -> float:
+        return float(self.size)
+
+
+@dataclass(frozen=True)
+class UniformSize(SizeDistribution):
+    """Sizes drawn uniformly from ``[minimum, maximum]`` inclusive."""
+
+    minimum: int = MIN_FRAME_BYTES
+    maximum: int = MAX_FRAME_BYTES
+
+    def __post_init__(self) -> None:
+        if self.minimum <= 0:
+            raise ValidationError(
+                f"minimum size must be positive, got {self.minimum}"
+            )
+        if self.maximum < self.minimum:
+            raise ValidationError(
+                f"maximum ({self.maximum}) must be >= minimum ({self.minimum})"
+            )
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"uniform-{self.minimum}-{self.maximum}B"
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        _check_count(count)
+        return rng.integers(
+            self.minimum, self.maximum + 1, size=count, dtype=np.int64
+        )
+
+    def mean_size(self) -> float:
+        return (self.minimum + self.maximum) / 2.0
+
+
+@dataclass(frozen=True)
+class TrimodalSize(SizeDistribution):
+    """A weighted mix over a small set of discrete frame sizes."""
+
+    sizes: tuple[int, ...] = (64, 594, 1518)
+    weights: tuple[float, ...] = (7.0, 4.0, 1.0)
+
+    def __post_init__(self) -> None:
+        if not self.sizes:
+            raise ValidationError("a size mix needs at least one size")
+        if len(self.weights) != len(self.sizes):
+            raise ValidationError(
+                f"{len(self.sizes)} sizes but {len(self.weights)} weights"
+            )
+        if any(size <= 0 for size in self.sizes):
+            raise ValidationError(f"all sizes must be positive, got {self.sizes}")
+        if any(weight <= 0 for weight in self.weights):
+            raise ValidationError(
+                f"all weights must be positive, got {self.weights}"
+            )
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return "mix-" + "/".join(str(size) for size in self.sizes)
+
+    def _probabilities(self) -> np.ndarray:
+        weights = np.asarray(self.weights, dtype=np.float64)
+        return weights / weights.sum()
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        _check_count(count)
+        return rng.choice(
+            np.asarray(self.sizes, dtype=np.int64), size=count, p=self._probabilities()
+        )
+
+    def mean_size(self) -> float:
+        return float(
+            np.dot(np.asarray(self.sizes, dtype=np.float64), self._probabilities())
+        )
+
+
+#: The classic IMIX blend: 7 parts 64 B, 4 parts 594 B, 1 part 1518 B.
+IMIX = TrimodalSize()
+
+
+def _check_count(count: int) -> None:
+    if count <= 0:
+        raise ValidationError(f"count must be positive, got {count}")

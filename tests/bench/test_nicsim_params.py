@@ -1,0 +1,115 @@
+"""Tests for NIC datapath simulation parameters and runner integration."""
+
+import pytest
+
+from repro.bench.nicsim import NICSIM_KIND, NicSimParams, run_nicsim_benchmark
+from repro.bench.params import BenchmarkParams
+from repro.bench.runner import BenchmarkRunner
+from repro.errors import ValidationError
+from repro.sim.nicsim import NicSimResult
+
+
+class TestNicSimParams:
+    def test_model_aliases_normalised(self):
+        assert NicSimParams(model="dpdk").model == "Modern NIC (DPDK driver)"
+        assert NicSimParams(model="simple").model == "Simple NIC"
+
+    def test_unknown_model_and_workload_rejected(self):
+        with pytest.raises(ValidationError):
+            NicSimParams(model="quantum")
+        with pytest.raises(ValidationError):
+            NicSimParams(workload="morse-code")
+
+    def test_numeric_validation(self):
+        with pytest.raises(ValidationError):
+            NicSimParams(packets=0)
+        with pytest.raises(ValidationError):
+            NicSimParams(packet_size=-64)
+        with pytest.raises(ValidationError):
+            NicSimParams(ring_depth=0)
+        with pytest.raises(ValidationError):
+            NicSimParams(offered_load_gbps=0.0)
+
+    def test_label_mentions_the_interesting_knobs(self):
+        label = NicSimParams(
+            model="kernel", workload="bursty", packet_size=256,
+            offered_load_gbps=24.0, duplex=False,
+        ).label()
+        assert NICSIM_KIND in label
+        assert "bursty" in label
+        assert "256B" in label
+        assert "24Gb/s" in label
+        assert "tx-only" in label
+
+    def test_kind_and_dict_round_trip(self):
+        params = NicSimParams(
+            model="dpdk", workload="imix", offered_load_gbps=30.0, seed=9
+        )
+        assert params.kind == NICSIM_KIND
+        restored = NicSimParams.from_dict(params.as_dict())
+        assert restored == params
+
+    def test_with_derives_variants(self):
+        base = NicSimParams(model="dpdk")
+        variant = base.with_(ring_depth=64, workload="bursty")
+        assert variant.ring_depth == 64
+        assert variant.model == base.model
+
+
+class TestRunnerIntegration:
+    def test_run_dispatches_nicsim_params(self):
+        runner = BenchmarkRunner()
+        result = runner.run(
+            NicSimParams(model="dpdk", packets=400, packet_size=512)
+        )
+        assert isinstance(result, NicSimResult)
+        assert result.tx.delivered_packets == 400
+
+    def test_run_all_handles_mixed_parameter_lists(self):
+        runner = BenchmarkRunner()
+        params_list = [
+            BenchmarkParams(kind="BW_WR", transfer_size=256, transactions=300),
+            NicSimParams(model="kernel", packets=400, packet_size=512),
+        ]
+        results = runner.run_all(params_list)
+        assert results[0].bandwidth_gbps is not None
+        assert isinstance(results[1], NicSimResult)
+
+    def test_run_nicsim_benchmark_is_deterministic(self):
+        params = NicSimParams(
+            model="dpdk", workload="imix", packets=400,
+            offered_load_gbps=20.0, seed=3,
+        )
+        assert run_nicsim_benchmark(params) == run_nicsim_benchmark(params)
+
+    def test_save_json_accepts_mixed_results(self, tmp_path):
+        import json
+
+        runner = BenchmarkRunner()
+        results = runner.run_all(
+            [
+                BenchmarkParams(kind="BW_WR", transfer_size=256, transactions=200),
+                NicSimParams(model="dpdk", packets=200, packet_size=512),
+            ]
+        )
+        path = tmp_path / "mixed.json"
+        runner.save(results, path)
+        records = json.loads(path.read_text())
+        assert len(records) == 2
+        assert "bandwidth_gbps" in records[0]
+        assert records[1]["kind"] == "NICSIM"
+        assert records[1]["model"] == "Modern NIC (DPDK driver)"
+        # And the mixed file loads back into typed results.
+        from repro.bench.results import load_results_json
+
+        loaded = load_results_json(path)
+        assert loaded[0] == results[0]
+        assert loaded[1] == results[1]
+
+    def test_save_csv_rejects_simulation_results(self, tmp_path):
+        from repro.errors import BenchmarkError
+
+        runner = BenchmarkRunner()
+        results = runner.run_all([NicSimParams(model="dpdk", packets=150)])
+        with pytest.raises(BenchmarkError):
+            runner.save(results, tmp_path / "out.csv", fmt="csv")

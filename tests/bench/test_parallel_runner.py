@@ -1,0 +1,91 @@
+"""Tests for parallel suite execution and suite parameter deduplication."""
+
+import pytest
+
+from repro.bench.nicsim import NicSimParams
+from repro.bench.params import BenchmarkKind, BenchmarkParams
+from repro.bench.runner import BenchmarkRunner, full_suite_params
+from repro.errors import ValidationError
+from repro.units import KIB
+
+
+def _mixed_params():
+    """A small list spanning kinds, seeds and parameter types."""
+    return [
+        # Two runs on the same host configuration: isolation means their
+        # results must not depend on each other or on worker placement.
+        BenchmarkParams(
+            kind="BW_RD", transfer_size=64, transactions=300, seed=21
+        ),
+        BenchmarkParams(
+            kind="BW_RD", transfer_size=256, transactions=300, seed=21
+        ),
+        BenchmarkParams(
+            kind="LAT_RD", transfer_size=64, transactions=300, seed=21
+        ),
+        # A different host key (other seed).
+        BenchmarkParams(
+            kind="BW_WR", transfer_size=512, transactions=300, seed=5
+        ),
+        # A datapath simulation rides along in the same list.
+        NicSimParams(model="dpdk", packets=300, packet_size=512, seed=5),
+    ]
+
+
+class TestParallelRunAll:
+    def test_parallel_results_identical_to_serial(self):
+        serial = BenchmarkRunner().run_all(_mixed_params())
+        parallel = BenchmarkRunner().run_all(_mixed_params(), jobs=2)
+        assert len(parallel) == len(serial)
+        for serial_result, parallel_result in zip(serial, parallel):
+            assert type(parallel_result) is type(serial_result)
+            assert parallel_result == serial_result
+
+    def test_jobs_one_matches_default(self):
+        params = _mixed_params()[:2]
+        assert BenchmarkRunner().run_all(params, jobs=1) == (
+            BenchmarkRunner().run_all(params)
+        )
+
+    def test_progress_fires_once_per_completed_run(self):
+        # In parallel mode the callback reports completions: a running
+        # count as the index, one call per parameter set.
+        seen = []
+        runner = BenchmarkRunner(
+            progress=lambda index, total, params: seen.append((index, total))
+        )
+        params = _mixed_params()[:3]
+        runner.run_all(params, jobs=2)
+        assert seen == [(0, 3), (1, 3), (2, 3)]
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValidationError):
+            BenchmarkRunner().run_all(_mixed_params()[:1], jobs=0)
+
+
+class TestFullSuiteParams:
+    def test_overlapping_inputs_are_deduplicated(self):
+        base = full_suite_params(
+            transfer_sizes=(64, 128),
+            windows=(8 * KIB, 64 * KIB),
+            cache_states=("cold",),
+            kinds=(BenchmarkKind.BW_RD,),
+        )
+        duplicated = full_suite_params(
+            transfer_sizes=(64, 64, 128),
+            windows=(8 * KIB, 8 * KIB, 64 * KIB),
+            cache_states=("cold",),
+            kinds=(BenchmarkKind.BW_RD,),
+        )
+        assert duplicated == base
+        assert len(duplicated) == len(set(duplicated))
+
+    def test_window_smaller_than_transfer_still_skipped(self):
+        params = full_suite_params(
+            transfer_sizes=(2048,),
+            windows=(1024, 4096),
+            cache_states=("cold",),
+            kinds=(BenchmarkKind.BW_WR,),
+        )
+        assert all(p.window_size >= p.transfer_size for p in params)
+        assert len(params) == 1

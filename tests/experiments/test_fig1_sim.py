@@ -1,0 +1,21 @@
+"""Tests for the figure-1-sim cross-validation experiment."""
+
+from repro.experiments.registry import run_experiment
+
+
+class TestFigure1Sim:
+    def test_quick_run_passes_all_checks(self):
+        result = run_experiment("figure-1-sim", quick=True)
+        assert result.passed, result.to_text()
+
+    def test_produces_model_and_sim_series_per_nic(self):
+        result = run_experiment("figure-1-sim", quick=True)
+        names = set(result.series)
+        assert "Simple NIC (model)" in names
+        assert "Simple NIC (sim)" in names
+        assert "Modern NIC (DPDK driver) (sim)" in names
+        # Scenario table carries the outputs the analytic model cannot
+        # produce: latency percentiles and ring occupancy.
+        assert result.table_rows
+        assert "RX p99 (ns)" in result.table_headers
+        assert "RX ring max" in result.table_headers

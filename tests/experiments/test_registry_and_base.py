@@ -22,6 +22,7 @@ class TestRegistry:
     def test_all_paper_figures_and_tables_registered(self):
         assert experiment_ids() == [
             "figure-1",
+            "figure-1-sim",
             "figure-2",
             "figure-4",
             "figure-5",

@@ -23,6 +23,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "figure-42"])
 
+    def test_nicsim_defaults(self):
+        args = build_parser().parse_args(["nicsim"])
+        assert args.model == "dpdk"
+        assert args.workload == "fixed"
+        assert args.load is None
+
+    def test_nicsim_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nicsim", "--workload", "avalanche"])
+
+    def test_suite_accepts_jobs(self):
+        args = build_parser().parse_args(["suite", "--jobs", "4"])
+        assert args.jobs == 4
+
 
 class TestCommands:
     def test_systems_lists_table1(self, capsys):
@@ -78,3 +92,37 @@ class TestCommands:
         code = main(["run", "BW_RD", "--size", "0"])
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+    def test_nicsim_fixed_size_with_cross_validation(self, capsys):
+        code = main(
+            [
+                "nicsim", "--model", "dpdk", "--size", "512",
+                "--packets", "600", "--compare-analytic",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "NIC datapath simulation" in out
+        assert "Cross-validation vs analytic model" in out
+
+    def test_nicsim_scenario_reports_latency_and_ring_occupancy(self, capsys):
+        code = main(
+            [
+                "nicsim", "--model", "kernel", "--workload", "bursty",
+                "--size", "512", "--load", "24", "--packets", "800",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ring max" in out
+        assert "p99 (ns)" in out
+
+    def test_nicsim_compare_analytic_requires_fixed_workload(self, capsys):
+        code = main(
+            [
+                "nicsim", "--workload", "imix", "--packets", "300",
+                "--compare-analytic",
+            ]
+        )
+        assert code == 1
+        assert "fixed-size" in capsys.readouterr().err

@@ -1,0 +1,104 @@
+"""Focused tests for the simulation engine primitives.
+
+The pipeline behaviour of :class:`SerialResource` and :class:`WorkerPool`
+was previously exercised mostly through :class:`~repro.sim.dma.DmaEngine`;
+these tests pin down the primitives' contracts directly — in particular the
+acquire/commit ordering of the worker pool under interleaved release times,
+which both the DMA engine and the NIC datapath simulator rely on.
+"""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.sim.engine import SerialResource, WorkerPool
+
+
+class TestWorkerPoolInterleaving:
+    def test_acquire_tracks_earliest_release_as_commits_interleave(self):
+        pool = WorkerPool(2)
+        # Two slots committed out of release order.
+        pool.commit(50.0)
+        pool.commit(30.0)
+        # Full pool: the next acquire waits for the *earliest* release.
+        assert pool.acquire(0.0) == 30.0
+        # Committing replaces that earliest slot; now 50 is the horizon.
+        pool.commit(90.0)
+        assert pool.acquire(0.0) == 50.0
+        # A later "now" dominates an already-passed release time.
+        assert pool.acquire(60.0) == 60.0
+
+    def test_out_of_order_release_times_never_lose_slots(self):
+        pool = WorkerPool(3)
+        for release in (70.0, 10.0, 40.0):
+            pool.commit(release)
+        assert pool.in_flight == 3
+        # Acquire/commit cycles walk the releases in sorted order.
+        observed = []
+        for release in (100.0, 110.0, 120.0):
+            observed.append(pool.acquire(0.0))
+            pool.commit(release)
+        assert observed == [10.0, 40.0, 70.0]
+        assert pool.in_flight == 3
+
+    def test_free_slots_are_granted_at_now_regardless_of_busy_slots(self):
+        pool = WorkerPool(4)
+        pool.commit(1000.0)
+        pool.commit(2000.0)
+        # Two of four slots busy far in the future; a request still gets a
+        # free slot immediately.
+        assert pool.acquire(5.0) == 5.0
+
+    def test_reset_restores_full_capacity(self):
+        pool = WorkerPool(1)
+        pool.commit(500.0)
+        assert pool.acquire(0.0) == 500.0
+        pool.reset()
+        assert pool.in_flight == 0
+        assert pool.acquire(0.0) == 0.0
+
+
+class TestSerialResourceReset:
+    def test_reset_clears_schedule_and_statistics(self):
+        link = SerialResource("link", free_at=25.0)
+        assert link.occupy(0.0, 10.0) == 25.0
+        link.reset()
+        assert link.free_at == 0.0
+        assert link.busy_time == 0.0
+        assert link.served == 0
+        # After a reset the resource serves from time zero again.
+        assert link.occupy(0.0, 10.0) == 0.0
+        assert link.utilisation(10.0) == pytest.approx(1.0)
+
+    def test_utilisation_is_capped_at_one(self):
+        link = SerialResource("link")
+        link.occupy(0.0, 100.0)
+        assert link.utilisation(50.0) == 1.0
+
+
+class TestValidationPaths:
+    def test_serial_resource_rejects_negative_construction(self):
+        with pytest.raises(ValidationError):
+            SerialResource("link", free_at=-1.0)
+
+    def test_serial_resource_rejects_bad_occupy_arguments(self):
+        link = SerialResource("link")
+        with pytest.raises(ValidationError):
+            link.occupy(-0.5, 1.0)
+        with pytest.raises(ValidationError):
+            link.occupy(0.0, -1.0)
+        with pytest.raises(ValidationError):
+            link.utilisation(-10.0)
+
+    def test_worker_pool_rejects_bad_arguments(self):
+        with pytest.raises(ValidationError):
+            WorkerPool(0)
+        with pytest.raises(ValidationError):
+            WorkerPool(-3)
+        pool = WorkerPool(2)
+        with pytest.raises(ValidationError):
+            pool.acquire(-1.0)
+        with pytest.raises(ValidationError):
+            pool.commit(-0.1)
+        # Failed calls must not corrupt the pool.
+        assert pool.in_flight == 0
+        assert pool.acquire(0.0) == 0.0

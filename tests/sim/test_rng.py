@@ -65,3 +65,26 @@ class TestDraws:
             rng.bernoulli("b", 1.5, 10)
         with pytest.raises(ValidationError):
             SimRng("not-a-seed")  # type: ignore[arg-type]
+
+
+class TestCrossProcessDeterminism:
+    def test_named_streams_identical_in_a_fresh_interpreter(self):
+        # Sub-stream keys must not depend on Python's salted hash(): the
+        # same seed has to yield the same stream in another process (CLI
+        # re-invocations, process-pool workers).
+        import subprocess
+        import sys
+
+        snippet = (
+            "from repro.sim.rng import SimRng;"
+            "print(int(SimRng(42).spawn('workload.imix.tx').integers(0, 2**31)))"
+        )
+        draws = {
+            subprocess.run(
+                [sys.executable, "-c", snippet],
+                capture_output=True, text=True, check=True,
+            ).stdout.strip()
+            for _ in range(2)
+        }
+        here = int(SimRng(42).spawn("workload.imix.tx").integers(0, 2**31))
+        assert draws == {str(here)}
