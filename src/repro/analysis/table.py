@@ -76,7 +76,10 @@ def format_nicsim_summary(
     ``records`` are :meth:`repro.sim.nicsim.NicSimResult.as_dict` outputs
     (plain dictionaries, so this module stays independent of the simulator).
     Each active direction becomes one row with throughput, drop, ring
-    occupancy and latency-percentile columns.
+    occupancy and latency-percentile columns.  Records from host-coupled
+    runs (carrying a ``"host"`` block) additionally get a host-side
+    counter table: cache hit rates split by region, IOTLB hit rate,
+    page-walker stalls and the remote-NUMA fraction.
     """
     if not records:
         raise AnalysisError("no simulation results to format")
@@ -118,7 +121,39 @@ def format_nicsim_summary(
                     latency.get("p99.9", "-"),
                 ]
             )
-    return format_table(headers, rows, title=title, float_format="{:.1f}")
+    rendered = format_table(headers, rows, title=title, float_format="{:.1f}")
+    host_rows = [
+        [
+            record["model"],
+            record["workload"],
+            100.0 * host["payload_cache_hit_rate"],
+            100.0 * host["descriptor_cache_hit_rate"],
+            100.0 * host["iotlb_hit_rate"],
+            host["walker_stall_ns_mean"],
+            100.0 * host["remote_fraction"],
+            host["writebacks"],
+        ]
+        for record in records
+        if (host := record.get("host")) is not None
+    ]
+    if host_rows:
+        host_table = format_table(
+            [
+                "model",
+                "workload",
+                "payload hit %",
+                "desc hit %",
+                "IOTLB hit %",
+                "walker stall (ns)",
+                "remote %",
+                "writebacks",
+            ],
+            host_rows,
+            title="Host-side counters",
+            float_format="{:.1f}",
+        )
+        rendered = f"{rendered}\n\n{host_table}"
+    return rendered
 
 
 def format_series_table(

@@ -3,9 +3,16 @@
 :class:`NicSimParams` plays the role :class:`~repro.bench.params.BenchmarkParams`
 plays for the pcie-bench micro-benchmarks: a frozen, validated, serialisable
 description of one run — NIC/driver model, traffic workload, offered load,
-ring depth — that the :class:`~repro.bench.runner.BenchmarkRunner` can
-execute alongside the classic ``LAT_*``/``BW_*`` kinds and that sweeps can
-derive variants from with :meth:`NicSimParams.with_`.
+ring depth, and (optionally) the host the datapath is coupled to — that the
+:class:`~repro.bench.runner.BenchmarkRunner` can execute alongside the
+classic ``LAT_*``/``BW_*`` kinds and that sweeps can derive variants from
+with :meth:`NicSimParams.with_`.
+
+The host-coupling fields mirror the classic benchmark parameters: ``system``
+picks a Table 1 profile (``None`` keeps the link-only datapath), and
+``iommu_enabled`` / ``iommu_page_size`` / ``payload_window`` /
+``payload_cache_state`` / ``payload_placement`` configure the
+:class:`~repro.sim.nichost.NicHostConfig` the simulator builds from them.
 """
 
 from __future__ import annotations
@@ -14,7 +21,11 @@ from dataclasses import dataclass, replace
 
 from ..core.nic import model_by_name
 from ..errors import ValidationError
+from ..sim.cache import CacheState
+from ..sim.iommu import SUPPORTED_PAGE_SIZES
+from ..sim.nichost import PAYLOAD_UNIT_BYTES, NicHostConfig
 from ..sim.nicsim import NicSimResult, simulate_nic
+from ..units import KIB, MIB, format_size
 from ..workloads import workload_names
 
 #: The ``kind`` tag used in labels and serialised records, mirroring the
@@ -36,6 +47,15 @@ class NicSimParams:
         ring_depth: descriptor ring depth per direction.
         duplex: full-duplex (TX and RX) or TX-only traffic.
         rx_backpressure: stall instead of dropping when the RX ring fills.
+        system: Table 1 host profile to couple the datapath to; ``None``
+            runs the link-only datapath (flat host latency).
+        iommu_enabled: translate DMA addresses (needs ``system``).
+        iommu_page_size: IOVA page size (4 KiB, 2 MiB or 1 GiB).
+        payload_window: payload-buffer working set the workload cycles
+            through (drives cache and IOTLB pressure).
+        payload_cache_state: cache preparation of the payload window.
+        payload_placement: ``"local"`` or ``"remote"`` NUMA placement of
+            the payload buffers (``"remote"`` needs ``system``).
         seed: workload RNG seed (``None`` uses the library default).
     """
 
@@ -47,6 +67,12 @@ class NicSimParams:
     ring_depth: int = 512
     duplex: bool = True
     rx_backpressure: bool = False
+    system: str | None = None
+    iommu_enabled: bool = False
+    iommu_page_size: int = 4 * KIB
+    payload_window: int = 4 * MIB
+    payload_cache_state: str = "host_warm"
+    payload_placement: str = "local"
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -74,11 +100,55 @@ class NicSimParams:
             raise ValidationError(
                 f"ring_depth must be positive, got {self.ring_depth}"
             )
+        # Host knobs are validated even on decoupled params, so a bad value
+        # fails where it is written, not at a later with_(system=...).
+        if self.iommu_page_size not in SUPPORTED_PAGE_SIZES:
+            raise ValidationError(
+                f"iommu_page_size must be one of {SUPPORTED_PAGE_SIZES}, "
+                f"got {self.iommu_page_size}"
+            )
+        if self.payload_window < PAYLOAD_UNIT_BYTES:
+            raise ValidationError(
+                f"payload_window must hold at least one {PAYLOAD_UNIT_BYTES}-"
+                f"byte unit, got {self.payload_window}"
+            )
+        object.__setattr__(
+            self,
+            "payload_cache_state",
+            CacheState.from_value(self.payload_cache_state).value,
+        )
+        if self.system is not None:
+            # Building the host config additionally validates profile name
+            # and placement; keep the canonical profile spelling for labels
+            # and serialisation.
+            host = self.host_config()
+            object.__setattr__(self, "system", host.system)
+        elif self.iommu_enabled:
+            raise ValidationError(
+                "iommu_enabled requires a host system (set system=...)"
+            )
+        elif self.payload_placement != "local":
+            raise ValidationError(
+                "remote payload placement requires a host system (set system=...)"
+            )
 
     @property
     def kind(self) -> str:
         """Benchmark kind tag (always ``"NICSIM"``)."""
         return NICSIM_KIND
+
+    def host_config(self) -> NicHostConfig | None:
+        """The host coupling these parameters describe (``None`` when decoupled)."""
+        if self.system is None:
+            return None
+        return NicHostConfig(
+            system=self.system,
+            iommu_enabled=self.iommu_enabled,
+            iommu_page_size=self.iommu_page_size,
+            payload_window=self.payload_window,
+            payload_cache_state=self.payload_cache_state,
+            payload_placement=self.payload_placement,
+        )
 
     def with_(self, **changes: object) -> "NicSimParams":
         """Return a copy with selected fields replaced."""
@@ -97,6 +167,16 @@ class NicSimParams:
         parts.append(f"ring={self.ring_depth}")
         if not self.duplex:
             parts.append("tx-only")
+        if self.system is not None:
+            parts.append(f"host={self.system}")
+            parts.append(f"window={format_size(self.payload_window)}")
+            parts.append(self.payload_cache_state)
+            if self.iommu_enabled:
+                parts.append(
+                    f"iommu({format_size(self.iommu_page_size)} pages)"
+                )
+            if self.payload_placement != "local":
+                parts.append(self.payload_placement)
         return " ".join(parts)
 
     def as_dict(self) -> dict[str, object]:
@@ -111,6 +191,12 @@ class NicSimParams:
             "ring_depth": self.ring_depth,
             "duplex": self.duplex,
             "rx_backpressure": self.rx_backpressure,
+            "system": self.system,
+            "iommu_enabled": self.iommu_enabled,
+            "iommu_page_size": self.iommu_page_size,
+            "payload_window": self.payload_window,
+            "payload_cache_state": self.payload_cache_state,
+            "payload_placement": self.payload_placement,
             "seed": self.seed,
         }
 
@@ -133,5 +219,6 @@ def run_nicsim_benchmark(params: NicSimParams) -> NicSimResult:
         duplex=params.duplex,
         ring_depth=params.ring_depth,
         rx_backpressure=params.rx_backpressure,
+        host=params.host_config(),
         seed=params.seed,
     )

@@ -10,6 +10,9 @@ Examples::
     pcie-bench run BW_RD --size 64 --window 8K --system NFP6000-HSW
     pcie-bench nicsim --model dpdk --workload imix --load 24
     pcie-bench nicsim --model all --size 64 --compare-analytic
+    pcie-bench nicsim --model dpdk --workload imix --load 24 \\
+        --system NFP6000-BDW --iommu --host-window 16M
+    pcie-bench experiment figure-7-9-sim
     pcie-bench experiment figure-9
     pcie-bench suite --jobs 4 --output results.json
     pcie-bench report --output EXPERIMENTS.md
@@ -82,6 +85,35 @@ def build_parser() -> argparse.ArgumentParser:
     nicsim.add_argument("--ring-depth", type=int, default=512)
     nicsim.add_argument(
         "--unidirectional", action="store_true", help="TX-only traffic"
+    )
+    nicsim.add_argument(
+        "--system", default=None, choices=profile_names(),
+        help="couple the datapath to this Table 1 host model "
+        "(default: link-only datapath with a flat host latency)",
+    )
+    nicsim.add_argument(
+        "--iommu", action="store_true",
+        help="translate DMA addresses through the host's IOMMU "
+        "(requires --system)",
+    )
+    nicsim.add_argument(
+        "--iommu-pagesize", default="4K",
+        help="IOVA page size: 4K (sp_off), 2M or 1G super-pages",
+    )
+    nicsim.add_argument(
+        "--host-window", default="4M",
+        help="payload-buffer working set (e.g. 256K, 16M); drives cache "
+        "and IOTLB pressure",
+    )
+    nicsim.add_argument(
+        "--host-cache", default="host_warm",
+        choices=["cold", "host_warm", "device_warm"],
+        help="cache preparation state of the payload window",
+    )
+    nicsim.add_argument(
+        "--placement", default="local", choices=["local", "remote"],
+        help="NUMA placement of the payload buffers (requires --system "
+        "with a two-socket profile)",
     )
     nicsim.add_argument("--seed", type=int, default=None)
     nicsim.add_argument(
@@ -199,6 +231,7 @@ def _cmd_nicsim(args: argparse.Namespace) -> int:
     else:
         models = [model_by_name(args.model).name]
     records = []
+    host_config = None
     for model in models:
         params = NicSimParams(
             model=model,
@@ -208,8 +241,15 @@ def _cmd_nicsim(args: argparse.Namespace) -> int:
             packets=args.packets,
             ring_depth=args.ring_depth,
             duplex=not args.unidirectional,
+            system=args.system,
+            iommu_enabled=args.iommu,
+            iommu_page_size=parse_size(args.iommu_pagesize),
+            payload_window=parse_size(args.host_window),
+            payload_cache_state=args.host_cache,
+            payload_placement=args.placement,
             seed=args.seed,
         )
+        host_config = params.host_config()
         print(params.label(), file=sys.stderr)
         records.append(run_nicsim_benchmark(params).as_dict())
     print(format_nicsim_summary(records, title="NIC datapath simulation"))
@@ -218,7 +258,7 @@ def _cmd_nicsim(args: argparse.Namespace) -> int:
         for model in models:
             for point in cross_validate(
                 model, (args.size,), packets=args.packets,
-                ring_depth=args.ring_depth, seed=args.seed,
+                ring_depth=args.ring_depth, host=host_config, seed=args.seed,
             ):
                 rows.append(
                     [

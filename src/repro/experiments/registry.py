@@ -19,6 +19,7 @@ from . import (
     fig4_baseline_bandwidth,
     fig5_baseline_latency,
     fig6_latency_distribution,
+    fig7_9_sim,
     fig7_cache_ddio,
     fig8_numa,
     fig9_iommu,
@@ -39,6 +40,7 @@ _MODULES: tuple[ModuleType, ...] = (
     fig7_cache_ddio,
     fig8_numa,
     fig9_iommu,
+    fig7_9_sim,
     table1_systems,
     table2_findings,
 )

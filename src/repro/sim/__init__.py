@@ -24,6 +24,7 @@ from .devices import (
 )
 from .dma import BandwidthMeasurement, DmaEngine, DmaOperation, LatencyMeasurement
 from .engine import SerialResource, WorkerPool
+from .nichost import HostCoupling, HostSideStats, NicHostConfig
 from .nicsim import (
     CrossValidationPoint,
     LatencySummary,
@@ -31,6 +32,7 @@ from .nicsim import (
     NicSimConfig,
     NicSimResult,
     PathResult,
+    PathTrace,
     RingStats,
     cross_validate,
     cross_validate_figure1,
@@ -77,11 +79,15 @@ __all__ = [
     "SerialResource",
     "WorkerPool",
     "CrossValidationPoint",
+    "HostCoupling",
+    "HostSideStats",
     "LatencySummary",
     "NicDatapathSimulator",
+    "NicHostConfig",
     "NicSimConfig",
     "NicSimResult",
     "PathResult",
+    "PathTrace",
     "RingStats",
     "cross_validate",
     "cross_validate_figure1",

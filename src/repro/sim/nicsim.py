@@ -33,6 +33,18 @@ harness at the bottom of this module checks that); under bursty or
 mixed-size traffic it additionally exposes what the averages hide — ring
 occupancy, head-of-line waits, drops, and the latency cost of interrupt
 moderation — which is the new scientific output of the subsystem.
+
+When a :class:`~repro.sim.nichost.NicHostConfig` is attached (via
+``NicSimConfig.host``), the flat per-DMA host latency is replaced by the
+full host model: every descriptor fetch, payload DMA and write-back
+becomes a :class:`~repro.sim.root_complex.HostAccess` against a Table 1
+profile, adding cache hit/DRAM-miss latency, DDIO write-backs, IOTLB
+walks serialised on a shared page-walker resource, per-TLP root-complex
+ingress occupancy and remote-NUMA penalties on top of link serialisation.
+Data flow: ``workloads → nicsim (rings, event loop, links) → nichost
+(buffers, address streams) → root_complex (cache/IOMMU/NUMA/memory/
+noise)``.  Without a host config the PR 1 link-only behaviour is
+preserved bit for bit.
 """
 
 from __future__ import annotations
@@ -51,6 +63,7 @@ from ..errors import SimulationError, ValidationError
 from ..units import bytes_over_time_to_gbps, ns_to_s
 from ..workloads import Workload, build_workload
 from .engine import SerialResource
+from .nichost import HostCoupling, HostSideStats, NicHostConfig
 from .rng import DEFAULT_SEED, SimRng
 
 #: Packet size used to classify a model's transaction sequence (any valid
@@ -74,6 +87,11 @@ class NicSimConfig:
             of dropping — the lossless-fabric premise of the closed-form
             model, used by the cross-validation harness.  The realistic
             default tail-drops, as a NIC must when the wire does not wait.
+        host: optional :class:`~repro.sim.nichost.NicHostConfig` coupling
+            the datapath to a Table 1 host model; when set, DMAs are
+            serviced by the root complex (cache, IOMMU, NUMA, noise) and
+            ``host_read_latency_ns`` / ``mmio_read_latency_ns`` are
+            superseded by the profile's calibrated behaviour.
     """
 
     ring_depth: int = 512
@@ -81,6 +99,7 @@ class NicSimConfig:
     mmio_read_latency_ns: float = 300.0
     warmup_fraction: float = 0.25
     rx_backpressure: bool = False
+    host: NicHostConfig | None = None
 
     def __post_init__(self) -> None:
         if self.ring_depth <= 0:
@@ -193,13 +212,24 @@ class LatencySummary:
 
 @dataclass(frozen=True)
 class PathResult:
-    """Measured behaviour of one direction (TX or RX) of the datapath."""
+    """Measured behaviour of one direction (TX or RX) of the datapath.
+
+    ``offered_bytes`` / ``dropped_bytes`` and ``in_flight`` (packets still
+    queued for a ring entry when the run ended) make the conservation laws
+    checkable from the result alone: ``offered_packets = delivered_packets
+    + drops + in_flight`` exactly, and ``payload_bytes + dropped_bytes <=
+    offered_bytes`` (the remainder being the bytes of in-flight packets,
+    whose sizes are not recorded individually).
+    """
 
     direction: str
     offered_packets: int
     delivered_packets: int
     drops: int
+    in_flight: int
     payload_bytes: int
+    offered_bytes: int
+    dropped_bytes: int
     throughput_gbps: float
     packet_rate_pps: float
     latency: LatencySummary | None
@@ -212,7 +242,10 @@ class PathResult:
             "offered_packets": self.offered_packets,
             "delivered_packets": self.delivered_packets,
             "drops": self.drops,
+            "in_flight": self.in_flight,
             "payload_bytes": self.payload_bytes,
+            "offered_bytes": self.offered_bytes,
+            "dropped_bytes": self.dropped_bytes,
             "throughput_gbps": self.throughput_gbps,
             "packet_rate_pps": self.packet_rate_pps,
             "ring": self.ring.as_dict(),
@@ -230,7 +263,10 @@ class PathResult:
             offered_packets=int(data["offered_packets"]),
             delivered_packets=int(data["delivered_packets"]),
             drops=int(data["drops"]),
+            in_flight=int(data.get("in_flight", 0)),
             payload_bytes=int(data["payload_bytes"]),
+            offered_bytes=int(data.get("offered_bytes", 0)),
+            dropped_bytes=int(data.get("dropped_bytes", 0)),
             throughput_gbps=float(data["throughput_gbps"]),
             packet_rate_pps=float(data["packet_rate_pps"]),
             latency=LatencySummary.from_dict(latency) if latency else None,
@@ -250,6 +286,7 @@ class NicSimResult:
     rx: PathResult | None
     link_utilisation_up: float
     link_utilisation_down: float
+    host: HostSideStats | None = None
 
     @property
     def throughput_gbps(self) -> float:
@@ -284,12 +321,15 @@ class NicSimResult:
         }
         if self.rx is not None:
             record["rx"] = self.rx.as_dict()
+        if self.host is not None:
+            record["host"] = self.host.as_dict()
         return record
 
     @classmethod
     def from_dict(cls, data: dict) -> "NicSimResult":
         """Rebuild a result from :meth:`as_dict` output."""
         rx = data.get("rx")
+        host = data.get("host")
         return cls(
             model=str(data["model"]),
             workload=str(data["workload"]),
@@ -299,6 +339,7 @@ class NicSimResult:
             rx=PathResult.from_dict(rx) if rx else None,
             link_utilisation_up=float(data["link_utilisation_up"]),
             link_utilisation_down=float(data["link_utilisation_down"]),
+            host=HostSideStats.from_dict(host) if host else None,
         )
 
 
@@ -352,6 +393,7 @@ class _CompiledOp:
 
     kind: OpKind
     per_packets: float
+    size: int
     up_ns: float
     down_ns: float
     label: str
@@ -387,6 +429,11 @@ class _Ring:
         """Entries currently held."""
         return self._used
 
+    @property
+    def waiting(self) -> int:
+        """Packets queued for an entry (TX backpressure queue)."""
+        return len(self._waiters)
+
     def _advance(self, now: float) -> None:
         if self._first_event is None:
             self._first_event = now
@@ -395,7 +442,12 @@ class _Ring:
         self._last_event = max(self._last_event, now)
 
     def admit(
-        self, now: float, on_post: Callable[[float], None], *, wait: bool
+        self,
+        now: float,
+        on_post: Callable[[float], None],
+        *,
+        wait: bool,
+        on_drop: Callable[[], None] | None = None,
     ) -> None:
         """Claim an entry at ``now``; posts now, later (TX), or drops (RX)."""
         self._advance(now)
@@ -408,6 +460,8 @@ class _Ring:
             self._waiters.append(on_post)
         else:
             self.drops += 1
+            if on_drop is not None:
+                on_drop()
 
     def release(self, now: float, count: int) -> None:
         """Free ``count`` entries, handing them straight to any waiters."""
@@ -454,6 +508,9 @@ class _Datapath:
         loop: _EventLoop,
         link_up: SerialResource,
         link_down: SerialResource,
+        coupling: HostCoupling | None = None,
+        ingress: SerialResource | None = None,
+        walker: SerialResource | None = None,
     ) -> None:
         self.direction = direction
         self._model = model
@@ -462,6 +519,9 @@ class _Datapath:
         self._loop = loop
         self._link_up = link_up
         self._link_down = link_down
+        self._coupling = coupling
+        self._ingress = ingress
+        self._walker = walker
         self.ring = _Ring(f"{direction}_ring", sim_config.ring_depth)
         self._compiled: dict[int, list[_CompiledOp]] = {}
 
@@ -498,6 +558,8 @@ class _Datapath:
         self.notifies: list[float] = []
         self.delivered_sizes: list[int] = []
         self.offered = 0
+        self.offered_bytes = 0
+        self.dropped_bytes = 0
 
     # -- sequence compilation ---------------------------------------------------
 
@@ -517,6 +579,7 @@ class _Datapath:
                     _CompiledOp(
                         kind=transaction.kind,
                         per_packets=transaction.per_packets,
+                        size=transaction.size,
                         up_ns=link.serialisation_time_ns(wire.device_to_host),
                         down_ns=link.serialisation_time_ns(wire.host_to_device),
                         label=transaction.label,
@@ -560,28 +623,93 @@ class _Datapath:
 
     # -- transaction issue ------------------------------------------------------
 
+    def _claim_host_resources(self, now: float, access) -> float:
+        """Serialise a transaction through root-complex ingress and walker.
+
+        Returns the time host processing can begin; the IOMMU page walker
+        is a shared serial resource, so concurrent misses queue — the
+        throughput collapse of §6.5.
+        """
+        ready = now
+        if access.ingress_occupancy_ns > 0.0:
+            ready = (
+                self._ingress.occupy(ready, access.ingress_occupancy_ns)
+                + access.ingress_occupancy_ns
+            )
+        if access.walker_occupancy_ns > 0.0:
+            self._coupling.note_walker_stall(max(0.0, self._walker.free_at - ready))
+            ready = (
+                self._walker.occupy(ready, access.walker_occupancy_ns)
+                + access.walker_occupancy_ns
+            )
+        return ready
+
     def _issue(
-        self, op: _CompiledOp, now: float, on_done: Callable[[float], None]
+        self,
+        op: _CompiledOp,
+        now: float,
+        on_done: Callable[[float], None],
+        *,
+        payload: bool = False,
     ) -> None:
-        """Claim link time for one instance; ``on_done`` fires at completion."""
+        """Claim link time for one instance; ``on_done`` fires at completion.
+
+        With host coupling active, DMA transactions additionally visit the
+        root complex *at the simulated time they arrive there* (so ingress
+        and walker occupancy is claimed in event order): reads wait out the
+        returned host latency before their completion claims the down
+        link; posted writes complete on the wire but still consume host
+        resources, back-pressuring later transactions.
+        """
         if op.kind is OpKind.DMA_READ:
             start = self._link_up.occupy(now, op.up_ns)
-            at_host = start + op.up_ns + self._sim_config.host_read_latency_ns
 
             def completion(time: float) -> None:
                 completion_start = self._link_down.occupy(time, op.down_ns)
                 self._loop.at(completion_start + op.down_ns, on_done)
 
-            self._loop.at(at_host, completion)
+            if self._coupling is None:
+                at_host = start + op.up_ns + self._sim_config.host_read_latency_ns
+                self._loop.at(at_host, completion)
+            else:
+
+                def at_root_complex(time: float) -> None:
+                    access = self._coupling.access(
+                        op.kind,
+                        direction=self.direction,
+                        payload=payload,
+                        size=op.size,
+                    )
+                    ready = self._claim_host_resources(time, access)
+                    self._loop.at(ready + access.latency_ns, completion)
+
+                self._loop.at(start + op.up_ns, at_root_complex)
         elif op.kind is OpKind.DMA_WRITE:
             start = self._link_up.occupy(now, op.up_ns)
             self._loop.at(start + op.up_ns, on_done)
+            if self._coupling is not None:
+
+                def at_root_complex_write(time: float) -> None:
+                    access = self._coupling.access(
+                        op.kind,
+                        direction=self.direction,
+                        payload=payload,
+                        size=op.size,
+                    )
+                    self._claim_host_resources(time, access)
+
+                self._loop.at(start + op.up_ns, at_root_complex_write)
         elif op.kind is OpKind.MMIO_WRITE:
             start = self._link_down.occupy(now, op.down_ns)
             self._loop.at(start + op.down_ns, on_done)
         else:  # MMIO_READ: request downstream, completion upstream
             start = self._link_down.occupy(now, op.down_ns)
-            at_device = start + op.down_ns + self._sim_config.mmio_read_latency_ns
+            turnaround = (
+                self._coupling.mmio_read_ns
+                if self._coupling is not None
+                else self._sim_config.mmio_read_latency_ns
+            )
+            at_device = start + op.down_ns + turnaround
 
             def mmio_completion(time: float) -> None:
                 completion_start = self._link_up.occupy(time, op.up_ns)
@@ -594,11 +722,16 @@ class _Datapath:
     def on_arrival(self, now: float, size: int) -> None:
         """A packet reaches the datapath (driver for TX, wire for RX)."""
         self.offered += 1
+        self.offered_bytes += size
         self.ring.admit(
             now,
             lambda post: self._step(self._ops_for(size), 0, post, now, size),
             wait=self.direction == "tx" or self._sim_config.rx_backpressure,
+            on_drop=lambda: self._on_drop(size),
         )
+
+    def _on_drop(self, size: int) -> None:
+        self.dropped_bytes += size
 
     def _step(
         self,
@@ -614,6 +747,7 @@ class _Datapath:
                 ops[index],
                 now,
                 lambda done: self._on_payload(arrival, done, size),
+                payload=True,
             )
             return
         op = ops[index]
@@ -712,7 +846,10 @@ class _Datapath:
             offered_packets=self.offered,
             delivered_packets=delivered,
             drops=self.ring.drops,
+            in_flight=self.ring.waiting,
             payload_bytes=payload,
+            offered_bytes=self.offered_bytes,
+            dropped_bytes=self.dropped_bytes,
             throughput_gbps=throughput,
             packet_rate_pps=rate,
             latency=latency,
@@ -723,6 +860,23 @@ class _Datapath:
 # ---------------------------------------------------------------------------
 # The simulator façade
 # ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PathTrace:
+    """Raw per-packet event times of one direction, for invariant checking.
+
+    ``NicDatapathSimulator.run`` keeps the trace of its most recent run in
+    ``last_traces`` so test harnesses can assert the causal ordering
+    (arrival <= payload completion <= completion report) packet by packet
+    — the summaries in :class:`PathResult` cannot express that.
+    """
+
+    direction: str
+    arrivals_ns: np.ndarray
+    dones_ns: np.ndarray
+    notifies_ns: np.ndarray
+    sizes: np.ndarray
 
 
 class NicDatapathSimulator:
@@ -737,6 +891,8 @@ class NicDatapathSimulator:
         self.model = model_by_name(model) if isinstance(model, str) else model
         self.config = config
         self.sim_config = sim_config or NicSimConfig()
+        #: Per-direction :class:`PathTrace` of the most recent ``run``.
+        self.last_traces: dict[str, PathTrace] = {}
 
     def run(
         self,
@@ -755,10 +911,22 @@ class NicDatapathSimulator:
         """
         if packets <= 0:
             raise ValidationError(f"packets must be positive, got {packets}")
-        rng = SimRng(DEFAULT_SEED if seed is None else seed)
+        resolved_seed = DEFAULT_SEED if seed is None else seed
+        rng = SimRng(resolved_seed)
         loop = _EventLoop()
         link_up = SerialResource("nicsim.device_to_host")
         link_down = SerialResource("nicsim.host_to_device")
+        coupling = None
+        ingress = None
+        walker = None
+        if self.sim_config.host is not None:
+            coupling = HostCoupling(
+                self.sim_config.host,
+                ring_depth=self.sim_config.ring_depth,
+                seed=resolved_seed,
+            )
+            ingress = SerialResource("nicsim.root_complex.ingress")
+            walker = SerialResource("nicsim.iommu.walker")
         paths: list[_Datapath] = []
         for direction in ("tx", "rx") if workload.duplex else ("tx",):
             path = _Datapath(
@@ -769,6 +937,9 @@ class NicDatapathSimulator:
                 loop,
                 link_up,
                 link_down,
+                coupling=coupling,
+                ingress=ingress,
+                walker=walker,
             )
             schedule = workload.generate(packets, rng, stream=direction)
             for index in range(schedule.count):
@@ -783,6 +954,16 @@ class NicDatapathSimulator:
         for path in paths:
             path.finish()
 
+        self.last_traces = {
+            path.direction: PathTrace(
+                direction=path.direction,
+                arrivals_ns=np.asarray(path.arrivals, dtype=np.float64),
+                dones_ns=np.asarray(path.dones, dtype=np.float64),
+                notifies_ns=np.asarray(path.notifies, dtype=np.float64),
+                sizes=np.asarray(path.delivered_sizes, dtype=np.int64),
+            )
+            for path in paths
+        }
         duration = max(
             [0.0] + [max(path.notifies) for path in paths if path.notifies]
         )
@@ -801,6 +982,7 @@ class NicDatapathSimulator:
             link_utilisation_down=(
                 link_down.utilisation(duration) if duration > 0 else 0.0
             ),
+            host=coupling.stats() if coupling is not None else None,
         )
 
 
@@ -814,6 +996,7 @@ def simulate_nic(
     duplex: bool = True,
     ring_depth: int = 512,
     rx_backpressure: bool = False,
+    host: NicHostConfig | str | None = None,
     seed: int | None = None,
     config: PCIeConfig = PAPER_DEFAULT_CONFIG,
 ) -> NicSimResult:
@@ -822,16 +1005,21 @@ def simulate_nic(
     ``workload`` accepts either a prepared :class:`Workload` or a registry
     name (``"fixed"``, ``"imix"``, ``"bursty"``, ...); the ``packet_size``,
     ``load_gbps`` and ``duplex`` knobs only apply when building by name.
+    ``host`` couples the datapath to a host model: either a full
+    :class:`~repro.sim.nichost.NicHostConfig` or a Table 1 profile name
+    (which uses the config's neutral defaults).
     """
     if isinstance(workload, str):
         workload = build_workload(
             workload, size=packet_size, load_gbps=load_gbps, duplex=duplex
         )
+    if isinstance(host, str):
+        host = NicHostConfig(system=host)
     simulator = NicDatapathSimulator(
         model,
         config=config,
         sim_config=NicSimConfig(
-            ring_depth=ring_depth, rx_backpressure=rx_backpressure
+            ring_depth=ring_depth, rx_backpressure=rx_backpressure, host=host
         ),
     )
     return simulator.run(workload, packets, seed=seed)
@@ -867,6 +1055,7 @@ def cross_validate(
     *,
     packets: int = 2000,
     ring_depth: int = 512,
+    host: NicHostConfig | str | None = None,
     seed: int | None = None,
     config: PCIeConfig = PAPER_DEFAULT_CONFIG,
 ) -> list[CrossValidationPoint]:
@@ -881,6 +1070,11 @@ def cross_validate(
     bandwidth and let TX exceed the model's bound).  Agreement here is
     what licenses trusting the simulator where the model cannot go (bursty
     arrivals, mixed sizes, shallow rings).
+
+    Passing ``host`` runs the comparison with the datapath coupled to a
+    host model; with a *neutral* host configuration (IOMMU off, warm
+    cache, local buffers) the agreement must survive the coupling — the
+    regression contract the host-coupling refactor is held to.
     """
     resolved = model_by_name(model) if isinstance(model, str) else model
     points = []
@@ -892,6 +1086,7 @@ def cross_validate(
             packet_size=size,
             ring_depth=ring_depth,
             rx_backpressure=True,
+            host=host,
             seed=seed,
             config=config,
         )

@@ -19,8 +19,12 @@ The model composes:
 * the NUMA penalty for remote buffers,
 * a per-profile noise model (tight for Xeon E5, heavy-tailed for Xeon E3).
 
-It returns per-transaction :class:`HostAccess` records; the DMA engine model
-in :mod:`repro.sim.dma` adds link serialisation and device overheads on top.
+It returns per-transaction :class:`HostAccess` records; the consumers add
+link serialisation and resource contention on top: the DMA engine model in
+:mod:`repro.sim.dma` (micro-benchmarks) and, via the
+:mod:`repro.sim.nichost` coupling, the packet-level NIC datapath in
+:mod:`repro.sim.nicsim`, whose descriptor and payload DMAs are all serviced
+here when a host is attached.
 """
 
 from __future__ import annotations

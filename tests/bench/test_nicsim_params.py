@@ -56,6 +56,69 @@ class TestNicSimParams:
         assert variant.model == base.model
 
 
+class TestHostCouplingParams:
+    def test_host_fields_default_to_decoupled(self):
+        params = NicSimParams(model="dpdk")
+        assert params.system is None
+        assert params.host_config() is None
+
+    def test_system_normalised_and_host_config_built(self):
+        params = NicSimParams(
+            model="dpdk", system="nfp6000-bdw", iommu_enabled=True,
+            payload_window=1024 * 1024, payload_cache_state="warm",
+        )
+        assert params.system == "NFP6000-BDW"
+        assert params.payload_cache_state == "host_warm"
+        host = params.host_config()
+        assert host is not None
+        assert host.iommu_enabled
+        assert host.payload_window == 1024 * 1024
+
+    def test_iommu_and_remote_require_a_system(self):
+        with pytest.raises(ValidationError):
+            NicSimParams(model="dpdk", iommu_enabled=True)
+        with pytest.raises(ValidationError):
+            NicSimParams(model="dpdk", payload_placement="remote")
+
+    def test_invalid_host_knobs_rejected(self):
+        with pytest.raises(ValidationError):
+            NicSimParams(model="dpdk", system="NFP6000-BDW", iommu_page_size=8192)
+        with pytest.raises(ValidationError):
+            NicSimParams(
+                model="dpdk", system="NFP6000-HSW", payload_placement="remote"
+            )
+
+    def test_label_mentions_host_knobs(self):
+        label = NicSimParams(
+            model="dpdk", system="NFP6000-BDW", iommu_enabled=True,
+            payload_window=16 * 1024 * 1024, payload_placement="remote",
+            payload_cache_state="device_warm",
+        ).label()
+        assert "host=NFP6000-BDW" in label
+        assert "window=16M" in label
+        assert "iommu(4K pages)" in label
+        assert "remote" in label
+        assert "device_warm" in label
+
+    def test_host_fields_round_trip(self):
+        params = NicSimParams(
+            model="kernel", system="NFP6000-BDW", iommu_enabled=True,
+            iommu_page_size=2 * 1024 * 1024, payload_window=4 * 1024 * 1024,
+            payload_placement="remote", seed=3,
+        )
+        assert NicSimParams.from_dict(params.as_dict()) == params
+
+    def test_coupled_run_produces_host_stats(self):
+        params = NicSimParams(
+            model="dpdk", packets=300, packet_size=512,
+            offered_load_gbps=10.0, system="NFP6000-HSW",
+            payload_window=256 * 1024,
+        )
+        result = run_nicsim_benchmark(params)
+        assert result.host is not None
+        assert result.host.accesses > 0
+
+
 class TestRunnerIntegration:
     def test_run_dispatches_nicsim_params(self):
         runner = BenchmarkRunner()

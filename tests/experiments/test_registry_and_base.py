@@ -30,6 +30,7 @@ class TestRegistry:
             "figure-7",
             "figure-8",
             "figure-9",
+            "figure-7-9-sim",
             "table-1",
             "table-2",
         ]

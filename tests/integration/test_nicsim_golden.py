@@ -1,0 +1,137 @@
+"""Golden-output tests for ``pcie-bench nicsim`` and ``figure-7-9-sim``.
+
+The checked-in golden record (``tests/golden/nicsim_seeded.json``) pins a
+seeded host-coupled run: the serialised parameters must reproduce the
+serialised result, so any change to the datapath, the host coupling, the
+RNG streams or the serialisation format is caught explicitly (regenerate
+the file deliberately when the change is intended — see the test body for
+the recipe).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.nicsim import NicSimParams, run_nicsim_benchmark
+from repro.cli import main
+from repro.experiments.registry import run_experiment
+from repro.sim.nicsim import NicSimResult
+
+GOLDEN_PATH = Path(__file__).parent.parent / "golden" / "nicsim_seeded.json"
+
+#: Relative tolerance for float comparisons: the run is deterministic, but
+#: float reductions may differ in the last bits across numpy versions.
+REL_TOL = 1e-6
+
+
+def assert_deep_close(actual, expected, path=""):
+    assert type(actual) is type(expected) or (
+        isinstance(actual, (int, float)) and isinstance(expected, (int, float))
+    ), f"type mismatch at {path}: {type(actual)} vs {type(expected)}"
+    if isinstance(expected, dict):
+        assert set(actual) == set(expected), (
+            f"key mismatch at {path}: {sorted(actual)} vs {sorted(expected)}"
+        )
+        for key in expected:
+            assert_deep_close(actual[key], expected[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert len(actual) == len(expected), f"length mismatch at {path}"
+        for index, (a, e) in enumerate(zip(actual, expected)):
+            assert_deep_close(a, e, f"{path}[{index}]")
+    elif isinstance(expected, float):
+        assert actual == pytest.approx(expected, rel=REL_TOL), (
+            f"value mismatch at {path}: {actual} vs {expected}"
+        )
+    else:
+        assert actual == expected, (
+            f"value mismatch at {path}: {actual!r} vs {expected!r}"
+        )
+
+
+class TestSeededGoldenRun:
+    def test_seeded_run_matches_checked_in_summary(self):
+        # To regenerate after an intentional behaviour change:
+        #   params = NicSimParams.from_dict(golden["params"])
+        #   json.dump({"params": params.as_dict(),
+        #              "result": run_nicsim_benchmark(params).as_dict()}, ...)
+        golden = json.loads(GOLDEN_PATH.read_text())
+        params = NicSimParams.from_dict(golden["params"])
+        assert params.as_dict() == golden["params"]
+        result = run_nicsim_benchmark(params)
+        assert_deep_close(result.as_dict(), golden["result"])
+
+    def test_golden_record_round_trips_through_dict(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        restored = NicSimResult.from_dict(golden["result"])
+        assert_deep_close(restored.as_dict(), golden["result"])
+        # Equality after a second round trip (exact: no floats re-derived).
+        assert NicSimResult.from_dict(restored.as_dict()) == restored
+
+    def test_live_result_round_trips_with_host_block(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        result = run_nicsim_benchmark(NicSimParams.from_dict(golden["params"]))
+        assert result.host is not None
+        assert NicSimResult.from_dict(result.as_dict()) == result
+
+
+class TestCliGolden:
+    def test_host_coupled_nicsim_cli(self, capsys):
+        code = main(
+            [
+                "nicsim", "--model", "dpdk", "--workload", "imix",
+                "--load", "20", "--packets", "600", "--ring-depth", "256",
+                "--system", "NFP6000-BDW", "--iommu",
+                "--host-window", "1M", "--host-cache", "device_warm",
+                "--seed", "7",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        # The per-direction table and the host-side counter table are both
+        # present, and the run matches the golden record's headline number.
+        assert "NIC datapath simulation" in captured.out
+        assert "Host-side counters" in captured.out
+        assert "Modern NIC (DPDK driver)" in captured.out
+        assert "IOTLB hit %" in captured.out
+        golden = json.loads(GOLDEN_PATH.read_text())
+        expected_gbps = golden["result"]["tx"]["throughput_gbps"]
+        assert f"{expected_gbps:.1f}" in captured.out
+
+    def test_decoupled_cli_has_no_host_table(self, capsys):
+        code = main(
+            [
+                "nicsim", "--model", "dpdk", "--workload", "fixed",
+                "--size", "512", "--load", "10", "--packets", "300",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Host-side counters" not in captured.out
+
+    def test_iommu_without_system_is_an_error(self, capsys):
+        code = main(["nicsim", "--model", "dpdk", "--iommu", "--packets", "100"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "requires a host system" in captured.err
+
+
+class TestExperimentGolden:
+    def test_figure_7_9_sim_structure_and_checks(self):
+        result = run_experiment("figure-7-9-sim", quick=True)
+        assert result.experiment_id == "figure-7-9-sim"
+        assert sorted(result.series) == [
+            "IOMMU off",
+            "IOMMU on (2M pages)",
+            "IOMMU on (4K pages)",
+        ]
+        assert result.table_headers[0] == "scenario"
+        assert len(result.checks) == 9
+        assert result.passed, [
+            check.description for check in result.checks if not check.passed
+        ]
+        text = result.to_text()
+        assert "figure-7-9-sim" in text
+        assert "Host-coupled NIC datapath" in text

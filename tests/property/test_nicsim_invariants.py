@@ -1,0 +1,240 @@
+"""Invariant harness for the NIC datapath simulator (host-coupled or not).
+
+Property-style tests running a grid of (model, workload, ring depth, load,
+duplex, host-coupling) combinations and asserting the laws any run must
+obey, whatever the configuration:
+
+* packet conservation: offered = delivered + dropped + in-flight, per
+  direction, cross-checked against an independently regenerated schedule;
+* byte conservation: offered bytes equal the schedule's bytes, delivered
+  bytes equal the sum of delivered sizes, dropped + delivered never exceed
+  offered;
+* monotone event times: arrival <= payload completion <= completion
+  report for every packet, and the run duration covers every report;
+* ring sanity: occupancy never exceeds the configured depth, every
+  posted packet is eventually delivered.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.nichost import NicHostConfig
+from repro.sim.nicsim import NicDatapathSimulator, NicSimConfig, NicSimResult
+from repro.sim.rng import DEFAULT_SEED, SimRng
+from repro.units import KIB
+from repro.workloads import build_workload
+
+MODELS = ("simple", "kernel", "dpdk")
+WORKLOADS = ("fixed", "uniform", "imix", "poisson", "bursty")
+
+#: Neutral host coupling used for the coupled half of the grid.
+NEUTRAL_HOST = NicHostConfig(system="NFP6000-HSW", payload_window=256 * KIB)
+#: Host coupling under maximum pressure (IOMMU miss storm, thrashed cache).
+STRESSED_HOST = NicHostConfig(
+    system="NFP6000-BDW",
+    iommu_enabled=True,
+    payload_window=4096 * KIB,
+    payload_cache_state="cold",
+    payload_placement="remote",
+)
+
+
+def run_simulation(
+    model: str,
+    workload_name: str,
+    *,
+    packets: int,
+    ring_depth: int,
+    load: float | None,
+    duplex: bool,
+    host: NicHostConfig | None,
+    rx_backpressure: bool,
+    seed: int,
+) -> tuple[NicDatapathSimulator, NicSimResult]:
+    workload = build_workload(
+        workload_name, size=512, load_gbps=load, duplex=duplex
+    )
+    simulator = NicDatapathSimulator(
+        model,
+        sim_config=NicSimConfig(
+            ring_depth=ring_depth, rx_backpressure=rx_backpressure, host=host
+        ),
+    )
+    return simulator, simulator.run(workload, packets, seed=seed)
+
+
+def assert_invariants(
+    simulator: NicDatapathSimulator,
+    result: NicSimResult,
+    *,
+    workload_name: str,
+    load: float | None,
+    packets: int,
+    seed: int,
+) -> None:
+    # Regenerate the offered schedule independently of the simulator: the
+    # workload draws from named RNG sub-streams, so the same seed yields
+    # the same schedule regardless of what else consumed randomness.
+    workload = build_workload(
+        workload_name, size=512, load_gbps=load, duplex=result.rx is not None
+    )
+    rng = SimRng(seed)
+    paths = [result.tx] + ([result.rx] if result.rx is not None else [])
+    for path in paths:
+        schedule = workload.generate(packets, rng, stream=path.direction)
+        offered_bytes = int(np.asarray(schedule.sizes).sum())
+
+        # Packet conservation, against the independent schedule.
+        assert path.offered_packets == schedule.count
+        assert (
+            path.delivered_packets + path.drops + path.in_flight
+            == path.offered_packets
+        ), path.direction
+        assert path.in_flight >= 0
+        assert path.ring.drops == path.drops
+
+        # Byte conservation per direction.
+        assert path.offered_bytes == offered_bytes
+        assert path.payload_bytes + path.dropped_bytes <= path.offered_bytes
+        trace = simulator.last_traces[path.direction]
+        assert path.payload_bytes == int(trace.sizes.sum())
+        delivered_sizes = np.sort(trace.sizes)
+        schedule_sizes = np.sort(np.asarray(schedule.sizes, dtype=np.int64))
+        # Every delivered packet is one the workload offered (multiset
+        # containment via counts per distinct size).
+        for size in np.unique(delivered_sizes):
+            assert (delivered_sizes == size).sum() <= (
+                schedule_sizes == size
+            ).sum()
+
+        # Monotone event times per packet.
+        assert trace.arrivals_ns.shape == trace.dones_ns.shape
+        assert (trace.arrivals_ns >= 0.0).all()
+        assert (trace.dones_ns >= trace.arrivals_ns).all()
+        assert (trace.notifies_ns >= trace.dones_ns).all()
+        if trace.notifies_ns.size:
+            assert result.duration_ns >= trace.notifies_ns.max()
+
+        # Ring sanity.
+        assert path.ring.max_occupancy <= path.ring.depth
+        assert 0.0 <= path.ring.mean_occupancy <= path.ring.depth
+        assert path.ring.posts == path.delivered_packets
+
+    assert 0.0 <= result.link_utilisation_up <= 1.0
+    assert 0.0 <= result.link_utilisation_down <= 1.0
+
+
+class TestDatapathInvariants:
+    @given(
+        model=st.sampled_from(MODELS),
+        workload_name=st.sampled_from(WORKLOADS),
+        ring_depth=st.sampled_from((32, 64, 512)),
+        packets=st.integers(min_value=120, max_value=300),
+        load=st.sampled_from((None, 8.0, 30.0)),
+        duplex=st.booleans(),
+        coupled=st.booleans(),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_conservation_across_workload_grid(
+        self, model, workload_name, ring_depth, packets, load, duplex, coupled, seed
+    ):
+        simulator, result = run_simulation(
+            model,
+            workload_name,
+            packets=packets,
+            ring_depth=ring_depth,
+            load=load,
+            duplex=duplex,
+            host=NEUTRAL_HOST if coupled else None,
+            rx_backpressure=False,
+            seed=seed,
+        )
+        assert_invariants(
+            simulator,
+            result,
+            workload_name=workload_name,
+            load=load,
+            packets=packets,
+            seed=seed,
+        )
+
+    @given(
+        workload_name=st.sampled_from(("fixed", "bursty")),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_conservation_under_host_pressure(self, workload_name, seed):
+        # IOMMU miss storm + cold remote buffers must bend latency, never
+        # break conservation.
+        simulator, result = run_simulation(
+            "kernel",
+            workload_name,
+            packets=200,
+            ring_depth=64,
+            load=30.0,
+            duplex=True,
+            host=STRESSED_HOST,
+            rx_backpressure=False,
+            seed=seed,
+        )
+        assert_invariants(
+            simulator,
+            result,
+            workload_name=workload_name,
+            load=30.0,
+            packets=200,
+            seed=seed,
+        )
+        assert result.host is not None
+        assert result.host.iotlb_hit_rate < 1.0
+        assert result.host.remote_fraction > 0.0
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=6, deadline=None)
+    def test_backpressure_mode_is_lossless(self, seed):
+        # With RX backpressure on, nothing may ever be dropped; packets
+        # either complete or are still queued when the run ends.
+        simulator, result = run_simulation(
+            "dpdk",
+            "bursty",
+            packets=250,
+            ring_depth=32,
+            load=None,
+            duplex=True,
+            host=None,
+            rx_backpressure=True,
+            seed=seed,
+        )
+        assert_invariants(
+            simulator,
+            result,
+            workload_name="bursty",
+            load=None,
+            packets=250,
+            seed=seed,
+        )
+        assert result.total_drops == 0
+
+    def test_default_seed_matches_explicit_default(self):
+        simulator, implicit = run_simulation(
+            "dpdk",
+            "imix",
+            packets=150,
+            ring_depth=64,
+            load=20.0,
+            duplex=True,
+            host=None,
+            rx_backpressure=False,
+            seed=DEFAULT_SEED,
+        )
+        assert_invariants(
+            simulator,
+            implicit,
+            workload_name="imix",
+            load=20.0,
+            packets=150,
+            seed=DEFAULT_SEED,
+        )
