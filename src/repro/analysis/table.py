@@ -79,7 +79,10 @@ def format_nicsim_summary(
     occupancy and latency-percentile columns.  Records from host-coupled
     runs (carrying a ``"host"`` block) additionally get a host-side
     counter table: cache hit rates split by region, IOTLB hit rate,
-    page-walker stalls and the remote-NUMA fraction.
+    page-walker stalls and the remote-NUMA fraction.  Multi-queue records
+    (paths carrying a ``"queues"`` list) get a per-queue breakdown table,
+    and records from bounded-tag runs (a ``"tags"`` block) a DMA tag-pool
+    table showing how hard the pool was contended.
     """
     if not records:
         raise AnalysisError("no simulation results to format")
@@ -122,6 +125,79 @@ def format_nicsim_summary(
                 ]
             )
     rendered = format_table(headers, rows, title=title, float_format="{:.1f}")
+    queue_rows = []
+    for record in records:
+        for direction in ("tx", "rx"):
+            path = record.get(direction)
+            if path is None:
+                continue
+            for queue in path.get("queues") or ():
+                ring = queue["ring"]
+                latency = queue.get("latency_ns") or {}
+                queue_rows.append(
+                    [
+                        record["model"],
+                        record["workload"],
+                        queue["direction"],
+                        queue["throughput_gbps"],
+                        queue["offered_packets"],
+                        queue["delivered_packets"],
+                        queue["drops"],
+                        ring["mean_occupancy"],
+                        ring["max_occupancy"],
+                        latency.get("median", "-"),
+                        latency.get("p99", "-"),
+                    ]
+                )
+    if queue_rows:
+        queue_table = format_table(
+            [
+                "model",
+                "workload",
+                "queue",
+                "Gb/s",
+                "offered",
+                "delivered",
+                "drops",
+                "ring mean",
+                "ring max",
+                "p50 (ns)",
+                "p99 (ns)",
+            ],
+            queue_rows,
+            title="Per-queue breakdown",
+            float_format="{:.1f}",
+        )
+        rendered = f"{rendered}\n\n{queue_table}"
+    tag_rows = [
+        [
+            record["model"],
+            record["workload"],
+            tags["capacity"],
+            tags["acquires"],
+            tags["max_in_flight"],
+            tags["waited"],
+            tags["wait_ns_mean"],
+        ]
+        for record in records
+        if (tags := record.get("tags")) is not None
+    ]
+    if tag_rows:
+        tag_table = format_table(
+            [
+                "model",
+                "workload",
+                "tags",
+                "DMAs",
+                "peak in flight",
+                "waited",
+                "mean wait (ns)",
+            ],
+            tag_rows,
+            title="DMA tag pool",
+            float_format="{:.1f}",
+        )
+        rendered = f"{rendered}\n\n{tag_table}"
     host_rows = [
         [
             record["model"],

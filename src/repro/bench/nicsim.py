@@ -26,7 +26,7 @@ from ..sim.iommu import SUPPORTED_PAGE_SIZES
 from ..sim.nichost import PAYLOAD_UNIT_BYTES, NicHostConfig
 from ..sim.nicsim import NicSimResult, simulate_nic
 from ..units import KIB, MIB, format_size
-from ..workloads import workload_names
+from ..workloads import canonical_flow_name, workload_names
 
 #: The ``kind`` tag used in labels and serialised records, mirroring the
 #: ``BenchmarkKind`` values of the classic micro-benchmarks.
@@ -56,6 +56,12 @@ class NicSimParams:
         payload_cache_state: cache preparation of the payload window.
         payload_placement: ``"local"`` or ``"remote"`` NUMA placement of
             the payload buffers (``"remote"`` needs ``system``).
+        num_queues: TX/RX ring pairs per device (RSS steering when > 1).
+        dma_tags: bounded in-flight DMA tag pool size; ``None`` keeps the
+            historical unbounded issue.
+        rss: flow scenario steering a multi-queue run (``"uniform"``,
+            ``"zipf"``/``"skewed"``, ``"hot"``); ignored when
+            ``num_queues == 1``.
         seed: workload RNG seed (``None`` uses the library default).
     """
 
@@ -73,6 +79,9 @@ class NicSimParams:
     payload_window: int = 4 * MIB
     payload_cache_state: str = "host_warm"
     payload_placement: str = "local"
+    num_queues: int = 1
+    dma_tags: int | None = None
+    rss: str = "uniform"
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -100,6 +109,18 @@ class NicSimParams:
             raise ValidationError(
                 f"ring_depth must be positive, got {self.ring_depth}"
             )
+        if not 1 <= self.num_queues <= 256:
+            raise ValidationError(
+                f"num_queues must be within [1, 256], got {self.num_queues}"
+            )
+        if self.dma_tags is not None and self.dma_tags <= 0:
+            raise ValidationError(
+                f"dma_tags must be positive (or None for unbounded), "
+                f"got {self.dma_tags}"
+            )
+        # Canonicalise the RSS scenario name ("skewed" -> "zipf") so labels
+        # and serialised params are stable whichever alias was written.
+        object.__setattr__(self, "rss", canonical_flow_name(self.rss))
         # Host knobs are validated even on decoupled params, so a bad value
         # fails where it is written, not at a later with_(system=...).
         if self.iommu_page_size not in SUPPORTED_PAGE_SIZES:
@@ -165,6 +186,11 @@ class NicSimParams:
             else f"{self.offered_load_gbps:g}Gb/s"
         )
         parts.append(f"ring={self.ring_depth}")
+        if self.num_queues > 1:
+            parts.append(f"queues={self.num_queues}")
+            parts.append(f"rss={self.rss}")
+        if self.dma_tags is not None:
+            parts.append(f"tags={self.dma_tags}")
         if not self.duplex:
             parts.append("tx-only")
         if self.system is not None:
@@ -180,8 +206,13 @@ class NicSimParams:
         return " ".join(parts)
 
     def as_dict(self) -> dict[str, object]:
-        """Serialisable representation of the parameters."""
-        return {
+        """Serialisable representation of the parameters.
+
+        The multi-queue/tag keys are emitted only when they differ from the
+        single-queue, unbounded defaults, so records written before those
+        knobs existed (the PR 2 golden file) round-trip unchanged.
+        """
+        record: dict[str, object] = {
             "kind": NICSIM_KIND,
             "model": self.model,
             "workload": self.workload,
@@ -199,6 +230,13 @@ class NicSimParams:
             "payload_placement": self.payload_placement,
             "seed": self.seed,
         }
+        if self.num_queues != 1:
+            record["num_queues"] = self.num_queues
+        if self.rss != "uniform":
+            record["rss"] = self.rss
+        if self.dma_tags is not None:
+            record["dma_tags"] = self.dma_tags
+        return record
 
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "NicSimParams":
@@ -220,5 +258,8 @@ def run_nicsim_benchmark(params: NicSimParams) -> NicSimResult:
         ring_depth=params.ring_depth,
         rx_backpressure=params.rx_backpressure,
         host=params.host_config(),
+        num_queues=params.num_queues,
+        dma_tags=params.dma_tags,
+        rss=params.rss,
         seed=params.seed,
     )

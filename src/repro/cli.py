@@ -12,6 +12,9 @@ Examples::
     pcie-bench nicsim --model all --size 64 --compare-analytic
     pcie-bench nicsim --model dpdk --workload imix --load 24 \\
         --system NFP6000-BDW --iommu --host-window 16M
+    pcie-bench nicsim --model dpdk --workload imix --queues 4 --rss zipf \\
+        --dma-tags 16
+    pcie-bench experiment figure-8-sim
     pcie-bench experiment figure-7-9-sim
     pcie-bench experiment figure-9
     pcie-bench suite --jobs 4 --output results.json
@@ -37,7 +40,7 @@ from .experiments.registry import experiment_ids, run_all, run_experiment
 from .sim.nicsim import cross_validate
 from .sim.profiles import profile_names
 from .units import parse_size
-from .workloads import workload_names
+from .workloads import flow_model_names, workload_names
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,6 +86,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     nicsim.add_argument("--packets", type=int, default=4000, help="packets per direction")
     nicsim.add_argument("--ring-depth", type=int, default=512)
+    nicsim.add_argument(
+        "--queues", type=int, default=1,
+        help="TX/RX ring pairs per device (RSS flow steering when > 1)",
+    )
+    nicsim.add_argument(
+        "--dma-tags", type=int, default=None,
+        help="bounded in-flight DMA tag pool size (default: unbounded)",
+    )
+    nicsim.add_argument(
+        "--rss", default="uniform", choices=flow_model_names(),
+        help="flow scenario steering a multi-queue run: uniform spread, "
+        "Zipf-skewed popularity, or a single hot flow",
+    )
     nicsim.add_argument(
         "--unidirectional", action="store_true", help="TX-only traffic"
     )
@@ -241,6 +257,9 @@ def _cmd_nicsim(args: argparse.Namespace) -> int:
             packets=args.packets,
             ring_depth=args.ring_depth,
             duplex=not args.unidirectional,
+            num_queues=args.queues,
+            dma_tags=args.dma_tags,
+            rss=args.rss,
             system=args.system,
             iommu_enabled=args.iommu,
             iommu_page_size=parse_size(args.iommu_pagesize),

@@ -1,0 +1,209 @@
+"""Figure 8 (simulated): the remote-NUMA bandwidth dip under bounded DMA tags.
+
+The paper's Figure 8 shows DMA *bandwidth* — not just latency — collapsing
+when buffers sit on the remote socket: every DMA's round trip grows by the
+interconnect penalty, and because a real NIC holds only a finite pool of
+outstanding-DMA tags, longer round trips directly cap how many bytes can
+be in flight (throughput <= tags x bytes / round-trip).  An unbounded
+datapath cannot show this: extra latency just shifts the distribution
+while issue continues, which is exactly what the PR 2 host coupling did.
+
+This experiment drives the host-coupled datapath with a small fixed-size
+saturating workload and sweeps the tag-pool size for local and remote
+payload placement:
+
+* **Dip.** With a small tag pool, remote placement costs at least 10% of
+  simulated throughput against local placement at the same pool size —
+  the Figure 8 bandwidth dip, reproduced from first principles.
+* **Vanishing.** With the pool unbounded, local and remote agree within
+  2%: the dip is *caused* by finite tags, not by the penalty itself.
+* **Recovery.** Growing the pool from the small setting to unbounded
+  recovers the link-limited throughput, and the local/remote gap shrinks
+  well below the small-pool dip by 32 tags.
+* **Contract.** Unbounded-tag coupled runs (both placements) stay inside
+  the 10% analytic cross-validation band — bounding tags is a strict
+  extension, not a recalibration.
+"""
+
+from __future__ import annotations
+
+from ..sim.nichost import NicHostConfig
+from ..sim.nicsim import NicSimResult, cross_validate, simulate_nic
+from ..units import KIB
+from .base import Check, ExperimentResult
+
+EXPERIMENT_ID = "figure-8-sim"
+TITLE = (
+    "Remote-NUMA bandwidth dip under bounded in-flight DMA tags "
+    "(Figure 8 revisited)"
+)
+
+#: Two-socket Broadwell host — the only profile with a remote node.
+SYSTEM = "NFP6000-BDW"
+#: Packet size: small enough that the ~100 ns interconnect adder is a large
+#: fraction of a DMA round trip (at 1500 B link serialisation dominates and
+#: the dip washes out — the same reason Figure 8 uses small transfers).
+PACKET_SIZE = 256
+#: Payload window inside the IOTLB reach and the DDIO slice, kept warm, so
+#: the *only* difference between the two placements is the socket hop.
+WINDOW = 256 * KIB
+#: Tag-pool sizes swept (the x axis); ``None`` (unbounded) goes in the table.
+TAG_SWEEP = (4, 8, 16, 32)
+#: The "small pool" the dip check reads.
+SMALL_TAGS = TAG_SWEEP[0]
+#: Required dip with the small pool / allowed residual gap unbounded.
+DIP_FLOOR = 0.10
+RESIDUAL_CEILING = 0.02
+#: Cross-validation tolerance (the PR 1/PR 2 contract).
+TOLERANCE = 0.10
+
+
+def _host(placement: str) -> NicHostConfig:
+    return NicHostConfig(
+        system=SYSTEM,
+        payload_window=WINDOW,
+        payload_cache_state="host_warm",
+        payload_placement=placement,
+    )
+
+
+def _run(placement: str, tags: int | None, packets: int) -> NicSimResult:
+    return simulate_nic(
+        "dpdk",
+        "fixed",
+        packets=packets,
+        packet_size=PACKET_SIZE,
+        host=_host(placement),
+        dma_tags=tags,
+    )
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    """Sweep placement x tag-pool size and check the dip appears/vanishes."""
+    packets = 2200 if quick else 6000
+    xval_packets = 2000 if quick else 4000
+
+    results: dict[tuple[str, int | None], NicSimResult] = {}
+    series: dict[str, list[tuple[float, float]]] = {"local": [], "remote": []}
+    for placement in ("local", "remote"):
+        for tags in (*TAG_SWEEP, None):
+            result = _run(placement, tags, packets)
+            results[(placement, tags)] = result
+            if tags is not None:
+                series[placement].append(
+                    (float(tags), result.throughput_gbps)
+                )
+
+    def gap(tags: int | None) -> float:
+        local = results[("local", tags)].throughput_gbps
+        remote = results[("remote", tags)].throughput_gbps
+        return (local - remote) / local
+
+    small_dip = gap(SMALL_TAGS)
+    wide_gap = gap(TAG_SWEEP[-1])
+    residual = gap(None)
+    small_local = results[("local", SMALL_TAGS)]
+    unbounded_local = results[("local", None)]
+    assert small_local.tags is not None
+
+    xval_points = [
+        point
+        for placement in ("local", "remote")
+        for point in cross_validate(
+            "dpdk",
+            (PACKET_SIZE,),
+            packets=xval_packets,
+            host=_host(placement),
+        )
+    ]
+    worst_xval = max(point.relative_error for point in xval_points)
+
+    checks = [
+        Check(
+            f"A small tag pool ({SMALL_TAGS} tags) turns the remote-NUMA "
+            "penalty into a >=10% throughput dip (the Figure 8 bandwidth "
+            "collapse)",
+            small_dip >= DIP_FLOOR,
+            f"local {results[('local', SMALL_TAGS)].throughput_gbps:.1f} "
+            f"vs remote {results[('remote', SMALL_TAGS)].throughput_gbps:.1f} "
+            f"Gb/s ({small_dip * 100:.1f}% dip)",
+        ),
+        Check(
+            "With unbounded tags the dip vanishes (within 2%): the "
+            "penalty only moves the latency distribution",
+            abs(residual) <= RESIDUAL_CEILING,
+            f"local {unbounded_local.throughput_gbps:.1f} vs remote "
+            f"{results[('remote', None)].throughput_gbps:.1f} Gb/s "
+            f"({residual * 100:+.1f}% gap)",
+        ),
+        Check(
+            f"By {TAG_SWEEP[-1]} tags the gap has fallen below half the "
+            "small-pool dip",
+            abs(wide_gap) <= small_dip / 2,
+            f"{wide_gap * 100:+.1f}% at {TAG_SWEEP[-1]} tags vs "
+            f"{small_dip * 100:.1f}% at {SMALL_TAGS}",
+        ),
+        Check(
+            "The small pool actually binds (peak in-flight == capacity) "
+            "and unbinding it recovers throughput",
+            small_local.tags.max_in_flight == SMALL_TAGS
+            and unbounded_local.throughput_gbps
+            > 1.2 * small_local.throughput_gbps,
+            f"peak in-flight {small_local.tags.max_in_flight}/{SMALL_TAGS}, "
+            f"{small_local.throughput_gbps:.1f} -> "
+            f"{unbounded_local.throughput_gbps:.1f} Gb/s unbounded",
+        ),
+        Check(
+            "Unbounded-tag coupled runs keep the 10% analytic agreement "
+            "(both placements)",
+            all(point.within(TOLERANCE) for point in xval_points),
+            f"worst deviation {worst_xval * 100:.1f}%",
+        ),
+    ]
+
+    table_rows = [
+        [
+            f"{placement}, {'unbounded' if tags is None else tags} tags",
+            result.throughput_gbps,
+            (
+                float(result.tags.max_in_flight)
+                if result.tags is not None
+                else float("nan")
+            ),
+            (
+                result.tags.wait_ns_mean
+                if result.tags is not None
+                else 0.0
+            ),
+            100.0 * (result.host.remote_fraction if result.host else 0.0),
+        ]
+        for (placement, tags), result in results.items()
+    ]
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        series=series,
+        x_label="DMA tag pool size",
+        y_label="Throughput (Gb/s)",
+        table_headers=[
+            "scenario",
+            "throughput (Gb/s)",
+            "peak tags in flight",
+            "mean tag wait (ns)",
+            "remote DMA %",
+        ],
+        table_rows=table_rows,
+        checks=checks,
+        notes=[
+            f"All runs: DPDK model, {PACKET_SIZE} B fixed-size saturating "
+            f"full-duplex traffic on the {SYSTEM} profile with a "
+            "256 KiB warm payload window — inside the IOTLB reach and the "
+            "DDIO slice, so the socket hop is the only placement effect.",
+            "Reads hold a tag for the full host round trip and posted "
+            "writes until the root complex drains them, so remote "
+            "placement stretches tag occupancy on both directions.",
+            "The same sweep with dma_tags=None reproduces the PR 2 "
+            "behaviour: identical throughput either side, latency only.",
+        ],
+    )

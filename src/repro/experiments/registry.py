@@ -22,6 +22,7 @@ from . import (
     fig7_9_sim,
     fig7_cache_ddio,
     fig8_numa,
+    fig8_sim,
     fig9_iommu,
     table1_systems,
     table2_findings,
@@ -41,6 +42,7 @@ _MODULES: tuple[ModuleType, ...] = (
     fig8_numa,
     fig9_iommu,
     fig7_9_sim,
+    fig8_sim,
     table1_systems,
     table2_findings,
 )

@@ -12,6 +12,8 @@ capture exactly that and keep the hot loop simple and fast.
 from __future__ import annotations
 
 import heapq
+from collections import deque
+from typing import Callable
 
 from ..errors import SimulationError, ValidationError
 
@@ -22,6 +24,18 @@ class SerialResource:
     The resource is described entirely by the time it next becomes free.
     ``occupy`` asks for service starting no earlier than ``earliest_start``
     and lasting ``duration``; it returns the time service begins.
+
+    **Tie-break contract.**  Grants are FIFO in *call order*: when two
+    requests mature at the same timestamp (equal ``earliest_start``, or
+    both arriving while the resource is busy until that instant), the one
+    whose ``occupy`` call happens first is served first and the second
+    queues behind it.  There is no hidden reordering by duration, caller
+    identity or hash order — the resource holds no queue at all, only
+    ``free_at``, so the grant order *is* the call order.  Simulators built
+    on top (the :mod:`repro.sim.nicsim` event loop orders same-time events
+    by insertion sequence) rely on this to make multi-queue runs
+    reproducible bit for bit across Python versions and platforms; the
+    contract is pinned by ``tests/sim/test_engine_primitives.py``.
     """
 
     def __init__(self, name: str, *, free_at: float = 0.0) -> None:
@@ -109,3 +123,73 @@ class WorkerPool:
     def reset(self) -> None:
         """Free every slot."""
         self._busy_until.clear()
+
+
+class TagPool:
+    """A bounded pool of in-flight DMA tags, granted through callbacks.
+
+    :class:`WorkerPool` suits the cursor-based pipeline in
+    :mod:`repro.sim.dma`, where a transaction's completion time is known at
+    issue time and ``acquire``/``commit`` can book a slot in one step.  The
+    NIC datapath event loop cannot know a DMA's completion time up front
+    (host latency is resolved when the transaction *reaches* the root
+    complex), so this pool is event-driven instead: ``acquire(now, grant)``
+    invokes ``grant`` immediately if a tag is free, or queues the request;
+    ``release(now)`` returns a tag, handing it straight to the
+    longest-waiting request if one exists.
+
+    Waiters are strictly FIFO — two requests queued while the pool is
+    exhausted are granted in acquire order even when several tags free at
+    the same timestamp — matching the :class:`SerialResource` tie-break
+    contract so runs stay reproducible.
+
+    The pool keeps the accounting a result record needs: total grants,
+    peak concurrency, how many grants had to wait and for how long.
+    """
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValidationError(f"capacity must be positive, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self._held = 0
+        self._waiters: deque[tuple[float, Callable[[float], None]]] = deque()
+        self.acquires = 0
+        self.max_in_flight = 0
+        self.waited = 0
+        self.wait_ns_total = 0.0
+
+    @property
+    def in_flight(self) -> int:
+        """Tags currently held."""
+        return self._held
+
+    @property
+    def waiting(self) -> int:
+        """Requests queued for a tag."""
+        return len(self._waiters)
+
+    def acquire(self, now: float, grant: Callable[[float], None]) -> None:
+        """Request a tag at ``now``; ``grant`` fires when one is held."""
+        if now < 0:
+            raise ValidationError(f"now must be non-negative, got {now}")
+        if self._held < self.capacity:
+            self._held += 1
+            self.acquires += 1
+            self.max_in_flight = max(self.max_in_flight, self._held)
+            grant(now)
+        else:
+            self._waiters.append((now, grant))
+
+    def release(self, now: float) -> None:
+        """Return a tag at ``now``, re-granting it to the oldest waiter."""
+        if self._waiters:
+            asked, grant = self._waiters.popleft()
+            self.acquires += 1
+            self.waited += 1
+            self.wait_ns_total += max(0.0, now - asked)
+            grant(now)
+        else:
+            if self._held <= 0:
+                raise SimulationError(f"tag pool {self.name} released too often")
+            self._held -= 1

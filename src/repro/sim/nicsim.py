@@ -45,6 +45,25 @@ Data flow: ``workloads → nicsim (rings, event loop, links) → nichost
 (buffers, address streams) → root_complex (cache/IOMMU/NUMA/memory/
 noise)``.  Without a host config the PR 1 link-only behaviour is
 preserved bit for bit.
+
+Two device-side resource limits complete the picture:
+
+* **Bounded DMA tags** (``NicSimConfig.dma_tags``): real NICs hold a
+  finite pool of outstanding-DMA contexts, so host latency does not just
+  stretch the tail — once every tag is waiting out a host round trip, the
+  device cannot issue new work and *throughput* collapses (the Figure 8
+  bandwidth dip).  Every descriptor fetch, payload DMA and write-back
+  acquires a tag from one device-wide :class:`~repro.sim.engine.TagPool`
+  before touching a link; reads hold it until the completion lands,
+  writes until the root complex has drained them (the flow-control
+  credit loop).  ``dma_tags=None`` keeps the historical unbounded issue.
+* **Multiple queues** (``NicSimConfig.num_queues``): N TX/RX ring pairs
+  per device, each an independent descriptor ring with its own batching
+  state, sharing the two link directions, the host coupling and the tag
+  pool.  Packets are steered by hashing their workload-assigned flow
+  label (:mod:`repro.workloads.rss`), so skewed flow mixes reproduce the
+  queue imbalance real RSS suffers.  ``num_queues=1`` is the degenerate
+  case and remains bit-identical to the single-queue datapath.
 """
 
 from __future__ import annotations
@@ -61,8 +80,8 @@ from ..core.nic import FIGURE1_MODELS, NicModel, model_by_name
 from ..core.transactions import OpKind
 from ..errors import SimulationError, ValidationError
 from ..units import bytes_over_time_to_gbps, ns_to_s
-from ..workloads import Workload, build_workload
-from .engine import SerialResource
+from ..workloads import Workload, build_flow_model, build_workload, rss_queues
+from .engine import SerialResource, TagPool
 from .nichost import HostCoupling, HostSideStats, NicHostConfig
 from .rng import DEFAULT_SEED, SimRng
 
@@ -92,6 +111,15 @@ class NicSimConfig:
             serviced by the root complex (cache, IOMMU, NUMA, noise) and
             ``host_read_latency_ns`` / ``mmio_read_latency_ns`` are
             superseded by the profile's calibrated behaviour.
+        num_queues: TX/RX ring pairs per device.  Each queue has its own
+            descriptor ring and batching state; packets steer to queues by
+            RSS-hashing their flow label.  The default single queue is the
+            degenerate case, bit-identical to the pre-multi-queue datapath.
+        dma_tags: size of the device-wide pool of in-flight DMA tags every
+            descriptor fetch, payload DMA and write-back must hold while
+            outstanding.  ``None`` (default) models an infinitely deep
+            pool — the historical behaviour, where host latency can only
+            stretch the latency distribution, never cap throughput.
     """
 
     ring_depth: int = 512
@@ -100,6 +128,8 @@ class NicSimConfig:
     warmup_fraction: float = 0.25
     rx_backpressure: bool = False
     host: NicHostConfig | None = None
+    num_queues: int = 1
+    dma_tags: int | None = None
 
     def __post_init__(self) -> None:
         if self.ring_depth <= 0:
@@ -112,6 +142,15 @@ class NicSimConfig:
         if not 0.0 <= self.warmup_fraction < 0.9:
             raise ValidationError(
                 f"warmup_fraction must be within [0, 0.9), got {self.warmup_fraction}"
+            )
+        if not 1 <= self.num_queues <= 256:
+            raise ValidationError(
+                f"num_queues must be within [1, 256], got {self.num_queues}"
+            )
+        if self.dma_tags is not None and self.dma_tags <= 0:
+            raise ValidationError(
+                f"dma_tags must be positive (or None for unbounded), "
+                f"got {self.dma_tags}"
             )
 
 
@@ -149,6 +188,61 @@ class RingStats:
             drops=int(data["drops"]),
             max_occupancy=int(data["max_occupancy"]),
             mean_occupancy=float(data["mean_occupancy"]),
+        )
+
+
+@dataclass(frozen=True)
+class DmaTagStats:
+    """Accounting of the bounded in-flight DMA tag pool over one run.
+
+    ``waited`` grants out of ``acquires`` found the pool exhausted and
+    queued; their cumulative queueing time is ``wait_ns_total``.  A pool
+    whose ``max_in_flight`` never reaches ``capacity`` was effectively
+    unbounded for that run.
+    """
+
+    capacity: int
+    acquires: int
+    max_in_flight: int
+    waited: int
+    wait_ns_total: float
+
+    @property
+    def wait_ns_mean(self) -> float:
+        """Mean queueing time per delayed grant (0 when nothing waited)."""
+        return self.wait_ns_total / self.waited if self.waited else 0.0
+
+    @classmethod
+    def from_pool(cls, pool: TagPool) -> "DmaTagStats":
+        """Snapshot a :class:`~repro.sim.engine.TagPool` after a run."""
+        return cls(
+            capacity=pool.capacity,
+            acquires=pool.acquires,
+            max_in_flight=pool.max_in_flight,
+            waited=pool.waited,
+            wait_ns_total=pool.wait_ns_total,
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """Serialisable representation."""
+        return {
+            "capacity": self.capacity,
+            "acquires": self.acquires,
+            "max_in_flight": self.max_in_flight,
+            "waited": self.waited,
+            "wait_ns_total": self.wait_ns_total,
+            "wait_ns_mean": self.wait_ns_mean,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DmaTagStats":
+        """Rebuild tag-pool statistics from :meth:`as_dict` output."""
+        return cls(
+            capacity=int(data["capacity"]),
+            acquires=int(data["acquires"]),
+            max_in_flight=int(data["max_in_flight"]),
+            waited=int(data["waited"]),
+            wait_ns_total=float(data["wait_ns_total"]),
         )
 
 
@@ -220,6 +314,15 @@ class PathResult:
     + drops + in_flight`` exactly, and ``payload_bytes + dropped_bytes <=
     offered_bytes`` (the remainder being the bytes of in-flight packets,
     whose sizes are not recorded individually).
+
+    Multi-queue directions additionally carry ``queues``: one nested
+    :class:`PathResult` per RX/TX queue (direction labelled ``"tx[0]"``,
+    ``"tx[1]"``, ...), whose counters sum to the direction totals.  The
+    direction-level ring statistics aggregate the per-queue rings: posts
+    and drops sum, ``max_occupancy`` is the worst single queue and
+    ``mean_occupancy`` the mean across queues, so every per-ring bound
+    (``<= depth``) still holds for the aggregate.  Single-queue runs leave
+    ``queues`` as ``None`` and serialise exactly as before.
     """
 
     direction: str
@@ -234,6 +337,7 @@ class PathResult:
     packet_rate_pps: float
     latency: LatencySummary | None
     ring: RingStats
+    queues: tuple["PathResult", ...] | None = None
 
     def as_dict(self) -> dict[str, object]:
         """Serialisable representation."""
@@ -252,12 +356,15 @@ class PathResult:
         }
         if self.latency is not None:
             record["latency_ns"] = self.latency.as_dict()
+        if self.queues is not None:
+            record["queues"] = [queue.as_dict() for queue in self.queues]
         return record
 
     @classmethod
     def from_dict(cls, data: dict) -> "PathResult":
         """Rebuild a path result from :meth:`as_dict` output."""
         latency = data.get("latency_ns")
+        queues = data.get("queues")
         return cls(
             direction=str(data["direction"]),
             offered_packets=int(data["offered_packets"]),
@@ -271,6 +378,11 @@ class PathResult:
             packet_rate_pps=float(data["packet_rate_pps"]),
             latency=LatencySummary.from_dict(latency) if latency else None,
             ring=RingStats.from_dict(data["ring"]),
+            queues=(
+                tuple(cls.from_dict(queue) for queue in queues)
+                if queues is not None
+                else None
+            ),
         )
 
 
@@ -287,6 +399,7 @@ class NicSimResult:
     link_utilisation_up: float
     link_utilisation_down: float
     host: HostSideStats | None = None
+    tags: DmaTagStats | None = None
 
     @property
     def throughput_gbps(self) -> float:
@@ -323,6 +436,8 @@ class NicSimResult:
             record["rx"] = self.rx.as_dict()
         if self.host is not None:
             record["host"] = self.host.as_dict()
+        if self.tags is not None:
+            record["tags"] = self.tags.as_dict()
         return record
 
     @classmethod
@@ -330,6 +445,7 @@ class NicSimResult:
         """Rebuild a result from :meth:`as_dict` output."""
         rx = data.get("rx")
         host = data.get("host")
+        tags = data.get("tags")
         return cls(
             model=str(data["model"]),
             workload=str(data["workload"]),
@@ -340,6 +456,7 @@ class NicSimResult:
             link_utilisation_up=float(data["link_utilisation_up"]),
             link_utilisation_down=float(data["link_utilisation_down"]),
             host=HostSideStats.from_dict(host) if host else None,
+            tags=DmaTagStats.from_dict(tags) if tags else None,
         )
 
 
@@ -497,7 +614,14 @@ def _ignore(_now: float) -> None:
 
 
 class _Datapath:
-    """One direction (TX or RX) of the simulated NIC datapath."""
+    """One queue of one direction (TX or RX) of the simulated NIC datapath.
+
+    A single-queue device has exactly one of these per direction (the
+    historical layout).  A multi-queue device has ``num_queues`` per
+    direction, each with its own descriptor ring, batching credits and
+    per-packet accounting, all sharing the two link directions, the host
+    coupling and the device-wide DMA tag pool.
+    """
 
     def __init__(
         self,
@@ -511,8 +635,15 @@ class _Datapath:
         coupling: HostCoupling | None = None,
         ingress: SerialResource | None = None,
         walker: SerialResource | None = None,
+        tags: TagPool | None = None,
+        queue_index: int = 0,
+        num_queues: int = 1,
     ) -> None:
         self.direction = direction
+        self.queue_index = queue_index
+        #: Display label: plain direction for single-queue devices (so
+        #: serialised results stay identical), ``"tx[i]"`` per queue.
+        self.label = direction if num_queues == 1 else f"{direction}[{queue_index}]"
         self._model = model
         self._config = config
         self._sim_config = sim_config
@@ -522,7 +653,8 @@ class _Datapath:
         self._coupling = coupling
         self._ingress = ingress
         self._walker = walker
-        self.ring = _Ring(f"{direction}_ring", sim_config.ring_depth)
+        self._tags = tags
+        self.ring = _Ring(f"{self.label}_ring", sim_config.ring_depth)
         self._compiled: dict[int, list[_CompiledOp]] = {}
 
         reference = self._ops_for(_REFERENCE_PACKET)
@@ -652,6 +784,47 @@ class _Datapath:
         *,
         payload: bool = False,
     ) -> None:
+        """Issue one transaction instance, gated by the DMA tag pool.
+
+        With a bounded pool, every DMA (descriptor fetch, payload,
+        write-back) must hold a tag while outstanding; an exhausted pool
+        delays the issue until the longest-held tag frees — the finite
+        concurrency that turns host latency into a throughput cap.  MMIO
+        transactions are device register traffic and bypass the pool.
+        """
+        if self._tags is None or op.kind not in (
+            OpKind.DMA_READ,
+            OpKind.DMA_WRITE,
+        ):
+            self._execute(op, now, on_done, payload=payload, tagged=False)
+        else:
+            self._tags.acquire(
+                now,
+                lambda grant: self._execute(
+                    op, grant, on_done, payload=payload, tagged=True
+                ),
+            )
+
+    def _release_then(
+        self, on_done: Callable[[float], None]
+    ) -> Callable[[float], None]:
+        """Wrap a completion so it frees the held DMA tag first."""
+
+        def done(time: float) -> None:
+            self._tags.release(time)
+            on_done(time)
+
+        return done
+
+    def _execute(
+        self,
+        op: _CompiledOp,
+        now: float,
+        on_done: Callable[[float], None],
+        *,
+        payload: bool,
+        tagged: bool,
+    ) -> None:
         """Claim link time for one instance; ``on_done`` fires at completion.
 
         With host coupling active, DMA transactions additionally visit the
@@ -660,8 +833,17 @@ class _Datapath:
         returned host latency before their completion claims the down
         link; posted writes complete on the wire but still consume host
         resources, back-pressuring later transactions.
+
+        A held tag (``tagged``) frees when the device's DMA context would:
+        for reads, when the completion lands back at the device; for
+        posted writes, at wire completion — or, host-coupled, when the
+        root complex has drained the write into the memory system (the
+        flow-control credit loop that lets a slow host throttle even
+        posted traffic).
         """
         if op.kind is OpKind.DMA_READ:
+            if tagged:
+                on_done = self._release_then(on_done)
             start = self._link_up.occupy(now, op.up_ns)
 
             def completion(time: float) -> None:
@@ -686,8 +868,12 @@ class _Datapath:
                 self._loop.at(start + op.up_ns, at_root_complex)
         elif op.kind is OpKind.DMA_WRITE:
             start = self._link_up.occupy(now, op.up_ns)
-            self._loop.at(start + op.up_ns, on_done)
-            if self._coupling is not None:
+            if self._coupling is None:
+                if tagged:
+                    on_done = self._release_then(on_done)
+                self._loop.at(start + op.up_ns, on_done)
+            else:
+                self._loop.at(start + op.up_ns, on_done)
 
                 def at_root_complex_write(time: float) -> None:
                     access = self._coupling.access(
@@ -696,7 +882,11 @@ class _Datapath:
                         payload=payload,
                         size=op.size,
                     )
-                    self._claim_host_resources(time, access)
+                    ready = self._claim_host_resources(time, access)
+                    if tagged:
+                        self._loop.at(
+                            ready + access.latency_ns, self._tags.release
+                        )
 
                 self._loop.at(start + op.up_ns, at_root_complex_write)
         elif op.kind is OpKind.MMIO_WRITE:
@@ -812,42 +1002,22 @@ class _Datapath:
     # -- statistics -------------------------------------------------------------
 
     def result(self) -> PathResult:
-        """Summarise this direction after the run."""
-        delivered = len(self.dones)
-        latency = None
-        throughput = 0.0
-        rate = 0.0
-        payload = int(sum(self.delivered_sizes))
-        if delivered >= 2:
-            order = np.argsort(np.asarray(self.dones), kind="stable")
-            # The pipeline-fill transient lasts about one ring depth of
-            # packets; skip at least that much (up to half the run) on top
-            # of the configured warmup fraction.
-            warmup = max(
-                int(delivered * self._sim_config.warmup_fraction),
-                min(self._sim_config.ring_depth, delivered // 2),
-            )
-            warmup = min(warmup, delivered - 2)
-            measured = order[warmup:]
-            dones = np.asarray(self.dones, dtype=np.float64)[measured]
-            sizes = np.asarray(self.delivered_sizes, dtype=np.int64)[measured]
-            elapsed = float(dones[-1] - dones[0])
-            if elapsed > 0.0:
-                # The first measured packet marks t0; its own bytes precede it.
-                throughput = bytes_over_time_to_gbps(int(sizes[1:].sum()), elapsed)
-                rate = (sizes.size - 1) / ns_to_s(elapsed)
-            samples = (
-                np.asarray(self.notifies, dtype=np.float64)
-                - np.asarray(self.arrivals, dtype=np.float64)
-            )[measured]
-            latency = LatencySummary.from_samples(samples)
+        """Summarise this queue (or the whole direction, single-queue)."""
+        throughput, rate, latency = _path_statistics(
+            self.arrivals,
+            self.dones,
+            self.notifies,
+            self.delivered_sizes,
+            warmup_fraction=self._sim_config.warmup_fraction,
+            ring_depth=self._sim_config.ring_depth,
+        )
         return PathResult(
-            direction=self.direction,
+            direction=self.label,
             offered_packets=self.offered,
-            delivered_packets=delivered,
+            delivered_packets=len(self.dones),
             drops=self.ring.drops,
             in_flight=self.ring.waiting,
-            payload_bytes=payload,
+            payload_bytes=int(sum(self.delivered_sizes)),
             offered_bytes=self.offered_bytes,
             dropped_bytes=self.dropped_bytes,
             throughput_gbps=throughput,
@@ -855,6 +1025,104 @@ class _Datapath:
             latency=latency,
             ring=self.ring.stats(),
         )
+
+
+def _path_statistics(
+    arrivals: list[float] | np.ndarray,
+    dones: list[float] | np.ndarray,
+    notifies: list[float] | np.ndarray,
+    sizes: list[int] | np.ndarray,
+    *,
+    warmup_fraction: float,
+    ring_depth: int,
+) -> tuple[float, float, LatencySummary | None]:
+    """Steady-state throughput, packet rate and latency of one packet set.
+
+    Shared by the per-queue and the merged per-direction summaries so both
+    apply exactly the same warmup and measurement-window rules.
+    """
+    delivered = len(dones)
+    if delivered < 2:
+        return 0.0, 0.0, None
+    order = np.argsort(np.asarray(dones), kind="stable")
+    # The pipeline-fill transient lasts about one ring depth of
+    # packets; skip at least that much (up to half the run) on top
+    # of the configured warmup fraction.
+    warmup = max(
+        int(delivered * warmup_fraction),
+        min(ring_depth, delivered // 2),
+    )
+    warmup = min(warmup, delivered - 2)
+    measured = order[warmup:]
+    throughput = 0.0
+    rate = 0.0
+    done_times = np.asarray(dones, dtype=np.float64)[measured]
+    measured_sizes = np.asarray(sizes, dtype=np.int64)[measured]
+    elapsed = float(done_times[-1] - done_times[0])
+    if elapsed > 0.0:
+        # The first measured packet marks t0; its own bytes precede it.
+        throughput = bytes_over_time_to_gbps(
+            int(measured_sizes[1:].sum()), elapsed
+        )
+        rate = (measured_sizes.size - 1) / ns_to_s(elapsed)
+    samples = (
+        np.asarray(notifies, dtype=np.float64)
+        - np.asarray(arrivals, dtype=np.float64)
+    )[measured]
+    return throughput, rate, LatencySummary.from_samples(samples)
+
+
+def _direction_result(
+    direction: str, queues: list["_Datapath"], sim_config: NicSimConfig
+) -> PathResult:
+    """Aggregate the queues of one direction into its :class:`PathResult`.
+
+    The single-queue case returns the queue's own result untouched (the
+    bit-identical degenerate path).  Otherwise counters sum across queues,
+    ring statistics aggregate per the :class:`PathResult` docstring, and
+    throughput/latency are recomputed over the *merged* packet set so the
+    direction numbers weight every queue by its actual traffic.
+    """
+    if len(queues) == 1:
+        return queues[0].result()
+    per_queue = tuple(queue.result() for queue in queues)
+    arrivals = [time for queue in queues for time in queue.arrivals]
+    dones = [time for queue in queues for time in queue.dones]
+    notifies = [time for queue in queues for time in queue.notifies]
+    sizes = [size for queue in queues for size in queue.delivered_sizes]
+    throughput, rate, latency = _path_statistics(
+        arrivals,
+        dones,
+        notifies,
+        sizes,
+        warmup_fraction=sim_config.warmup_fraction,
+        ring_depth=sim_config.ring_depth,
+    )
+    ring = RingStats(
+        depth=sim_config.ring_depth,
+        posts=sum(result.ring.posts for result in per_queue),
+        drops=sum(result.ring.drops for result in per_queue),
+        max_occupancy=max(result.ring.max_occupancy for result in per_queue),
+        mean_occupancy=(
+            sum(result.ring.mean_occupancy for result in per_queue)
+            / len(per_queue)
+        ),
+    )
+    return PathResult(
+        direction=direction,
+        offered_packets=sum(result.offered_packets for result in per_queue),
+        delivered_packets=sum(result.delivered_packets for result in per_queue),
+        drops=sum(result.drops for result in per_queue),
+        in_flight=sum(result.in_flight for result in per_queue),
+        payload_bytes=sum(result.payload_bytes for result in per_queue),
+        offered_bytes=sum(result.offered_bytes for result in per_queue),
+        dropped_bytes=sum(result.dropped_bytes for result in per_queue),
+        throughput_gbps=throughput,
+        packet_rate_pps=rate,
+        latency=latency,
+        ring=ring,
+        queues=per_queue,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -870,6 +1138,10 @@ class PathTrace:
     ``last_traces`` so test harnesses can assert the causal ordering
     (arrival <= payload completion <= completion report) packet by packet
     — the summaries in :class:`PathResult` cannot express that.
+
+    ``queue_ids`` labels every delivered packet with the queue that
+    carried it (all zeros for single-queue runs), so per-queue slices of
+    the trace can be checked against per-queue counters.
     """
 
     direction: str
@@ -877,6 +1149,7 @@ class PathTrace:
     dones_ns: np.ndarray
     notifies_ns: np.ndarray
     sizes: np.ndarray
+    queue_ids: np.ndarray | None = None
 
 
 class NicDatapathSimulator:
@@ -927,55 +1200,106 @@ class NicDatapathSimulator:
             )
             ingress = SerialResource("nicsim.root_complex.ingress")
             walker = SerialResource("nicsim.iommu.walker")
-        paths: list[_Datapath] = []
+        num_queues = self.sim_config.num_queues
+        tags = (
+            TagPool("nicsim.dma_tags", self.sim_config.dma_tags)
+            if self.sim_config.dma_tags is not None
+            else None
+        )
+        directions: list[tuple[str, list[_Datapath]]] = []
         for direction in ("tx", "rx") if workload.duplex else ("tx",):
-            path = _Datapath(
-                direction,
-                self.model,
-                self.config,
-                self.sim_config,
-                loop,
-                link_up,
-                link_down,
-                coupling=coupling,
-                ingress=ingress,
-                walker=walker,
-            )
+            queues = [
+                _Datapath(
+                    direction,
+                    self.model,
+                    self.config,
+                    self.sim_config,
+                    loop,
+                    link_up,
+                    link_down,
+                    coupling=coupling,
+                    ingress=ingress,
+                    walker=walker,
+                    tags=tags,
+                    queue_index=index,
+                    num_queues=num_queues,
+                )
+                for index in range(num_queues)
+            ]
             schedule = workload.generate(packets, rng, stream=direction)
+            if num_queues == 1:
+                targets = None
+            else:
+                if schedule.flows is None:
+                    raise ValidationError(
+                        f"a {num_queues}-queue run needs a workload with a "
+                        "flow model to steer by (set Workload.flows, e.g. "
+                        "via repro.workloads.build_flow_model)"
+                    )
+                # The RSS key derives from the run seed: reseeding the run
+                # reprograms the hash, like a driver re-keying Toeplitz.
+                targets = rss_queues(
+                    schedule.flows, num_queues, seed=resolved_seed
+                )
             for index in range(schedule.count):
                 time = float(schedule.arrival_times_ns[index])
                 size = int(schedule.sizes[index])
+                path = queues[0] if targets is None else queues[int(targets[index])]
                 loop.at(
                     time,
                     lambda now, path=path, size=size: path.on_arrival(now, size),
                 )
-            paths.append(path)
+            directions.append((direction, queues))
         loop.run()
-        for path in paths:
-            path.finish()
+        for _, queues in directions:
+            for path in queues:
+                path.finish()
 
         self.last_traces = {
-            path.direction: PathTrace(
-                direction=path.direction,
-                arrivals_ns=np.asarray(path.arrivals, dtype=np.float64),
-                dones_ns=np.asarray(path.dones, dtype=np.float64),
-                notifies_ns=np.asarray(path.notifies, dtype=np.float64),
-                sizes=np.asarray(path.delivered_sizes, dtype=np.int64),
+            direction: PathTrace(
+                direction=direction,
+                arrivals_ns=np.asarray(
+                    [t for q in queues for t in q.arrivals], dtype=np.float64
+                ),
+                dones_ns=np.asarray(
+                    [t for q in queues for t in q.dones], dtype=np.float64
+                ),
+                notifies_ns=np.asarray(
+                    [t for q in queues for t in q.notifies], dtype=np.float64
+                ),
+                sizes=np.asarray(
+                    [s for q in queues for s in q.delivered_sizes],
+                    dtype=np.int64,
+                ),
+                queue_ids=np.asarray(
+                    [q.queue_index for q in queues for _ in q.dones],
+                    dtype=np.int64,
+                ),
             )
-            for path in paths
+            for direction, queues in directions
         }
         duration = max(
-            [0.0] + [max(path.notifies) for path in paths if path.notifies]
+            [0.0]
+            + [
+                max(path.notifies)
+                for _, queues in directions
+                for path in queues
+                if path.notifies
+            ]
         )
-        tx = paths[0]
-        rx = paths[1] if len(paths) > 1 else None
+        results = [
+            _direction_result(direction, queues, self.sim_config)
+            for direction, queues in directions
+        ]
+        tx = results[0]
+        rx = results[1] if len(results) > 1 else None
         return NicSimResult(
             model=self.model.name,
             workload=workload.name,
             packets=packets,
             duration_ns=duration,
-            tx=tx.result(),
-            rx=rx.result() if rx is not None else None,
+            tx=tx,
+            rx=rx,
             link_utilisation_up=(
                 link_up.utilisation(duration) if duration > 0 else 0.0
             ),
@@ -983,6 +1307,7 @@ class NicDatapathSimulator:
                 link_down.utilisation(duration) if duration > 0 else 0.0
             ),
             host=coupling.stats() if coupling is not None else None,
+            tags=DmaTagStats.from_pool(tags) if tags is not None else None,
         )
 
 
@@ -997,6 +1322,10 @@ def simulate_nic(
     ring_depth: int = 512,
     rx_backpressure: bool = False,
     host: NicHostConfig | str | None = None,
+    num_queues: int = 1,
+    dma_tags: int | None = None,
+    rss: str = "uniform",
+    flow_count: int = 64,
     seed: int | None = None,
     config: PCIeConfig = PAPER_DEFAULT_CONFIG,
 ) -> NicSimResult:
@@ -1008,10 +1337,20 @@ def simulate_nic(
     ``host`` couples the datapath to a host model: either a full
     :class:`~repro.sim.nichost.NicHostConfig` or a Table 1 profile name
     (which uses the config's neutral defaults).
+
+    ``num_queues`` and ``dma_tags`` configure the multi-queue layout and
+    the bounded in-flight DMA tag pool.  A multi-queue run steers packets
+    by flow; if the workload carries no flow model one is attached from
+    the ``rss`` scenario name (``"uniform"``, ``"zipf"``/``"skewed"``,
+    ``"hot"``) with ``flow_count`` distinct flows.
     """
     if isinstance(workload, str):
         workload = build_workload(
             workload, size=packet_size, load_gbps=load_gbps, duplex=duplex
+        )
+    if num_queues > 1 and workload.flows is None:
+        workload = workload.with_(
+            flows=build_flow_model(rss, flows=flow_count)
         )
     if isinstance(host, str):
         host = NicHostConfig(system=host)
@@ -1019,7 +1358,11 @@ def simulate_nic(
         model,
         config=config,
         sim_config=NicSimConfig(
-            ring_depth=ring_depth, rx_backpressure=rx_backpressure, host=host
+            ring_depth=ring_depth,
+            rx_backpressure=rx_backpressure,
+            host=host,
+            num_queues=num_queues,
+            dma_tags=dma_tags,
         ),
     )
     return simulator.run(workload, packets, seed=seed)
@@ -1056,6 +1399,7 @@ def cross_validate(
     packets: int = 2000,
     ring_depth: int = 512,
     host: NicHostConfig | str | None = None,
+    dma_tags: int | None = None,
     seed: int | None = None,
     config: PCIeConfig = PAPER_DEFAULT_CONFIG,
 ) -> list[CrossValidationPoint]:
@@ -1074,7 +1418,10 @@ def cross_validate(
     Passing ``host`` runs the comparison with the datapath coupled to a
     host model; with a *neutral* host configuration (IOMMU off, warm
     cache, local buffers) the agreement must survive the coupling — the
-    regression contract the host-coupling refactor is held to.
+    regression contract the host-coupling refactor is held to.  A
+    ``dma_tags`` bound participates in the same contract only while the
+    pool is deep enough not to bind; a deliberately small pool *should*
+    break the agreement (that is the Figure 8 experiment).
     """
     resolved = model_by_name(model) if isinstance(model, str) else model
     points = []
@@ -1087,6 +1434,7 @@ def cross_validate(
             ring_depth=ring_depth,
             rx_backpressure=True,
             host=host,
+            dma_tags=dma_tags,
             seed=seed,
             config=config,
         )

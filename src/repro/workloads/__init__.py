@@ -3,9 +3,11 @@
 Where :mod:`repro.core.nic` evaluates NIC/driver designs under an idealised
 steady stream of equal packets, this package describes *traffic*: frame-size
 distributions (fixed, uniform, trimodal, IMIX), arrival processes (smooth,
-Poisson, bursty on/off) and offered load, combined into declarative
-:class:`Workload` objects that :mod:`repro.sim.nicsim` replays packet by
-packet.
+Poisson, bursty on/off), flow models labelling packets for RSS steering
+(uniform, Zipf-skewed, single-hot-flow) and offered load, combined into
+declarative :class:`Workload` objects that :mod:`repro.sim.nicsim` replays
+packet by packet.  :mod:`repro.workloads.rss` supplies the deterministic
+flow-to-queue hash multi-queue datapaths steer with.
 """
 
 from .arrivals import (
@@ -14,10 +16,22 @@ from .arrivals import (
     PoissonArrivals,
     UniformArrivals,
 )
+from .flows import (
+    FLOW_MODEL_FACTORIES,
+    FlowModel,
+    SingleHotFlow,
+    UniformFlows,
+    ZipfFlows,
+    build_flow_model,
+    canonical_flow_name,
+    flow_model_names,
+)
+from .rss import rss_queue, rss_queues
 from .sizes import IMIX, FixedSize, SizeDistribution, TrimodalSize, UniformSize
 from .traffic import (
     SATURATING_LOAD_GBPS,
     WORKLOAD_FACTORIES,
+    Packet,
     PacketSchedule,
     Workload,
     build_workload,
@@ -35,6 +49,16 @@ __all__ = [
     "BurstyArrivals",
     "PoissonArrivals",
     "UniformArrivals",
+    "FLOW_MODEL_FACTORIES",
+    "FlowModel",
+    "SingleHotFlow",
+    "UniformFlows",
+    "ZipfFlows",
+    "build_flow_model",
+    "canonical_flow_name",
+    "flow_model_names",
+    "rss_queue",
+    "rss_queues",
     "IMIX",
     "FixedSize",
     "SizeDistribution",
@@ -42,6 +66,7 @@ __all__ = [
     "UniformSize",
     "SATURATING_LOAD_GBPS",
     "WORKLOAD_FACTORIES",
+    "Packet",
     "PacketSchedule",
     "Workload",
     "build_workload",

@@ -1,0 +1,177 @@
+"""Flow models: how packets are labelled with flows for RSS steering.
+
+A multi-queue NIC spreads packets over its RX/TX ring pairs by hashing a
+flow key (the 5-tuple on real hardware) to a queue index.  The simulator
+needs the statistical shape of that key stream, not real addresses, so a
+:class:`FlowModel` simply draws an integer flow label per packet:
+
+* :class:`UniformFlows` — many equally likely flows, the RSS best case;
+* :class:`ZipfFlows` — flow popularity follows a Zipf law, the skewed mix
+  measured in data-centre traces (a few elephants, many mice);
+* :class:`SingleHotFlow` — one flow carries most of the traffic, the RSS
+  worst case (one queue saturates while the others idle).
+
+Flow labels ride on :class:`~repro.workloads.traffic.Packet.flow`; the
+flow→queue mapping itself lives in :mod:`repro.workloads.rss`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+
+
+class FlowModel:
+    """Interface: a source of per-packet integer flow labels.
+
+    Implementations are immutable value objects; all randomness comes from
+    the generator passed to :meth:`sample`, keeping workloads reproducible.
+    """
+
+    name: str = "flows"
+
+    #: Number of distinct flows the model can emit (labels are ``[0, flows)``).
+    flows: int = 0
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` flow labels (int64 array in ``[0, flows)``)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class UniformFlows(FlowModel):
+    """Every flow is equally likely — traffic RSS can spread perfectly."""
+
+    flows: int = 64
+
+    def __post_init__(self) -> None:
+        _check_flows(self.flows)
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"uniform-{self.flows}f"
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        _check_count(count)
+        return rng.integers(0, self.flows, size=count, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class ZipfFlows(FlowModel):
+    """Flow popularity follows a Zipf law with exponent ``skew``.
+
+    Rank ``r`` (1-based) carries probability proportional to
+    ``1 / r**skew``; flow label 0 is the most popular.  ``skew`` around
+    1.0-1.5 matches published data-centre flow-size distributions.
+    """
+
+    flows: int = 64
+    skew: float = 1.2
+
+    def __post_init__(self) -> None:
+        _check_flows(self.flows)
+        if self.skew <= 0.0:
+            raise ValidationError(f"skew must be positive, got {self.skew}")
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"zipf-{self.flows}f-s{self.skew:g}"
+
+    def _probabilities(self) -> np.ndarray:
+        ranks = np.arange(1, self.flows + 1, dtype=np.float64)
+        weights = ranks**-self.skew
+        return weights / weights.sum()
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        _check_count(count)
+        return rng.choice(
+            np.arange(self.flows, dtype=np.int64),
+            size=count,
+            p=self._probabilities(),
+        )
+
+
+@dataclass(frozen=True)
+class SingleHotFlow(FlowModel):
+    """One elephant flow plus background mice — the RSS worst case.
+
+    Flow label 0 carries ``hot_fraction`` of the packets; the remainder is
+    spread uniformly over the other ``flows - 1`` labels.  Whatever queue
+    the hash assigns flow 0 to must carry almost the whole load alone.
+    """
+
+    flows: int = 64
+    hot_fraction: float = 0.9
+
+    def __post_init__(self) -> None:
+        _check_flows(self.flows)
+        if self.flows < 2:
+            raise ValidationError(
+                "a single-hot-flow model needs at least 2 flows "
+                f"(one hot, one background), got {self.flows}"
+            )
+        if not 0.0 < self.hot_fraction < 1.0:
+            raise ValidationError(
+                f"hot_fraction must be within (0, 1), got {self.hot_fraction}"
+            )
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"hot-{self.flows}f-{self.hot_fraction:g}"
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        _check_count(count)
+        hot = rng.random(count) < self.hot_fraction
+        background = rng.integers(1, self.flows, size=count, dtype=np.int64)
+        return np.where(hot, np.int64(0), background)
+
+
+#: Named flow-model builders (the CLI / bench vocabulary).  ``"skewed"``
+#: aliases ``"zipf"`` to match the paper's wording.
+FLOW_MODEL_FACTORIES = {
+    "uniform": UniformFlows,
+    "zipf": ZipfFlows,
+    "hot": SingleHotFlow,
+}
+
+_FLOW_ALIASES = {"skewed": "zipf", "single-hot-flow": "hot"}
+
+
+def flow_model_names() -> list[str]:
+    """All named flow models, in registry order."""
+    return list(FLOW_MODEL_FACTORIES)
+
+
+def canonical_flow_name(name: str) -> str:
+    """Resolve a flow-model name or alias to its registry key (or raise)."""
+    key = name.strip().lower()
+    key = _FLOW_ALIASES.get(key, key)
+    if key not in FLOW_MODEL_FACTORIES:
+        raise ValidationError(
+            f"unknown flow model {name!r}; known flow models: "
+            + ", ".join(FLOW_MODEL_FACTORIES)
+        )
+    return key
+
+
+def build_flow_model(name: str, *, flows: int = 64, **kwargs: object) -> FlowModel:
+    """Construct a named flow model (``"uniform"``, ``"zipf"``, ``"hot"``).
+
+    ``kwargs`` pass model-specific knobs through (``skew`` for Zipf,
+    ``hot_fraction`` for the single-hot-flow mix).
+    """
+    key = canonical_flow_name(name)
+    return FLOW_MODEL_FACTORIES[key](flows=flows, **kwargs)  # type: ignore[arg-type]
+
+
+def _check_flows(flows: int) -> None:
+    if flows <= 0:
+        raise ValidationError(f"flow count must be positive, got {flows}")
+
+
+def _check_count(count: int) -> None:
+    if count <= 0:
+        raise ValidationError(f"count must be positive, got {count}")

@@ -1,0 +1,72 @@
+"""RSS-style flow-to-queue steering.
+
+Real NICs hash a flow key (Toeplitz over the 5-tuple, seeded by a random
+key the driver programs at probe time) into an indirection table that picks
+the RX/TX queue pair.  The simulator keeps the two properties that matter
+for studying queue imbalance and drops everything else:
+
+* **determinism per seed** — the same (flow, queue count, seed) triple
+  always maps to the same queue, across runs, platforms and Python
+  versions (the hash is pure 64-bit integer arithmetic, no ``hash()``);
+* **avalanche** — nearby flow labels land on unrelated queues, so a flow
+  model's popularity skew, not label locality, decides the imbalance.
+
+The mix function is the splitmix64 finaliser, applied to the flow label
+XOR a seed-derived constant; everything is vectorised over numpy uint64
+(whose arithmetic wraps, exactly like the C it models).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_2 = np.uint64(0x94D049BB133111EB)
+_MASK = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _mix64(value: np.ndarray | np.uint64) -> np.ndarray | np.uint64:
+    """The splitmix64 finaliser (full-avalanche 64-bit mix)."""
+    with np.errstate(over="ignore"):
+        value = (value + _GOLDEN) & _MASK
+        value ^= value >> np.uint64(30)
+        value = (value * _MIX_1) & _MASK
+        value ^= value >> np.uint64(27)
+        value = (value * _MIX_2) & _MASK
+        value ^= value >> np.uint64(31)
+    return value
+
+
+def rss_queues(
+    flows: np.ndarray, num_queues: int, *, seed: int = 0
+) -> np.ndarray:
+    """Map an array of flow labels to queue indices.
+
+    Args:
+        flows: integer flow labels (any non-negative integer dtype).
+        num_queues: number of RX/TX queue pairs; must be positive.
+        seed: RSS key seed; a different seed permutes the whole mapping
+            (the driver reprogramming its Toeplitz key).
+
+    Returns:
+        int64 array of queue indices in ``[0, num_queues)``, same shape as
+        ``flows``.
+    """
+    if num_queues <= 0:
+        raise ValidationError(f"num_queues must be positive, got {num_queues}")
+    labels = np.asarray(flows)
+    if labels.size and labels.min() < 0:
+        raise ValidationError("flow labels must be non-negative")
+    if num_queues == 1:
+        return np.zeros(labels.shape, dtype=np.int64)
+    key = _mix64(np.uint64(seed & 0xFFFFFFFFFFFFFFFF))
+    hashed = _mix64(labels.astype(np.uint64) ^ key)
+    return (hashed % np.uint64(num_queues)).astype(np.int64)
+
+
+def rss_queue(flow: int, num_queues: int, *, seed: int = 0) -> int:
+    """Scalar convenience wrapper around :func:`rss_queues`."""
+    return int(rss_queues(np.asarray([flow]), num_queues, seed=seed)[0])

@@ -17,6 +17,7 @@ import numpy as np
 from ..errors import ValidationError
 from ..units import bytes_over_time_to_gbps
 from .arrivals import ArrivalProcess, BurstyArrivals, PoissonArrivals, UniformArrivals
+from .flows import FlowModel
 from .sizes import IMIX, FixedSize, SizeDistribution, TrimodalSize, UniformSize
 
 #: Offered load used when a workload asks for saturation: comfortably above
@@ -26,11 +27,30 @@ SATURATING_LOAD_GBPS = 80.0
 
 
 @dataclass(frozen=True)
+class Packet:
+    """One scheduled packet: when it arrives, how big it is, which flow.
+
+    ``flow`` is the integer flow label RSS steering hashes to a queue
+    (see :mod:`repro.workloads.rss`); schedules generated without a flow
+    model put every packet on flow 0.
+    """
+
+    arrival_ns: float
+    size: int
+    flow: int = 0
+
+
+@dataclass(frozen=True)
 class PacketSchedule:
-    """A concrete packet stream for one direction: arrival times and sizes."""
+    """A concrete packet stream for one direction: arrival times, sizes, flows.
+
+    ``flows`` is ``None`` for schedules generated without a flow model —
+    the single-queue case, where steering never looks at the label.
+    """
 
     arrival_times_ns: np.ndarray
     sizes: np.ndarray
+    flows: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         if self.arrival_times_ns.size != self.sizes.size:
@@ -40,11 +60,24 @@ class PacketSchedule:
             )
         if self.arrival_times_ns.size == 0:
             raise ValidationError("a schedule needs at least one packet")
+        if self.flows is not None and self.flows.size != self.sizes.size:
+            raise ValidationError(
+                "flow labels and sizes must have equal length "
+                f"({self.flows.size} != {self.sizes.size})"
+            )
 
     @property
     def count(self) -> int:
         """Number of packets in the schedule."""
         return int(self.sizes.size)
+
+    def packet(self, index: int) -> Packet:
+        """The ``index``-th packet as a :class:`Packet` record."""
+        return Packet(
+            arrival_ns=float(self.arrival_times_ns[index]),
+            size=int(self.sizes[index]),
+            flow=int(self.flows[index]) if self.flows is not None else 0,
+        )
 
     @property
     def payload_bytes(self) -> int:
@@ -86,6 +119,9 @@ class Workload:
             means saturating (:data:`SATURATING_LOAD_GBPS`).
         duplex: whether traffic flows in both directions (one TX and one RX
             stream, the Figure 1 setting) or TX only.
+        flows: optional flow model labelling each packet for RSS steering
+            (required by multi-queue runs; ``None`` leaves schedules
+            unlabelled, the single-queue case).
     """
 
     name: str
@@ -93,6 +129,7 @@ class Workload:
     arrivals: ArrivalProcess
     offered_load_gbps: float | None = None
     duplex: bool = True
+    flows: FlowModel | None = None
 
     def __post_init__(self) -> None:
         if self.offered_load_gbps is not None and self.offered_load_gbps <= 0:
@@ -136,17 +173,28 @@ class Workload:
         gaps = self.arrivals.gaps(nominal_gaps, generator)
         times = np.cumsum(gaps)
         times -= times[0]  # first packet arrives at t = 0
-        return PacketSchedule(arrival_times_ns=times, sizes=sizes)
+        # Flow labels are drawn last so attaching a flow model leaves the
+        # size and gap draws — and therefore every single-queue result —
+        # bit-identical to a flow-free workload on the same seed.
+        flows = (
+            self.flows.sample(count, generator)
+            if self.flows is not None
+            else None
+        )
+        return PacketSchedule(arrival_times_ns=times, sizes=sizes, flows=flows)
 
     def describe(self) -> dict[str, object]:
         """Summary of the workload (for results and reports)."""
-        return {
+        summary: dict[str, object] = {
             "name": self.name,
             "sizes": self.sizes.name,
             "arrivals": self.arrivals.name,
             "offered_load_gbps": self.offered_load_gbps,
             "duplex": self.duplex,
         }
+        if self.flows is not None:
+            summary["flows"] = self.flows.name
+        return summary
 
 
 # ---------------------------------------------------------------------------

@@ -56,6 +56,65 @@ class TestNicSimParams:
         assert variant.model == base.model
 
 
+class TestMultiQueueAndTagParams:
+    def test_queue_and_tag_knobs_round_trip(self):
+        params = NicSimParams(
+            model="dpdk", workload="imix", num_queues=4, rss="skewed",
+            dma_tags=16, seed=2,
+        )
+        assert params.rss == "zipf"  # alias canonicalised
+        record = params.as_dict()
+        assert record["num_queues"] == 4
+        assert record["rss"] == "zipf"
+        assert record["dma_tags"] == 16
+        assert NicSimParams.from_dict(record) == params
+
+    def test_non_default_rss_survives_single_queue_round_trip(self):
+        # The rss key must be gated on its own default, not on num_queues:
+        # a single-queue params with rss="hot" still round-trips exactly.
+        params = NicSimParams(model="dpdk", rss="hot", num_queues=1)
+        assert NicSimParams.from_dict(params.as_dict()) == params
+
+    def test_default_knobs_are_omitted_from_serialisation(self):
+        record = NicSimParams(model="dpdk").as_dict()
+        for key in ("num_queues", "rss", "dma_tags"):
+            assert key not in record
+
+    def test_label_mentions_queue_and_tag_knobs(self):
+        label = NicSimParams(
+            model="dpdk", num_queues=4, rss="hot", dma_tags=8
+        ).label()
+        assert "queues=4" in label
+        assert "rss=hot" in label
+        assert "tags=8" in label
+        single = NicSimParams(model="dpdk").label()
+        assert "queues=" not in single
+        assert "tags=" not in single
+
+    def test_invalid_queue_and_tag_knobs_rejected(self):
+        with pytest.raises(ValidationError):
+            NicSimParams(model="dpdk", num_queues=0)
+        with pytest.raises(ValidationError):
+            NicSimParams(model="dpdk", num_queues=300)
+        with pytest.raises(ValidationError):
+            NicSimParams(model="dpdk", dma_tags=0)
+        with pytest.raises(ValidationError):
+            NicSimParams(model="dpdk", rss="round-robin")
+
+    def test_multiqueue_tagged_run_partitions_and_accounts(self):
+        params = NicSimParams(
+            model="dpdk", workload="imix", packets=300,
+            offered_load_gbps=10.0, num_queues=2, dma_tags=16, seed=4,
+        )
+        result = run_nicsim_benchmark(params)
+        assert result.tx.queues is not None and len(result.tx.queues) == 2
+        assert (
+            sum(queue.offered_packets for queue in result.tx.queues) == 300
+        )
+        assert result.tags is not None
+        assert result.tags.capacity == 16
+
+
 class TestHostCouplingParams:
     def test_host_fields_default_to_decoupled(self):
         params = NicSimParams(model="dpdk")

@@ -31,6 +31,7 @@ class TestRegistry:
             "figure-8",
             "figure-9",
             "figure-7-9-sim",
+            "figure-8-sim",
             "table-1",
             "table-2",
         ]

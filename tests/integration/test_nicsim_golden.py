@@ -1,11 +1,17 @@
-"""Golden-output tests for ``pcie-bench nicsim`` and ``figure-7-9-sim``.
+"""Golden-output tests for ``pcie-bench nicsim`` and the sim experiments.
 
-The checked-in golden record (``tests/golden/nicsim_seeded.json``) pins a
-seeded host-coupled run: the serialised parameters must reproduce the
-serialised result, so any change to the datapath, the host coupling, the
-RNG streams or the serialisation format is caught explicitly (regenerate
-the file deliberately when the change is intended — see the test body for
-the recipe).
+The checked-in golden records pin seeded runs: the serialised parameters
+must reproduce the serialised result, so any change to the datapath, the
+host coupling, the RNG streams or the serialisation format is caught
+explicitly (regenerate the files deliberately when the change is intended
+— see the test bodies for the recipe).
+
+``nicsim_seeded.json`` predates the multi-queue/bounded-tags knobs and is
+deliberately left untouched: the single-queue, unbounded-tag datapath must
+keep reproducing it bit for bit (the degenerate-case contract).
+``nicsim_multiqueue_seeded.json`` pins the same host-coupled scenario run
+through 4 RSS-steered queues and a 16-tag DMA pool, including the
+per-queue counters and the tag-pool accounting.
 """
 
 from __future__ import annotations
@@ -21,6 +27,9 @@ from repro.experiments.registry import run_experiment
 from repro.sim.nicsim import NicSimResult
 
 GOLDEN_PATH = Path(__file__).parent.parent / "golden" / "nicsim_seeded.json"
+MULTIQUEUE_GOLDEN_PATH = (
+    Path(__file__).parent.parent / "golden" / "nicsim_multiqueue_seeded.json"
+)
 
 #: Relative tolerance for float comparisons: the run is deterministic, but
 #: float reductions may differ in the last bits across numpy versions.
@@ -77,6 +86,55 @@ class TestSeededGoldenRun:
         assert NicSimResult.from_dict(result.as_dict()) == result
 
 
+class TestMultiQueueGoldenRun:
+    def test_legacy_golden_params_have_no_queue_keys(self):
+        # The PR 2 file predates the knobs; its params block must parse to
+        # the degenerate defaults and re-serialise without the new keys.
+        golden = json.loads(GOLDEN_PATH.read_text())
+        params = NicSimParams.from_dict(golden["params"])
+        assert params.num_queues == 1
+        assert params.dma_tags is None
+        for key in ("num_queues", "dma_tags", "rss"):
+            assert key not in params.as_dict()
+
+    def test_seeded_multiqueue_run_matches_checked_in_summary(self):
+        # To regenerate after an intentional behaviour change:
+        #   params = NicSimParams.from_dict(golden["params"])
+        #   json.dump({"params": params.as_dict(),
+        #              "result": run_nicsim_benchmark(params).as_dict()}, ...)
+        golden = json.loads(MULTIQUEUE_GOLDEN_PATH.read_text())
+        params = NicSimParams.from_dict(golden["params"])
+        assert params.as_dict() == golden["params"]
+        assert params.num_queues == 4
+        assert params.dma_tags == 16
+        assert params.rss == "zipf"
+        result = run_nicsim_benchmark(params)
+        assert_deep_close(result.as_dict(), golden["result"])
+
+    def test_multiqueue_golden_pins_per_queue_counters_and_tags(self):
+        golden = json.loads(MULTIQUEUE_GOLDEN_PATH.read_text())
+        for direction in ("tx", "rx"):
+            path = golden["result"][direction]
+            queues = path["queues"]
+            assert len(queues) == 4
+            assert [queue["direction"] for queue in queues] == [
+                f"{direction}[{index}]" for index in range(4)
+            ]
+            assert (
+                sum(queue["delivered_packets"] for queue in queues)
+                == path["delivered_packets"]
+            )
+        tags = golden["result"]["tags"]
+        assert tags["capacity"] == 16
+        assert tags["max_in_flight"] == 16
+
+    def test_multiqueue_record_round_trips_through_dict(self):
+        golden = json.loads(MULTIQUEUE_GOLDEN_PATH.read_text())
+        restored = NicSimResult.from_dict(golden["result"])
+        assert_deep_close(restored.as_dict(), golden["result"])
+        assert NicSimResult.from_dict(restored.as_dict()) == restored
+
+
 class TestCliGolden:
     def test_host_coupled_nicsim_cli(self, capsys):
         code = main(
@@ -99,6 +157,39 @@ class TestCliGolden:
         golden = json.loads(GOLDEN_PATH.read_text())
         expected_gbps = golden["result"]["tx"]["throughput_gbps"]
         assert f"{expected_gbps:.1f}" in captured.out
+
+    def test_multiqueue_cli_matches_golden_and_prints_queue_tables(self, capsys):
+        golden = json.loads(MULTIQUEUE_GOLDEN_PATH.read_text())
+        code = main(
+            [
+                "nicsim", "--model", "dpdk", "--workload", "imix",
+                "--load", "20", "--packets", "600", "--ring-depth", "256",
+                "--queues", "4", "--rss", "zipf", "--dma-tags", "16",
+                "--system", "NFP6000-BDW", "--iommu",
+                "--host-window", "1M", "--host-cache", "device_warm",
+                "--seed", "7",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Per-queue breakdown" in captured.out
+        assert "DMA tag pool" in captured.out
+        assert "tx[0]" in captured.out and "rx[3]" in captured.out
+        assert "queues=4 rss=zipf tags=16" in captured.err
+        expected_gbps = golden["result"]["tx"]["throughput_gbps"]
+        assert f"{expected_gbps:.1f}" in captured.out
+
+    def test_single_queue_cli_has_no_queue_or_tag_tables(self, capsys):
+        code = main(
+            [
+                "nicsim", "--model", "dpdk", "--workload", "fixed",
+                "--size", "512", "--load", "10", "--packets", "300",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Per-queue breakdown" not in captured.out
+        assert "DMA tag pool" not in captured.out
 
     def test_decoupled_cli_has_no_host_table(self, capsys):
         code = main(
@@ -135,3 +226,18 @@ class TestExperimentGolden:
         text = result.to_text()
         assert "figure-7-9-sim" in text
         assert "Host-coupled NIC datapath" in text
+
+    def test_figure_8_sim_structure_and_checks(self):
+        result = run_experiment("figure-8-sim", quick=True)
+        assert result.experiment_id == "figure-8-sim"
+        assert sorted(result.series) == ["local", "remote"]
+        # One sweep point per finite tag-pool size, both placements.
+        assert {len(points) for points in result.series.values()} == {4}
+        assert result.table_headers[0] == "scenario"
+        assert len(result.checks) == 5
+        assert result.passed, [
+            check.description for check in result.checks if not check.passed
+        ]
+        text = result.to_text()
+        assert "figure-8-sim" in text
+        assert "bandwidth dip" in text.lower()

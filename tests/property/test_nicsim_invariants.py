@@ -1,21 +1,30 @@
 """Invariant harness for the NIC datapath simulator (host-coupled or not).
 
 Property-style tests running a grid of (model, workload, ring depth, load,
-duplex, host-coupling) combinations and asserting the laws any run must
-obey, whatever the configuration:
+duplex, host-coupling, queue count, RSS scenario, tag bound) combinations
+and asserting the laws any run must obey, whatever the configuration:
 
 * packet conservation: offered = delivered + dropped + in-flight, per
-  direction, cross-checked against an independently regenerated schedule;
+  direction *and per queue*, cross-checked against an independently
+  regenerated schedule and RSS mapping;
 * byte conservation: offered bytes equal the schedule's bytes, delivered
   bytes equal the sum of delivered sizes, dropped + delivered never exceed
   offered;
 * monotone event times: arrival <= payload completion <= completion
   report for every packet, and the run duration covers every report;
 * ring sanity: occupancy never exceeds the configured depth, every
-  posted packet is eventually delivered.
+  posted packet is eventually delivered — checked per queue;
+* RSS sanity: the flow→queue mapping is a pure function of (flow, queue
+  count, seed), and every offered packet lands on exactly one queue.
+
+The ``NICSIM_QUEUES`` environment variable pins the queue-count choices
+(e.g. ``NICSIM_QUEUES=4``) so a CI matrix can run the same grid once per
+queue layout.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 from hypothesis import given, settings, strategies as st
@@ -24,10 +33,15 @@ from repro.sim.nichost import NicHostConfig
 from repro.sim.nicsim import NicDatapathSimulator, NicSimConfig, NicSimResult
 from repro.sim.rng import DEFAULT_SEED, SimRng
 from repro.units import KIB
-from repro.workloads import build_workload
+from repro.workloads import build_flow_model, build_workload, rss_queues
 
 MODELS = ("simple", "kernel", "dpdk")
 WORKLOADS = ("fixed", "uniform", "imix", "poisson", "bursty")
+RSS_SCENARIOS = ("uniform", "zipf", "hot")
+
+_QUEUE_ENV = os.environ.get("NICSIM_QUEUES")
+#: Queue layouts the grid samples; a CI matrix pins one via NICSIM_QUEUES.
+QUEUE_CHOICES = (int(_QUEUE_ENV),) if _QUEUE_ENV else (1, 4)
 
 #: Neutral host coupling used for the coupled half of the grid.
 NEUTRAL_HOST = NicHostConfig(system="NFP6000-HSW", payload_window=256 * KIB)
@@ -41,6 +55,22 @@ STRESSED_HOST = NicHostConfig(
 )
 
 
+def make_workload(
+    workload_name: str,
+    *,
+    load: float | None,
+    duplex: bool,
+    num_queues: int,
+    rss: str,
+):
+    workload = build_workload(
+        workload_name, size=512, load_gbps=load, duplex=duplex
+    )
+    if num_queues > 1:
+        workload = workload.with_(flows=build_flow_model(rss))
+    return workload
+
+
 def run_simulation(
     model: str,
     workload_name: str,
@@ -52,14 +82,25 @@ def run_simulation(
     host: NicHostConfig | None,
     rx_backpressure: bool,
     seed: int,
+    num_queues: int = 1,
+    rss: str = "uniform",
+    dma_tags: int | None = None,
 ) -> tuple[NicDatapathSimulator, NicSimResult]:
-    workload = build_workload(
-        workload_name, size=512, load_gbps=load, duplex=duplex
+    workload = make_workload(
+        workload_name,
+        load=load,
+        duplex=duplex,
+        num_queues=num_queues,
+        rss=rss,
     )
     simulator = NicDatapathSimulator(
         model,
         sim_config=NicSimConfig(
-            ring_depth=ring_depth, rx_backpressure=rx_backpressure, host=host
+            ring_depth=ring_depth,
+            rx_backpressure=rx_backpressure,
+            host=host,
+            num_queues=num_queues,
+            dma_tags=dma_tags,
         ),
     )
     return simulator, simulator.run(workload, packets, seed=seed)
@@ -73,12 +114,18 @@ def assert_invariants(
     load: float | None,
     packets: int,
     seed: int,
+    num_queues: int = 1,
+    rss: str = "uniform",
 ) -> None:
     # Regenerate the offered schedule independently of the simulator: the
     # workload draws from named RNG sub-streams, so the same seed yields
     # the same schedule regardless of what else consumed randomness.
-    workload = build_workload(
-        workload_name, size=512, load_gbps=load, duplex=result.rx is not None
+    workload = make_workload(
+        workload_name,
+        load=load,
+        duplex=result.rx is not None,
+        num_queues=num_queues,
+        rss=rss,
     )
     rng = SimRng(seed)
     paths = [result.tx] + ([result.rx] if result.rx is not None else [])
@@ -117,10 +164,61 @@ def assert_invariants(
         if trace.notifies_ns.size:
             assert result.duration_ns >= trace.notifies_ns.max()
 
-        # Ring sanity.
+        # Ring sanity (direction level: aggregated for multi-queue runs).
         assert path.ring.max_occupancy <= path.ring.depth
         assert 0.0 <= path.ring.mean_occupancy <= path.ring.depth
         assert path.ring.posts == path.delivered_packets
+
+        # Per-queue invariants (the RSS layer).
+        if num_queues == 1:
+            assert path.queues is None
+        else:
+            assert path.queues is not None
+            assert len(path.queues) == num_queues
+            assert schedule.flows is not None
+            # The flow→queue mapping is deterministic per seed and a pure
+            # function of the labels: recompute it from the regenerated
+            # schedule and compare the per-queue offered counts.
+            mapping = rss_queues(schedule.flows, num_queues, seed=seed)
+            again = rss_queues(schedule.flows, num_queues, seed=seed)
+            assert (mapping == again).all()
+            assert ((mapping >= 0) & (mapping < num_queues)).all()
+            expected_offered = np.bincount(mapping, minlength=num_queues)
+            for index, queue in enumerate(path.queues):
+                assert queue.direction == f"{path.direction}[{index}]"
+                assert queue.offered_packets == int(expected_offered[index])
+                # Conservation and ring bounds hold per queue too.
+                assert (
+                    queue.delivered_packets + queue.drops + queue.in_flight
+                    == queue.offered_packets
+                ), queue.direction
+                assert queue.ring.drops == queue.drops
+                assert queue.ring.max_occupancy <= queue.ring.depth
+                assert 0.0 <= queue.ring.mean_occupancy <= queue.ring.depth
+                assert queue.ring.posts == queue.delivered_packets
+                assert (
+                    queue.payload_bytes + queue.dropped_bytes
+                    <= queue.offered_bytes
+                )
+                # The trace slice of this queue matches its counters.
+                assert trace.queue_ids is not None
+                mask = trace.queue_ids == index
+                assert int(mask.sum()) == queue.delivered_packets
+                assert int(trace.sizes[mask].sum()) == queue.payload_bytes
+            # Every packet lands on exactly one queue: the per-queue
+            # tallies partition the direction totals.
+            for field in (
+                "offered_packets",
+                "delivered_packets",
+                "drops",
+                "in_flight",
+                "payload_bytes",
+                "offered_bytes",
+                "dropped_bytes",
+            ):
+                assert sum(
+                    getattr(queue, field) for queue in path.queues
+                ) == getattr(path, field), field
 
     assert 0.0 <= result.link_utilisation_up <= 1.0
     assert 0.0 <= result.link_utilisation_down <= 1.0
@@ -135,11 +233,25 @@ class TestDatapathInvariants:
         load=st.sampled_from((None, 8.0, 30.0)),
         duplex=st.booleans(),
         coupled=st.booleans(),
+        num_queues=st.sampled_from(QUEUE_CHOICES),
+        rss=st.sampled_from(RSS_SCENARIOS),
+        dma_tags=st.sampled_from((None, 8, 64)),
         seed=st.integers(min_value=0, max_value=2**31 - 1),
     )
     @settings(max_examples=25, deadline=None)
     def test_conservation_across_workload_grid(
-        self, model, workload_name, ring_depth, packets, load, duplex, coupled, seed
+        self,
+        model,
+        workload_name,
+        ring_depth,
+        packets,
+        load,
+        duplex,
+        coupled,
+        num_queues,
+        rss,
+        dma_tags,
+        seed,
     ):
         simulator, result = run_simulation(
             model,
@@ -151,6 +263,9 @@ class TestDatapathInvariants:
             host=NEUTRAL_HOST if coupled else None,
             rx_backpressure=False,
             seed=seed,
+            num_queues=num_queues,
+            rss=rss,
+            dma_tags=dma_tags,
         )
         assert_invariants(
             simulator,
@@ -159,7 +274,16 @@ class TestDatapathInvariants:
             load=load,
             packets=packets,
             seed=seed,
+            num_queues=num_queues,
+            rss=rss,
         )
+        if dma_tags is not None:
+            assert result.tags is not None
+            assert result.tags.capacity == dma_tags
+            assert 0 <= result.tags.max_in_flight <= dma_tags
+            assert result.tags.waited <= result.tags.acquires
+        else:
+            assert result.tags is None
 
     @given(
         workload_name=st.sampled_from(("fixed", "bursty")),
@@ -168,7 +292,8 @@ class TestDatapathInvariants:
     @settings(max_examples=6, deadline=None)
     def test_conservation_under_host_pressure(self, workload_name, seed):
         # IOMMU miss storm + cold remote buffers must bend latency, never
-        # break conservation.
+        # break conservation — with the RSS layer and a tight tag pool on
+        # top, the worst case the datapath supports.
         simulator, result = run_simulation(
             "kernel",
             workload_name,
@@ -179,6 +304,9 @@ class TestDatapathInvariants:
             host=STRESSED_HOST,
             rx_backpressure=False,
             seed=seed,
+            num_queues=QUEUE_CHOICES[-1],
+            rss="hot",
+            dma_tags=8,
         )
         assert_invariants(
             simulator,
@@ -187,6 +315,8 @@ class TestDatapathInvariants:
             load=30.0,
             packets=200,
             seed=seed,
+            num_queues=QUEUE_CHOICES[-1],
+            rss="hot",
         )
         assert result.host is not None
         assert result.host.iotlb_hit_rate < 1.0
@@ -217,6 +347,44 @@ class TestDatapathInvariants:
             seed=seed,
         )
         assert result.total_drops == 0
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=6, deadline=None)
+    def test_rss_steering_is_seed_stable(self, seed):
+        # Two identically seeded multi-queue runs must agree exactly,
+        # and reseeding re-keys the hash without losing any packet.
+        _, first = run_simulation(
+            "dpdk",
+            "imix",
+            packets=150,
+            ring_depth=64,
+            load=20.0,
+            duplex=True,
+            host=None,
+            rx_backpressure=False,
+            seed=seed,
+            num_queues=4,
+            rss="zipf",
+        )
+        _, second = run_simulation(
+            "dpdk",
+            "imix",
+            packets=150,
+            ring_depth=64,
+            load=20.0,
+            duplex=True,
+            host=None,
+            rx_backpressure=False,
+            seed=seed,
+            num_queues=4,
+            rss="zipf",
+        )
+        assert first == second
+        assert first.tx.queues is not None
+        assert (
+            sum(queue.offered_packets for queue in first.tx.queues)
+            == first.tx.offered_packets
+        )
 
     def test_default_seed_matches_explicit_default(self):
         simulator, implicit = run_simulation(

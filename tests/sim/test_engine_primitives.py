@@ -9,8 +9,8 @@ which both the DMA engine and the NIC datapath simulator rely on.
 
 import pytest
 
-from repro.errors import ValidationError
-from repro.sim.engine import SerialResource, WorkerPool
+from repro.errors import SimulationError, ValidationError
+from repro.sim.engine import SerialResource, TagPool, WorkerPool
 
 
 class TestWorkerPoolInterleaving:
@@ -55,6 +55,90 @@ class TestWorkerPoolInterleaving:
         pool.reset()
         assert pool.in_flight == 0
         assert pool.acquire(0.0) == 0.0
+
+
+class TestSerialResourceFifoTieBreak:
+    """The release-ordering contract multi-queue reproducibility rests on.
+
+    When two grants mature at the same timestamp, service order must be
+    the *call* order — first ``occupy`` call wins the earlier slot — with
+    no dependence on duration, caller identity or hash order.  The NIC
+    datapath event loop breaks same-time event ties by insertion sequence,
+    so pinning this here pins the end-to-end determinism of multi-queue
+    runs across Python versions and platforms.
+    """
+
+    def test_equal_earliest_start_served_in_call_order(self):
+        link = SerialResource("link")
+        first = link.occupy(10.0, 5.0)
+        second = link.occupy(10.0, 3.0)
+        third = link.occupy(10.0, 2.0)
+        assert (first, second, third) == (10.0, 15.0, 18.0)
+
+    def test_shorter_later_request_cannot_jump_the_queue(self):
+        # A zero-duration request issued second still waits behind the
+        # first request's full service time.
+        link = SerialResource("link")
+        assert link.occupy(0.0, 100.0) == 0.0
+        assert link.occupy(0.0, 0.0) == 100.0
+
+    def test_grants_maturing_together_stack_fifo(self):
+        # Three requests whose earliest starts all mature while the link
+        # is busy until t=50: they stack strictly in call order at 50.
+        link = SerialResource("link")
+        link.occupy(0.0, 50.0)
+        starts = [link.occupy(t, 10.0) for t in (20.0, 30.0, 10.0)]
+        assert starts == [50.0, 60.0, 70.0]
+
+
+class TestTagPool:
+    """The event-driven bounded DMA tag pool gating nicsim DMAs."""
+
+    def test_grants_are_immediate_while_capacity_remains(self):
+        pool = TagPool("tags", 2)
+        grants: list[float] = []
+        pool.acquire(1.0, grants.append)
+        pool.acquire(2.0, grants.append)
+        assert grants == [1.0, 2.0]
+        assert pool.in_flight == 2
+        assert pool.max_in_flight == 2
+        assert pool.waited == 0
+
+    def test_exhausted_pool_queues_and_regrants_fifo(self):
+        pool = TagPool("tags", 1)
+        grants: list[str] = []
+        pool.acquire(0.0, lambda now: grants.append(f"a@{now}"))
+        pool.acquire(1.0, lambda now: grants.append(f"b@{now}"))
+        pool.acquire(2.0, lambda now: grants.append(f"c@{now}"))
+        assert grants == ["a@0.0"]
+        assert pool.waiting == 2
+        # Two releases at the *same* timestamp grant in acquire order.
+        pool.release(10.0)
+        pool.release(10.0)
+        assert grants == ["a@0.0", "b@10.0", "c@10.0"]
+        assert pool.waiting == 0
+        assert pool.in_flight == 1  # c still holds the regranted tag
+        assert pool.waited == 2
+        assert pool.wait_ns_total == pytest.approx((10.0 - 1.0) + (10.0 - 2.0))
+
+    def test_release_without_waiters_frees_the_tag(self):
+        pool = TagPool("tags", 2)
+        pool.acquire(0.0, lambda now: None)
+        pool.release(5.0)
+        assert pool.in_flight == 0
+        # The freed tag is immediately grantable again.
+        grants: list[float] = []
+        pool.acquire(6.0, grants.append)
+        assert grants == [6.0]
+
+    def test_over_release_and_bad_arguments_rejected(self):
+        with pytest.raises(ValidationError):
+            TagPool("tags", 0)
+        pool = TagPool("tags", 1)
+        with pytest.raises(SimulationError):
+            pool.release(0.0)
+        with pytest.raises(ValidationError):
+            pool.acquire(-1.0, lambda now: None)
 
 
 class TestSerialResourceReset:

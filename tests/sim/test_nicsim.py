@@ -115,6 +115,76 @@ class TestLatencyAndOccupancy:
         assert shallow.rx.drops > 0
 
 
+class TestMultiQueue:
+    """N TX/RX ring pairs with RSS flow steering."""
+
+    def test_single_queue_knobs_are_the_degenerate_case(self):
+        plain = simulate_nic(
+            MODERN_NIC_DPDK, "imix", packets=600, load_gbps=20.0, seed=3
+        )
+        explicit = simulate_nic(
+            MODERN_NIC_DPDK, "imix", packets=600, load_gbps=20.0, seed=3,
+            num_queues=1, dma_tags=None,
+        )
+        assert plain == explicit
+        assert plain.tx.queues is None
+        assert plain.tags is None
+
+    def test_queues_partition_the_direction_totals(self):
+        result = simulate_nic(
+            MODERN_NIC_DPDK, "imix", packets=800, load_gbps=20.0,
+            num_queues=4, rss="uniform", seed=11,
+        )
+        for path in (result.tx, result.rx):
+            assert path.queues is not None
+            assert len(path.queues) == 4
+            assert [q.direction for q in path.queues] == [
+                f"{path.direction}[{i}]" for i in range(4)
+            ]
+            assert sum(q.offered_packets for q in path.queues) == 800
+            assert (
+                sum(q.delivered_packets for q in path.queues)
+                == path.delivered_packets
+            )
+            assert sum(q.payload_bytes for q in path.queues) == path.payload_bytes
+
+    def test_single_hot_flow_saturates_one_queue(self):
+        result = simulate_nic(
+            MODERN_NIC_DPDK, "imix", packets=800, load_gbps=20.0,
+            num_queues=4, rss="hot", seed=11,
+        )
+        offered = sorted(q.offered_packets for q in result.tx.queues)
+        # The hot flow's queue carries the overwhelming majority alone.
+        assert offered[-1] > 0.8 * result.tx.offered_packets
+        assert offered[0] < 0.2 * result.tx.offered_packets
+
+    def test_zipf_flows_imbalance_the_queues(self):
+        result = simulate_nic(
+            MODERN_NIC_DPDK, "imix", packets=800, load_gbps=20.0,
+            num_queues=4, rss="zipf", seed=11,
+        )
+        offered = sorted(q.offered_packets for q in result.tx.queues)
+        assert offered[-1] > 2 * offered[0]
+
+    def test_multi_queue_needs_a_flow_model(self):
+        simulator = NicDatapathSimulator(
+            MODERN_NIC_DPDK, sim_config=NicSimConfig(num_queues=4)
+        )
+        with pytest.raises(ValidationError):
+            simulator.run(build_workload("fixed"), 200)
+
+    def test_multi_queue_result_round_trips_through_dict(self):
+        from repro.sim.nicsim import NicSimResult
+
+        result = simulate_nic(
+            MODERN_NIC_DPDK, "imix", packets=600, load_gbps=20.0,
+            num_queues=2, rss="zipf", dma_tags=16, seed=5,
+        )
+        record = result.as_dict()
+        assert len(record["tx"]["queues"]) == 2
+        assert NicSimResult.from_dict(record) == result
+
+
 class TestSimulatorMechanics:
     def test_same_seed_gives_identical_results(self):
         a = simulate_nic(MODERN_NIC_DPDK, "imix", packets=800, seed=5)

@@ -10,12 +10,21 @@ from repro.workloads import (
     SATURATING_LOAD_GBPS,
     BurstyArrivals,
     FixedSize,
+    PacketSchedule,
     PoissonArrivals,
+    SingleHotFlow,
     TrimodalSize,
     UniformArrivals,
+    UniformFlows,
     UniformSize,
     Workload,
+    ZipfFlows,
+    build_flow_model,
     build_workload,
+    canonical_flow_name,
+    flow_model_names,
+    rss_queue,
+    rss_queues,
     workload_names,
 )
 
@@ -172,3 +181,129 @@ class TestWorkloads:
         description = workload.describe()
         assert description["name"] == "fixed"
         assert description["duplex"] is True
+
+
+class TestFlowModels:
+    def test_uniform_flows_stay_in_range(self):
+        model = UniformFlows(16)
+        labels = model.sample(5000, _rng())
+        assert labels.min() >= 0
+        assert labels.max() < 16
+        # Every flow shows up under a uniform draw of this size.
+        assert np.unique(labels).size == 16
+
+    def test_zipf_flows_rank_zero_dominates(self):
+        model = ZipfFlows(flows=32, skew=1.2)
+        labels = model.sample(20_000, _rng())
+        values, counts = np.unique(labels, return_counts=True)
+        by_flow = dict(zip(values, counts))
+        assert by_flow[0] == max(by_flow.values())
+        # Zipf with s=1.2 over 32 flows puts roughly a quarter of the
+        # packets on the top flow; check the heavy head loosely.
+        assert by_flow[0] / labels.size > 0.15
+
+    def test_single_hot_flow_carries_the_configured_fraction(self):
+        model = SingleHotFlow(flows=16, hot_fraction=0.9)
+        labels = model.sample(20_000, _rng())
+        hot_share = (labels == 0).sum() / labels.size
+        assert hot_share == pytest.approx(0.9, abs=0.02)
+        background = labels[labels != 0]
+        assert background.min() >= 1
+        assert background.max() < 16
+
+    def test_builder_names_and_aliases(self):
+        assert flow_model_names() == ["uniform", "zipf", "hot"]
+        assert isinstance(build_flow_model("uniform"), UniformFlows)
+        assert isinstance(build_flow_model("skewed"), ZipfFlows)
+        assert isinstance(build_flow_model("single-hot-flow"), SingleHotFlow)
+        assert canonical_flow_name("Skewed") == "zipf"
+        with pytest.raises(ValidationError):
+            build_flow_model("round-robin")
+
+    def test_flow_model_validation(self):
+        with pytest.raises(ValidationError):
+            UniformFlows(0)
+        with pytest.raises(ValidationError):
+            ZipfFlows(flows=8, skew=0.0)
+        with pytest.raises(ValidationError):
+            SingleHotFlow(flows=1)
+        with pytest.raises(ValidationError):
+            SingleHotFlow(flows=8, hot_fraction=1.0)
+
+
+class TestRssSteering:
+    def test_mapping_is_deterministic_per_seed(self):
+        flows = np.arange(1000, dtype=np.int64)
+        first = rss_queues(flows, 8, seed=42)
+        second = rss_queues(flows, 8, seed=42)
+        assert np.array_equal(first, second)
+        assert first.min() >= 0
+        assert first.max() < 8
+
+    def test_reseeding_rekeys_the_hash(self):
+        flows = np.arange(1000, dtype=np.int64)
+        a = rss_queues(flows, 8, seed=1)
+        b = rss_queues(flows, 8, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_uniform_flows_spread_roughly_evenly(self):
+        flows = np.arange(4096, dtype=np.int64)
+        counts = np.bincount(rss_queues(flows, 4, seed=7), minlength=4)
+        assert counts.min() > 0.8 * flows.size / 4
+
+    def test_single_queue_short_circuits(self):
+        flows = np.arange(100, dtype=np.int64)
+        assert (rss_queues(flows, 1, seed=9) == 0).all()
+
+    def test_scalar_wrapper_matches_vector(self):
+        flows = np.arange(50, dtype=np.int64)
+        mapped = rss_queues(flows, 4, seed=3)
+        for flow in range(50):
+            assert rss_queue(flow, 4, seed=3) == mapped[flow]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            rss_queues(np.arange(4), 0)
+        with pytest.raises(ValidationError):
+            rss_queues(np.asarray([-1, 2]), 4)
+
+
+class TestFlowLabelledSchedules:
+    def test_schedule_without_flow_model_is_unlabelled(self):
+        schedule = build_workload("imix").generate(200, SimRng(5))
+        assert schedule.flows is None
+        assert schedule.packet(0).flow == 0
+
+    def test_flow_model_labels_every_packet(self):
+        workload = build_workload("imix").with_(flows=build_flow_model("zipf"))
+        schedule = workload.generate(200, SimRng(5))
+        assert schedule.flows is not None
+        assert schedule.flows.size == 200
+        packet = schedule.packet(3)
+        assert packet.size == int(schedule.sizes[3])
+        assert packet.flow == int(schedule.flows[3])
+        assert packet.arrival_ns == float(schedule.arrival_times_ns[3])
+
+    def test_attaching_flows_keeps_sizes_and_gaps_bit_identical(self):
+        # The backward-compatibility keystone: flow labels are drawn after
+        # sizes and gaps, so a flow model must not perturb either — this
+        # is what keeps single-queue goldens unchanged.
+        plain = build_workload("bursty-imix", load_gbps=30.0)
+        labelled = plain.with_(flows=build_flow_model("hot"))
+        a = plain.generate(500, SimRng(11))
+        b = labelled.generate(500, SimRng(11))
+        assert np.array_equal(a.sizes, b.sizes)
+        assert np.array_equal(a.arrival_times_ns, b.arrival_times_ns)
+
+    def test_describe_names_the_flow_model(self):
+        workload = build_workload("fixed").with_(flows=build_flow_model("hot"))
+        assert workload.describe()["flows"] == "hot-64f-0.9"
+        assert "flows" not in build_workload("fixed").describe()
+
+    def test_mismatched_flow_length_rejected(self):
+        with pytest.raises(ValidationError):
+            PacketSchedule(
+                arrival_times_ns=np.asarray([0.0, 1.0]),
+                sizes=np.asarray([64, 64]),
+                flows=np.asarray([1]),
+            )
