@@ -1,11 +1,19 @@
 """Analysis helpers: text tables, ASCII plots and report generation."""
 
 from .ascii_plot import ascii_plot
+from .contention import (
+    device_slowdowns,
+    format_contention_summary,
+    jain_fairness_index,
+)
 from .report import experiments_markdown, summary_line, write_experiments_markdown
 from .table import format_nicsim_summary, format_series_table, format_table
 
 __all__ = [
     "ascii_plot",
+    "device_slowdowns",
+    "format_contention_summary",
+    "jain_fairness_index",
     "experiments_markdown",
     "summary_line",
     "write_experiments_markdown",

@@ -1,6 +1,13 @@
 """The pcie-bench methodology: latency and bandwidth micro-benchmarks (§4)."""
 
 from .bandwidth import bw_rd, bw_rdwr, bw_wr, run_bandwidth_benchmark
+from .contention import (
+    CONTENTION_KIND,
+    ContentionParams,
+    noisy_neighbour_pair,
+    run_contention_benchmark,
+    solo_device_params,
+)
 from .latency import lat_rd, lat_wrrd, run_latency_benchmark
 from .nicsim import NICSIM_KIND, NicSimParams, run_nicsim_benchmark
 from .params import (
@@ -19,7 +26,7 @@ from .results import (
     save_results_csv,
     save_results_json,
 )
-from .runner import BenchmarkRunner, full_suite_params
+from .runner import BenchmarkRunner, contention_suite_params, full_suite_params
 from .stats import LatencyStats, cdf, fraction_within, histogram, percentile_ratio
 
 __all__ = [
@@ -33,6 +40,11 @@ __all__ = [
     "NICSIM_KIND",
     "NicSimParams",
     "run_nicsim_benchmark",
+    "CONTENTION_KIND",
+    "ContentionParams",
+    "noisy_neighbour_pair",
+    "run_contention_benchmark",
+    "solo_device_params",
     "COMMON_TRANSFER_SIZES",
     "DEFAULT_BANDWIDTH_TRANSACTIONS",
     "DEFAULT_LATENCY_SAMPLES",
@@ -46,6 +58,7 @@ __all__ = [
     "save_results_csv",
     "save_results_json",
     "BenchmarkRunner",
+    "contention_suite_params",
     "full_suite_params",
     "LatencyStats",
     "cdf",

@@ -1,0 +1,317 @@
+"""Multi-device contention runs as a first-class benchmark.
+
+:class:`ContentionParams` plays the role :class:`~repro.bench.nicsim.NicSimParams`
+plays for single-device datapath simulations: a frozen, validated,
+serialisable description of one shared-host run — N per-device workload
+specifications plus the fabric they contend on (host profile, shared IOMMU
+settings, arbitration scheme and weights) — that the
+:class:`~repro.bench.runner.BenchmarkRunner` can execute alongside the
+classic micro-benchmarks and the ``NICSIM`` kind.
+
+Per-device specifications are plain :class:`NicSimParams` with their host
+half left empty (``system=None``): the fabric owns the host, so a device
+spec only describes its traffic, datapath knobs and buffer working set.
+``solo_device_params`` turns one device spec back into a standalone
+host-coupled ``NICSIM`` run on an identical (but private) host — the
+baseline the victim/aggressor slowdown analysis divides by, and, by the
+fabric's degenerate-case contract, bit-identical to a one-device
+contention run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ValidationError
+from ..sim.engine import ARBITER_SCHEMES
+from ..sim.fabric import (
+    ContentionResult,
+    FabricConfig,
+    FabricDevice,
+    FabricSimulator,
+)
+from ..sim.iommu import SUPPORTED_PAGE_SIZES
+from ..sim.profiles import get_profile
+from ..units import KIB, MIB, format_size
+from ..workloads import build_flow_model, build_workload
+from .nicsim import NicSimParams
+
+#: The ``kind`` tag used in labels and serialised records.
+CONTENTION_KIND = "CONTENTION"
+
+
+def noisy_neighbour_pair(
+    *,
+    victim_packets: int = 600,
+    aggressor_packets: int = 5000,
+) -> tuple[NicSimParams, NicSimParams]:
+    """The canonical (victim, aggressor) device pair of the §7 study.
+
+    One definition shared by the CLI default, the suite scenarios and the
+    ``figure-10-contention`` experiment, so the "stock pair" the docs
+    describe cannot drift: a latency-sensitive DPDK victim (512 B fixed
+    at 5 Gb/s, 64-deep rings, a 256 KiB warm window, 12 DMA tags — the
+    bounded pool is what turns host stalls into lost throughput) against
+    a bulk kernel-driver IMIX aggressor whose 64 MiB window blows through
+    the IOTLB reach.  The aggressor needs roughly 8x the victim's packet
+    count to stay saturating for the victim's whole measured window.
+    """
+    victim = NicSimParams(
+        model="dpdk",
+        workload="fixed",
+        packet_size=512,
+        offered_load_gbps=5.0,
+        packets=victim_packets,
+        ring_depth=64,
+        payload_window=256 * KIB,
+        dma_tags=12,
+    )
+    aggressor = NicSimParams(
+        model="kernel",
+        workload="imix",
+        packets=aggressor_packets,
+        payload_window=64 * MIB,
+    )
+    return victim, aggressor
+
+
+@dataclass(frozen=True)
+class ContentionParams:
+    """Complete description of one shared-host contention run.
+
+    Attributes:
+        devices: one :class:`NicSimParams` per device, host half empty
+            (``system=None``; the fabric supplies the shared host).  Each
+            device's ``payload_window`` / ``payload_cache_state`` sizes its
+            working set on the shared host, and its ``seed`` (when set)
+            overrides the run seed for that device's workload draws.
+        names: optional per-device labels (``("victim", "aggressor")``);
+            defaults to ``dev0..devN-1``.
+        system: Table 1 profile of the shared host.
+        iommu_enabled / iommu_page_size: shared IOMMU settings.
+        arbiter: upstream arbitration scheme (``fcfs``, ``rr``, ``wrr``).
+        weights: per-device service weights for ``wrr``.
+        seed: run seed (``None`` uses the library default).
+    """
+
+    devices: tuple[NicSimParams, ...]
+    names: tuple[str, ...] | None = None
+    system: str = "NFP6000-HSW"
+    iommu_enabled: bool = False
+    iommu_page_size: int = 4 * KIB
+    arbiter: str = "fcfs"
+    weights: tuple[float, ...] | None = None
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "devices", tuple(self.devices))
+        if not self.devices:
+            raise ValidationError("a contention run needs at least one device")
+        for index, device in enumerate(self.devices):
+            if not isinstance(device, NicSimParams):
+                raise ValidationError(
+                    f"device {index} must be NicSimParams, got {type(device)}"
+                )
+            if device.system is not None:
+                raise ValidationError(
+                    f"device {index} sets system={device.system!r}; the "
+                    "fabric owns the host — leave the device's host half "
+                    "empty (system=None)"
+                )
+        profile = get_profile(self.system)
+        object.__setattr__(self, "system", profile.name)
+        if self.iommu_page_size not in SUPPORTED_PAGE_SIZES:
+            raise ValidationError(
+                f"iommu_page_size must be one of {SUPPORTED_PAGE_SIZES}, "
+                f"got {self.iommu_page_size}"
+            )
+        if self.arbiter not in ARBITER_SCHEMES:
+            raise ValidationError(
+                f"unknown arbitration scheme {self.arbiter!r}; valid: "
+                + ", ".join(ARBITER_SCHEMES)
+            )
+        if self.names is not None:
+            names = tuple(str(name) for name in self.names)
+            if len(names) != len(self.devices):
+                raise ValidationError(
+                    f"need one name per device ({len(self.devices)}), "
+                    f"got {len(names)}"
+                )
+            if len(set(names)) != len(names):
+                raise ValidationError(f"device names must be unique: {names}")
+            object.__setattr__(self, "names", names)
+        if self.weights is not None:
+            if self.arbiter != "wrr":
+                raise ValidationError(
+                    f"arbitration weights require the wrr arbiter; the "
+                    f"{self.arbiter!r} scheme ignores them"
+                )
+            weights = tuple(float(weight) for weight in self.weights)
+            if len(weights) != len(self.devices):
+                raise ValidationError(
+                    f"need one weight per device ({len(self.devices)}), "
+                    f"got {len(weights)}"
+                )
+            if any(weight <= 0 for weight in weights):
+                raise ValidationError(
+                    f"arbitration weights must be positive, got {weights}"
+                )
+            object.__setattr__(self, "weights", weights)
+
+    @property
+    def kind(self) -> str:
+        """Benchmark kind tag (always ``"CONTENTION"``)."""
+        return CONTENTION_KIND
+
+    def device_names(self) -> tuple[str, ...]:
+        """Resolved per-device labels."""
+        if self.names is not None:
+            return self.names
+        return tuple(f"dev{index}" for index in range(len(self.devices)))
+
+    def with_(self, **changes: object) -> "ContentionParams":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    def label(self) -> str:
+        """Compact human-readable description used in logs and reports."""
+        parts = [
+            CONTENTION_KIND,
+            f"{len(self.devices)}x",
+            f"host={self.system}",
+            f"arbiter={self.arbiter}",
+        ]
+        if self.weights is not None:
+            parts.append(
+                "weights=" + ":".join(f"{weight:g}" for weight in self.weights)
+            )
+        if self.iommu_enabled:
+            parts.append(f"iommu({format_size(self.iommu_page_size)} pages)")
+        for name, device in zip(self.device_names(), self.devices):
+            load = (
+                "saturating"
+                if device.offered_load_gbps is None
+                else f"{device.offered_load_gbps:g}Gb/s"
+            )
+            parts.append(f"[{name}: {device.workload} {load}]")
+        return " ".join(parts)
+
+    def as_dict(self) -> dict[str, object]:
+        """Serialisable representation of the parameters."""
+        record: dict[str, object] = {
+            "kind": CONTENTION_KIND,
+            "system": self.system,
+            "iommu_enabled": self.iommu_enabled,
+            "iommu_page_size": self.iommu_page_size,
+            "arbiter": self.arbiter,
+            "weights": None if self.weights is None else list(self.weights),
+            "seed": self.seed,
+            "devices": [device.as_dict() for device in self.devices],
+        }
+        if self.names is not None:
+            record["names"] = list(self.names)
+        return record
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "ContentionParams":
+        """Rebuild parameters from :meth:`as_dict` output."""
+        devices = tuple(
+            NicSimParams.from_dict(dict(device))  # type: ignore[arg-type]
+            for device in data["devices"]  # type: ignore[union-attr]
+        )
+        names = data.get("names")
+        weights = data.get("weights")
+        return cls(
+            devices=devices,
+            names=None if names is None else tuple(names),  # type: ignore[arg-type]
+            system=str(data.get("system", "NFP6000-HSW")),
+            iommu_enabled=bool(data.get("iommu_enabled", False)),
+            iommu_page_size=int(data.get("iommu_page_size", 4 * KIB)),  # type: ignore[arg-type]
+            arbiter=str(data.get("arbiter", "fcfs")),
+            weights=None if weights is None else tuple(weights),  # type: ignore[arg-type]
+            seed=data.get("seed"),  # type: ignore[arg-type]
+        )
+
+
+def solo_device_params(params: ContentionParams, index: int) -> NicSimParams:
+    """One device's standalone baseline: the same datapath on a private host.
+
+    The returned ``NICSIM`` parameters couple the device to a host with the
+    fabric's profile and IOMMU settings but no neighbours — what the
+    device would measure if it did not share.  Dividing a contended
+    device's metrics by this run's yields its *slowdown*.
+
+    Seed semantics: a plain ``NICSIM`` run has one seed for both workload
+    and host, so the baseline uses the device's seed override when one is
+    set (else the run seed).  A *one-device* contention run resolves its
+    host seed the same way (see :func:`run_contention_benchmark`), so the
+    bit-identical degenerate contract holds with or without an override;
+    in a *multi-device* fabric a device's seed override decorrelates only
+    that device's workload/RSS draws — the shared host always uses the
+    run seed, and baselines for such devices compare workload-identical
+    but host-stream-shifted runs.
+    """
+    if not 0 <= index < len(params.devices):
+        raise ValidationError(
+            f"device index must be within [0, {len(params.devices)}), "
+            f"got {index}"
+        )
+    device = params.devices[index]
+    return device.with_(
+        system=params.system,
+        iommu_enabled=params.iommu_enabled,
+        iommu_page_size=params.iommu_page_size,
+        seed=device.seed if device.seed is not None else params.seed,
+    )
+
+
+def _fabric_device(device: NicSimParams, name: str) -> FabricDevice:
+    """Translate one device spec into the simulator's device description."""
+    workload = build_workload(
+        device.workload,
+        size=device.packet_size,
+        load_gbps=device.offered_load_gbps,
+        duplex=device.duplex,
+    )
+    if device.num_queues > 1 and workload.flows is None:
+        workload = workload.with_(flows=build_flow_model(device.rss))
+    return FabricDevice(
+        workload=workload,
+        model=device.model,
+        packets=device.packets,
+        name=name,
+        ring_depth=device.ring_depth,
+        rx_backpressure=device.rx_backpressure,
+        num_queues=device.num_queues,
+        dma_tags=device.dma_tags,
+        payload_window=device.payload_window,
+        payload_cache_state=device.payload_cache_state,
+        payload_placement=device.payload_placement,
+        seed=device.seed,
+    )
+
+
+def run_contention_benchmark(params: ContentionParams) -> ContentionResult:
+    """Run one shared-host contention benchmark as described by ``params``.
+
+    A one-device run whose device overrides the seed resolves the run
+    seed to that override: a plain ``NICSIM`` run seeds host and workload
+    together, so this is what keeps the degenerate case bit-identical to
+    :func:`solo_device_params` even under per-device seeding.
+    """
+    seed = params.seed
+    if len(params.devices) == 1 and params.devices[0].seed is not None:
+        seed = params.devices[0].seed
+    fabric = FabricConfig(
+        system=params.system,
+        iommu_enabled=params.iommu_enabled,
+        iommu_page_size=params.iommu_page_size,
+        arbiter=params.arbiter,
+        weights=params.weights,
+    )
+    devices = [
+        _fabric_device(device, name)
+        for device, name in zip(params.devices, params.device_names())
+    ]
+    simulator = FabricSimulator(devices, fabric)
+    return simulator.run(seed=seed)

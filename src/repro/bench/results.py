@@ -18,6 +18,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..errors import AnalysisError, ValidationError
+from ..sim.fabric import ContentionResult
 from ..sim.nicsim import NicSimResult
 from .params import BenchmarkParams
 from .stats import LatencyStats
@@ -121,12 +122,12 @@ def _optional_float(value: object) -> float | None:
 
 
 def save_results_json(
-    results: Sequence["BenchmarkResult | NicSimResult"],
+    results: Sequence["BenchmarkResult | NicSimResult | ContentionResult"],
     path: str | Path,
     *,
     include_samples: bool = False,
 ) -> None:
-    """Write results to a JSON file (micro-benchmark and/or simulation)."""
+    """Write results to a JSON file (micro-benchmark, simulation, contention)."""
     records = [
         result.as_dict(include_samples=include_samples)
         if isinstance(result, BenchmarkResult)
@@ -136,24 +137,31 @@ def save_results_json(
     Path(path).write_text(json.dumps(records, indent=2))
 
 
-def load_results_json(path: str | Path) -> list["BenchmarkResult | NicSimResult"]:
+def load_results_json(
+    path: str | Path,
+) -> list["BenchmarkResult | NicSimResult | ContentionResult"]:
     """Read results back from saved JSON.
 
     Handles both plain micro-benchmark files and mixed files written by
     :meth:`repro.bench.runner.BenchmarkRunner.save`: records tagged
     ``"kind": "NICSIM"`` are rebuilt as
-    :class:`~repro.sim.nicsim.NicSimResult`.
+    :class:`~repro.sim.nicsim.NicSimResult`, records tagged
+    ``"kind": "CONTENTION"`` as
+    :class:`~repro.sim.fabric.ContentionResult`.
     """
     text = Path(path).read_text()
     records = json.loads(text)
     if not isinstance(records, list):
         raise AnalysisError(f"expected a list of results in {path}")
-    return [
-        NicSimResult.from_dict(record)
-        if record.get("kind") == "NICSIM"
-        else BenchmarkResult.from_dict(record)
-        for record in records
-    ]
+    rebuilt: list["BenchmarkResult | NicSimResult | ContentionResult"] = []
+    for record in records:
+        if record.get("kind") == "NICSIM":
+            rebuilt.append(NicSimResult.from_dict(record))
+        elif record.get("kind") == "CONTENTION":
+            rebuilt.append(ContentionResult.from_dict(record))
+        else:
+            rebuilt.append(BenchmarkResult.from_dict(record))
+    return rebuilt
 
 
 def save_results_csv(results: Sequence[BenchmarkResult], path: str | Path) -> None:

@@ -18,18 +18,24 @@ from typing import Callable, Iterable, Sequence
 
 from ..errors import BenchmarkError, ValidationError
 from ..sim.dma import DmaEngine
+from ..sim.fabric import ContentionResult
 from ..sim.host import HostSystem
 from ..sim.nicsim import NicSimResult
 from .bandwidth import run_bandwidth_benchmark
+from .contention import (
+    ContentionParams,
+    noisy_neighbour_pair,
+    run_contention_benchmark,
+)
 from .latency import run_latency_benchmark
 from .nicsim import NicSimParams, run_nicsim_benchmark
 from .params import BenchmarkKind, BenchmarkParams, WINDOW_SWEEP
 from .results import BenchmarkResult, save_results_csv, save_results_json
 
 #: Anything the runner can execute.
-RunnableParams = BenchmarkParams | NicSimParams
+RunnableParams = BenchmarkParams | NicSimParams | ContentionParams
 #: Anything the runner can produce.
-RunnerResult = BenchmarkResult | NicSimResult
+RunnerResult = BenchmarkResult | NicSimResult | ContentionResult
 
 
 @dataclass
@@ -70,7 +76,9 @@ class BenchmarkRunner:
         return self._hosts[key]
 
     def run(self, params: RunnableParams) -> RunnerResult:
-        """Run a single benchmark (micro-benchmark or datapath simulation)."""
+        """Run a single benchmark (micro-benchmark, simulation or contention)."""
+        if isinstance(params, ContentionParams):
+            return run_contention_benchmark(params)
         if isinstance(params, NicSimParams):
             return run_nicsim_benchmark(params)
         host = self.host_for(params)
@@ -176,10 +184,13 @@ class BenchmarkRunner:
         if fmt == "json":
             save_results_json(results, path)
         elif fmt == "csv":
-            if any(isinstance(result, NicSimResult) for result in results):
+            if any(
+                isinstance(result, (NicSimResult, ContentionResult))
+                for result in results
+            ):
                 raise BenchmarkError(
                     "CSV export supports micro-benchmark results only; "
-                    "save NIC datapath simulations as JSON"
+                    "save simulation and contention runs as JSON"
                 )
             save_results_csv(results, path)  # type: ignore[arg-type]
         else:
@@ -202,6 +213,8 @@ def _run_isolated(keep_samples: bool, params: RunnableParams) -> RunnerResult:
     Because nothing is shared between runs, serial and parallel execution
     of ``run_all`` produce identical results by construction.
     """
+    if isinstance(params, ContentionParams):
+        return run_contention_benchmark(params)
     if isinstance(params, NicSimParams):
         return run_nicsim_benchmark(params)
     if params.kind.is_latency:
@@ -223,16 +236,19 @@ def full_suite_params(
     windows: Sequence[int] = WINDOW_SWEEP,
     cache_states: Sequence[str] = ("cold", "host_warm"),
     kinds: Sequence[BenchmarkKind] = tuple(BenchmarkKind),
-) -> list[BenchmarkParams]:
+    include_contention: bool = False,
+) -> list[RunnableParams]:
     """Build the cross-product parameter list of a full pcie-bench suite run.
 
     The defaults generate a few hundred tests, a scaled-down analogue of the
     ~2500-test suite the paper's control program executes.  Combinations
     whose window is smaller than the transfer size are skipped, and
     duplicate combinations (overlapping ``transfer_sizes``/``windows``
-    inputs) are generated only once.
+    inputs) are generated only once.  ``include_contention`` appends the
+    shared-host contention scenarios from :func:`contention_suite_params`,
+    so the suite count reflects the multi-device matrix too.
     """
-    params: list[BenchmarkParams] = []
+    params: list[RunnableParams] = []
     seen: set[BenchmarkParams] = set()
     for kind in kinds:
         for size in transfer_sizes:
@@ -251,4 +267,36 @@ def full_suite_params(
                         continue
                     seen.add(candidate)
                     params.append(candidate)
+    if include_contention:
+        params.extend(contention_suite_params(system=system))
     return params
+
+
+def contention_suite_params(
+    *,
+    system: str = "NFP6000-HSW",
+    arbiters: Sequence[str] = ("fcfs", "rr", "wrr"),
+    packets: int = 800,
+) -> list[ContentionParams]:
+    """The shared-host contention scenarios of a full suite run.
+
+    One noisy-neighbour pair (the canonical victim/aggressor devices of
+    :func:`~repro.bench.contention.noisy_neighbour_pair`, shared IOMMU)
+    per arbitration scheme, with the ``wrr`` entry weighted 8:1 in the
+    victim's favour — small enough to ride along the classic suite,
+    broad enough to exercise every scheme.
+    """
+    victim, aggressor = noisy_neighbour_pair(
+        victim_packets=packets, aggressor_packets=8 * packets
+    )
+    return [
+        ContentionParams(
+            devices=(victim, aggressor),
+            names=("victim", "aggressor"),
+            system=system,
+            iommu_enabled=True,
+            arbiter=arbiter,
+            weights=(8.0, 1.0) if arbiter == "wrr" else None,
+        )
+        for arbiter in arbiters
+    ]

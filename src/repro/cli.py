@@ -14,6 +14,10 @@ Examples::
         --system NFP6000-BDW --iommu --host-window 16M
     pcie-bench nicsim --model dpdk --workload imix --queues 4 --rss zipf \\
         --dma-tags 16
+    pcie-bench contend --iommu --arbiter wrr --weights 8:1 --solo-baseline
+    pcie-bench contend --device name=victim,model=dpdk,load=5 \\
+        --device name=aggressor,workload=imix --iommu --arbiter rr
+    pcie-bench experiment figure-10-contention
     pcie-bench experiment figure-8-sim
     pcie-bench experiment figure-7-9-sim
     pcie-bench experiment figure-9
@@ -28,15 +32,23 @@ import sys
 from typing import Sequence
 
 from .analysis.ascii_plot import ascii_plot
+from .analysis.contention import format_contention_summary
 from .analysis.report import summary_line, write_experiments_markdown
 from .analysis.table import format_nicsim_summary, format_series_table, format_table
+from .bench.contention import (
+    ContentionParams,
+    noisy_neighbour_pair,
+    run_contention_benchmark,
+    solo_device_params,
+)
 from .bench.nicsim import NicSimParams, run_nicsim_benchmark
 from .bench.params import BenchmarkKind, BenchmarkParams
 from .bench.runner import BenchmarkRunner, full_suite_params
 from .core.model import PCIeModel
 from .core.nic import FIGURE1_MODELS, model_by_name
-from .errors import ReproError
+from .errors import ReproError, ValidationError
 from .experiments.registry import experiment_ids, run_all, run_experiment
+from .sim.engine import ARBITER_SCHEMES
 from .sim.nicsim import cross_validate
 from .sim.profiles import profile_names
 from .units import parse_size
@@ -139,6 +151,52 @@ def build_parser() -> argparse.ArgumentParser:
         "(fixed-size workloads)",
     )
 
+    contend = sub.add_parser(
+        "contend",
+        help="multi-device shared-host contention run (noisy-neighbour study)",
+    )
+    contend.add_argument(
+        "--device",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE[,KEY=VALUE...]",
+        help="add one device; keys: name, model, workload, size, load, "
+        "packets, ring-depth, queues, dma-tags, rss, window, cache, seed "
+        "(repeat per device; default: a latency-sensitive victim plus a "
+        "bulk IMIX aggressor)",
+    )
+    contend.add_argument(
+        "--system", default="NFP6000-HSW", choices=profile_names(),
+        help="Table 1 profile of the shared host",
+    )
+    contend.add_argument(
+        "--iommu", action="store_true",
+        help="translate every device's DMAs through the shared IOMMU",
+    )
+    contend.add_argument(
+        "--iommu-pagesize", default="4K",
+        help="IOVA page size: 4K (sp_off), 2M or 1G super-pages",
+    )
+    contend.add_argument(
+        "--arbiter", default="fcfs", choices=list(ARBITER_SCHEMES),
+        help="upstream arbitration over per-device queues: fcfs (no "
+        "arbitration), rr (round-robin) or wrr (weighted)",
+    )
+    contend.add_argument(
+        "--weights", default=None,
+        help="per-device wrr weights, colon-separated (e.g. 8:1)",
+    )
+    contend.add_argument("--seed", type=int, default=None)
+    contend.add_argument(
+        "--solo-baseline", action="store_true",
+        help="also run every device alone and report slowdowns + the Jain "
+        "fairness index",
+    )
+    contend.add_argument(
+        "--detail", action="store_true",
+        help="additionally print the full per-device datapath tables",
+    )
+
     experiment = sub.add_parser("experiment", help="run one figure/table experiment")
     experiment.add_argument("id", choices=experiment_ids())
     experiment.add_argument("--full", action="store_true", help="use full sample counts")
@@ -150,6 +208,10 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument(
         "--jobs", type=int, default=None,
         help="run the suite over N worker processes (results identical to serial)",
+    )
+    suite.add_argument(
+        "--contention", action="store_true",
+        help="include the shared-host contention scenarios in the suite",
     )
 
     report = sub.add_parser("report", help="run all experiments and write EXPERIMENTS.md")
@@ -178,6 +240,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_run(args)
     if args.command == "nicsim":
         return _cmd_nicsim(args)
+    if args.command == "contend":
+        return _cmd_contend(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "suite":
@@ -299,6 +363,113 @@ def _cmd_nicsim(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Keys understood by ``--device`` specs, mapped to NicSimParams fields.
+_DEVICE_SPEC_KEYS = {
+    "name": ("name", str),
+    "model": ("model", str),
+    "workload": ("workload", str),
+    "size": ("packet_size", int),
+    "load": ("offered_load_gbps", float),
+    "packets": ("packets", int),
+    "ring-depth": ("ring_depth", int),
+    "ring_depth": ("ring_depth", int),
+    "queues": ("num_queues", int),
+    "dma-tags": ("dma_tags", int),
+    "dma_tags": ("dma_tags", int),
+    "rss": ("rss", str),
+    "window": ("payload_window", parse_size),
+    "cache": ("payload_cache_state", str),
+    "seed": ("seed", int),
+}
+
+
+def _parse_device_spec(text: str) -> tuple[str | None, NicSimParams]:
+    """Parse one ``--device`` value into (name, per-device parameters)."""
+    fields: dict[str, object] = {}
+    name: str | None = None
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValidationError(
+                f"device spec entry {part!r} is not KEY=VALUE"
+            )
+        key, _, value = part.partition("=")
+        key = key.strip().lower()
+        if key not in _DEVICE_SPEC_KEYS:
+            raise ValidationError(
+                f"unknown device spec key {key!r}; valid: "
+                + ", ".join(sorted(set(_DEVICE_SPEC_KEYS)))
+            )
+        field, coerce = _DEVICE_SPEC_KEYS[key]
+        if field == "name":
+            name = value.strip()
+            continue
+        try:
+            fields[field] = coerce(value.strip())  # type: ignore[operator]
+        except ValueError as exc:
+            raise ValidationError(
+                f"bad value for device spec key {key!r}: {value.strip()!r}"
+            ) from exc
+    return name, NicSimParams(**fields)  # type: ignore[arg-type]
+
+
+def _cmd_contend(args: argparse.Namespace) -> int:
+    if args.device:
+        specs = [_parse_device_spec(text) for text in args.device]
+        devices = tuple(params for _, params in specs)
+        names = tuple(
+            name if name is not None else f"dev{index}"
+            for index, (name, _) in enumerate(specs)
+        )
+    else:
+        devices = noisy_neighbour_pair()
+        names = ("victim", "aggressor")
+    weights = None
+    if args.weights is not None:
+        try:
+            weights = tuple(
+                float(part) for part in args.weights.split(":") if part
+            )
+        except ValueError as exc:
+            raise ValidationError(
+                f"--weights must be colon-separated numbers (e.g. 8:1), "
+                f"got {args.weights!r}"
+            ) from exc
+    params = ContentionParams(
+        devices=devices,
+        names=names,
+        system=args.system,
+        iommu_enabled=args.iommu,
+        iommu_page_size=parse_size(args.iommu_pagesize),
+        arbiter=args.arbiter,
+        weights=weights,
+        seed=args.seed,
+    )
+    print(params.label(), file=sys.stderr)
+    result = run_contention_benchmark(params)
+    solo = None
+    if args.solo_baseline:
+        solo = {}
+        for index, name in enumerate(params.device_names()):
+            print(f"solo baseline: {name}", file=sys.stderr)
+            solo[name] = run_nicsim_benchmark(
+                solo_device_params(params, index)
+            ).as_dict()
+    print(format_contention_summary(result.as_dict(), solo=solo))
+    if args.detail:
+        for device in result.devices:
+            print()
+            print(
+                format_nicsim_summary(
+                    [device.result.as_dict()],
+                    title=f"Device detail: {device.name}",
+                )
+            )
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     result = run_experiment(args.id, quick=not args.full)
     print(result.to_text())
@@ -316,9 +487,19 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
-    params_list = full_suite_params(system=args.system)
+    params_list = full_suite_params(
+        system=args.system, include_contention=args.contention
+    )
+    contention_count = sum(
+        1 for params in params_list if isinstance(params, ContentionParams)
+    )
     print(
         f"suite: {len(params_list)} unique benchmarks on {args.system}"
+        + (
+            f" ({contention_count} shared-host contention scenarios)"
+            if contention_count
+            else ""
+        )
         + (f", {args.jobs} worker processes" if args.jobs else ""),
         file=sys.stderr,
     )

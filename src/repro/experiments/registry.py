@@ -21,9 +21,11 @@ from . import (
     fig6_latency_distribution,
     fig7_9_sim,
     fig7_cache_ddio,
+    fig8_knee,
     fig8_numa,
     fig8_sim,
     fig9_iommu,
+    fig10_contention,
     table1_systems,
     table2_findings,
 )
@@ -43,6 +45,8 @@ _MODULES: tuple[ModuleType, ...] = (
     fig9_iommu,
     fig7_9_sim,
     fig8_sim,
+    fig8_knee,
+    fig10_contention,
     table1_systems,
     table2_findings,
 )

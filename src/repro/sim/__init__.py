@@ -23,7 +23,22 @@ from .devices import (
     get_device,
 )
 from .dma import BandwidthMeasurement, DmaEngine, DmaOperation, LatencyMeasurement
-from .engine import SerialResource, WorkerPool
+from .engine import (
+    ARBITER_SCHEMES,
+    ArbitratedResource,
+    SerialResource,
+    TagPool,
+    WorkerPool,
+)
+from .fabric import (
+    ContentionResult,
+    DeviceContentionResult,
+    FabricConfig,
+    FabricDevice,
+    FabricPortStats,
+    FabricSimulator,
+    SharedHost,
+)
 from .nichost import HostCoupling, HostSideStats, NicHostConfig
 from .nicsim import (
     CrossValidationPoint,
@@ -76,8 +91,18 @@ __all__ = [
     "DmaEngine",
     "DmaOperation",
     "LatencyMeasurement",
+    "ARBITER_SCHEMES",
+    "ArbitratedResource",
     "SerialResource",
+    "TagPool",
     "WorkerPool",
+    "ContentionResult",
+    "DeviceContentionResult",
+    "FabricConfig",
+    "FabricDevice",
+    "FabricPortStats",
+    "FabricSimulator",
+    "SharedHost",
     "CrossValidationPoint",
     "HostCoupling",
     "HostSideStats",

@@ -7,6 +7,14 @@ resources are serial ones (each link direction, the IOMMU page walker, the
 root-complex ingress pipeline) plus a bounded pool of in-flight DMA slots.
 These two primitives — :class:`SerialResource` and :class:`WorkerPool` —
 capture exactly that and keep the hot loop simple and fast.
+
+Two event-driven variants complete the set for the NIC datapath event loop
+in :mod:`repro.sim.nicsim`: :class:`TagPool` (bounded in-flight DMA tags
+granted through callbacks) and :class:`ArbitratedResource`, a serial
+resource shared by several *clients* (devices behind one PCIe switch or
+root port) whose pending requests are queued per client and dispatched by
+an arbitration scheme — first-come-first-served, round-robin or weighted —
+instead of the implicit call-order FIFO of :class:`SerialResource`.
 """
 
 from __future__ import annotations
@@ -193,3 +201,203 @@ class TagPool:
             if self._held <= 0:
                 raise SimulationError(f"tag pool {self.name} released too often")
             self._held -= 1
+
+
+#: Arbitration schemes :class:`ArbitratedResource` understands.
+ARBITER_SCHEMES = ("fcfs", "rr", "wrr")
+
+
+class ArbiterClientStats:
+    """Mutable per-client accounting of one :class:`ArbitratedResource`.
+
+    The frozen, serialisable snapshot of these counters is
+    :class:`repro.sim.fabric.FabricPortStats` (built via its
+    ``from_client``); this class only accumulates.
+
+    Attributes:
+        requests: requests this client submitted.
+        waited: grants that could not start at their request time.
+        wait_ns_total: cumulative queueing delay across all grants.
+        busy_ns_total: cumulative service time this client received.
+    """
+
+    __slots__ = ("requests", "waited", "wait_ns_total", "busy_ns_total")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.waited = 0
+        self.wait_ns_total = 0.0
+        self.busy_ns_total = 0.0
+
+    @property
+    def wait_ns_mean(self) -> float:
+        """Mean queueing delay per request (0 when nothing was submitted)."""
+        return self.wait_ns_total / self.requests if self.requests else 0.0
+
+
+class ArbitratedResource:
+    """A serial resource shared by N clients under an arbitration scheme.
+
+    :class:`SerialResource` pre-books its timeline at *call* time, so a
+    burst of requests from one caller monopolises the resource no matter
+    who else is waiting — exactly the unfairness a PCIe switch or root
+    port avoids by keeping one upstream queue per ingress port and
+    arbitrating among them.  This class models that layer: requests enter
+    a per-client FIFO and the next grant is decided *when the resource
+    frees*, by the configured scheme:
+
+    * ``"fcfs"`` — the globally oldest pending request wins (ties broken
+      by client index); one shared queue in effect, the behaviour closest
+      to the un-arbitrated :class:`SerialResource`.
+    * ``"rr"`` — round-robin over clients with pending requests, one
+      grant each, starting after the last-granted client.
+    * ``"wrr"`` — weighted fair service: among pending clients, grant the
+      one with the smallest received service time normalised by its
+      weight (``busy_ns_total / weight``), ties broken by client index.
+      Under persistent backlog each client's share of the resource's busy
+      time converges to its weight share; an idle client's normalised
+      service falls behind, so its next request is served promptly — the
+      protection a latency-sensitive victim needs against a bulk
+      aggressor.
+
+    The class is event-driven: it needs a ``schedule(time, fn)`` hook (an
+    event loop's ``at``) so it can wake itself when the in-flight grant's
+    service ends.  Grants are delivered through ``grant(start_time)``
+    callbacks; service for a grant occupies ``[start, start + duration)``.
+
+    Determinism: grant order is a pure function of (request times, call
+    order, scheme, weights); same-time dispatch decisions use client index
+    as the final tie-break, so runs reproduce bit for bit.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clients: int,
+        *,
+        schedule: Callable[[float, Callable[[float], None]], None],
+        scheme: str = "fcfs",
+        weights: "tuple[float, ...] | None" = None,
+    ) -> None:
+        if clients <= 0:
+            raise ValidationError(f"clients must be positive, got {clients}")
+        if scheme not in ARBITER_SCHEMES:
+            raise ValidationError(
+                f"unknown arbitration scheme {scheme!r}; "
+                f"valid: {', '.join(ARBITER_SCHEMES)}"
+            )
+        if weights is None:
+            weights = (1.0,) * clients
+        if len(weights) != clients:
+            raise ValidationError(
+                f"need one weight per client ({clients}), got {len(weights)}"
+            )
+        if any(weight <= 0 for weight in weights):
+            raise ValidationError(f"weights must be positive, got {weights}")
+        self.name = name
+        self.clients = clients
+        self.scheme = scheme
+        self.weights = tuple(float(weight) for weight in weights)
+        self._schedule = schedule
+        self._queues: tuple[deque[tuple[float, int, float, Callable[[float], None]]], ...] = tuple(
+            deque() for _ in range(clients)
+        )
+        self._sequence = 0
+        self._busy_until = 0.0
+        self._dispatch_pending = False
+        self._last_granted = clients - 1
+        self.stats = tuple(ArbiterClientStats() for _ in range(clients))
+
+    @property
+    def pending(self) -> int:
+        """Requests currently queued across all clients."""
+        return sum(len(queue) for queue in self._queues)
+
+    @property
+    def busy_until(self) -> float:
+        """Time the in-flight grant's service ends (0 before any grant)."""
+        return self._busy_until
+
+    def request(
+        self,
+        client: int,
+        now: float,
+        duration: float,
+        grant: Callable[[float], None],
+    ) -> None:
+        """Queue a request for ``duration`` of service; ``grant`` fires at start."""
+        if not 0 <= client < self.clients:
+            raise ValidationError(
+                f"client must be within [0, {self.clients}), got {client}"
+            )
+        if now < 0:
+            raise ValidationError(f"now must be non-negative, got {now}")
+        if duration < 0:
+            raise ValidationError(f"duration must be non-negative, got {duration}")
+        self._queues[client].append((now, self._sequence, duration, grant))
+        self._sequence += 1
+        self.stats[client].requests += 1
+        if not self._dispatch_pending and self._busy_until <= now:
+            self._dispatch(now)
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _pick(self, eligible: list[int]) -> int:
+        """Choose the next client to serve among those with arrived requests."""
+        if self.scheme == "fcfs":
+            # Globally oldest request; the per-client queues are FIFO, so
+            # comparing heads suffices.  The submission sequence breaks
+            # same-time ties in call order, like SerialResource.
+            return min(
+                eligible, key=lambda index: self._queues[index][0][:2]
+            )
+        if self.scheme == "rr":
+            for offset in range(1, self.clients + 1):
+                index = (self._last_granted + offset) % self.clients
+                if index in eligible:
+                    return index
+            return eligible[0]  # pragma: no cover - eligible is non-empty
+        # wrr: least normalised service first.
+        return min(
+            eligible,
+            key=lambda index: (
+                self.stats[index].busy_ns_total / self.weights[index],
+                index,
+            ),
+        )
+
+    def _dispatch(self, now: float) -> None:
+        if now < self._busy_until:  # pragma: no cover - defensive guard
+            return
+        backlog = [
+            index for index in range(self.clients) if self._queues[index]
+        ]
+        if not backlog:
+            return
+        eligible = [
+            index for index in backlog if self._queues[index][0][0] <= now
+        ]
+        if not eligible:
+            # Every queued request is in the caller's future (only possible
+            # when the resource is driven outside an event loop); sleep
+            # until the earliest one arrives.
+            wake = min(self._queues[index][0][0] for index in backlog)
+            self._dispatch_pending = True
+            self._schedule(wake, self._on_free)
+            return
+        client = self._pick(eligible)
+        asked, _, duration, grant = self._queues[client].popleft()
+        stats = self.stats[client]
+        if now > asked:
+            stats.waited += 1
+            stats.wait_ns_total += now - asked
+        stats.busy_ns_total += duration
+        self._busy_until = now + duration
+        self._last_granted = client
+        self._dispatch_pending = True
+        self._schedule(self._busy_until, self._on_free)
+        grant(now)
+
+    def _on_free(self, now: float) -> None:
+        self._dispatch_pending = False
+        self._dispatch(now)

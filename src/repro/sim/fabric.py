@@ -1,0 +1,730 @@
+"""Shared-host fabric: several NIC datapaths contending on one host.
+
+The paper's §7 speculates that the host side of PCIe — root-complex
+ingress, the IOMMU page walker, the DDIO slice of the LLC — becomes a
+contended and potentially *unfair* bottleneck once several devices share
+it.  Every earlier layer of this reproduction models a single device with
+a private host; this module supplies the missing multi-device substrate:
+
+* :class:`SharedHost` owns exactly one profile-built
+  :class:`~repro.sim.host.HostSystem` (root complex, LLC/DDIO cache,
+  IOMMU, NUMA, memory, noise) plus one descriptor-side root complex, and
+  binds N per-device :class:`~repro.sim.nichost.HostCoupling` instances
+  to it.  Devices keep private buffer regions (offset by
+  :data:`~repro.sim.nichost.DEVICE_ADDRESS_STRIDE` so translations never
+  alias) but genuinely contend on the shared cache residency, the shared
+  IOTLB and the shared memory system: cache and IOTLB warming happen here,
+  over the *aggregate* working set of all devices.
+
+* A PCIe switch / root-port **arbitration layer**: the root-complex
+  ingress pipeline and the IOMMU page walker are wrapped in
+  :class:`~repro.sim.engine.ArbitratedResource`, with one upstream queue
+  per device and a configurable scheme — ``fcfs`` (the un-arbitrated
+  baseline), ``rr`` (round-robin) or ``wrr`` (weighted fair service, the
+  knob that lets an operator protect a latency-sensitive victim from a
+  bulk aggressor).
+
+* :class:`FabricSimulator` runs N independent
+  :class:`~repro.sim.nicsim.NicDatapathSimulator`-style devices — each
+  with its own links, rings, queues, tag pool, workload and RNG streams —
+  inside **one** discrete-event loop, so their DMAs interleave on the
+  shared host in true time order.
+
+Degenerate-case contract: a fabric with a *single* device takes the exact
+code path of today's :class:`~repro.sim.nicsim.NicDatapathSimulator` run
+(plain ``SerialResource`` ingress/walker, no arbitration indirection, the
+historical RNG stream names) and reproduces the single-device golden
+records bit for bit.  The arbitration layer only engages with two or more
+devices, where there is something to arbitrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.config import PAPER_DEFAULT_CONFIG, PCIeConfig
+from ..core.nic import NicModel, model_by_name
+from ..errors import ValidationError
+from ..units import KIB, MIB
+from ..workloads import Workload, rss_queues
+from .cache import CacheState, StatisticalCache
+from .engine import (
+    ARBITER_SCHEMES,
+    ArbitratedResource,
+    SerialResource,
+    TagPool,
+)
+from .host import HostSystem
+from .nichost import (
+    _DESCRIPTOR_SEED_SALT,
+    HostCoupling,
+    NicHostConfig,
+)
+from .nicsim import (
+    DmaTagStats,
+    NicSimConfig,
+    NicSimResult,
+    _Datapath,
+    _direction_result,
+    _EventLoop,
+)
+from .profiles import get_profile
+from .rng import DEFAULT_SEED, SimRng
+from .root_complex import RootComplex
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """The host and arbitration settings every device shares.
+
+    Attributes:
+        system: Table 1 profile supplying the shared root complex, cache,
+            IOMMU, NUMA and noise calibrations.
+        iommu_enabled / iommu_page_size: shared IOMMU settings (all DMAs
+            of all devices translate through one IOTLB and one walker).
+        arbiter: upstream arbitration scheme over per-device queues:
+            ``"fcfs"``, ``"rr"`` or ``"wrr"``
+            (see :class:`~repro.sim.engine.ArbitratedResource`).
+        weights: per-device service weights for ``"wrr"`` (defaults to
+            equal weights); ignored by the other schemes.
+    """
+
+    system: str = "NFP6000-HSW"
+    iommu_enabled: bool = False
+    iommu_page_size: int = 4 * KIB
+    arbiter: str = "fcfs"
+    weights: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        profile = get_profile(self.system)  # raises on unknown profiles
+        object.__setattr__(self, "system", profile.name)
+        if self.arbiter not in ARBITER_SCHEMES:
+            raise ValidationError(
+                f"unknown arbitration scheme {self.arbiter!r}; "
+                f"valid: {', '.join(ARBITER_SCHEMES)}"
+            )
+        if self.weights is not None:
+            if self.arbiter != "wrr":
+                raise ValidationError(
+                    f"arbitration weights require the wrr arbiter; the "
+                    f"{self.arbiter!r} scheme ignores them"
+                )
+            weights = tuple(float(weight) for weight in self.weights)
+            if any(weight <= 0 for weight in weights):
+                raise ValidationError(
+                    f"arbitration weights must be positive, got {weights}"
+                )
+            object.__setattr__(self, "weights", weights)
+
+
+@dataclass(frozen=True)
+class FabricDevice:
+    """One NIC device attached to the shared host.
+
+    Mirrors the per-device half of a
+    :class:`~repro.sim.nicsim.NicSimConfig` plus the buffer-placement half
+    of a :class:`~repro.sim.nichost.NicHostConfig`; the host half lives in
+    :class:`FabricConfig`, shared by construction.
+
+    Attributes:
+        workload: the prepared traffic description this device replays.
+        model: NIC/driver model (name or instance).
+        packets: packets simulated per direction for this device.
+        name: label used in results (defaults to ``dev{i}``).
+        ring_depth / rx_backpressure / num_queues / dma_tags: the datapath
+            knobs of :class:`~repro.sim.nicsim.NicSimConfig`.
+        payload_window / payload_cache_state / payload_placement: this
+            device's buffer working set on the shared host.
+        seed: workload/RSS seed for this device; ``None`` inherits the
+            fabric run seed.
+    """
+
+    workload: Workload
+    model: NicModel | str = "dpdk"
+    packets: int = 4000
+    name: str = ""
+    ring_depth: int = 512
+    rx_backpressure: bool = False
+    num_queues: int = 1
+    dma_tags: int | None = None
+    payload_window: int = 4 * MIB
+    payload_cache_state: str = "host_warm"
+    payload_placement: str = "local"
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "model",
+            model_by_name(self.model) if isinstance(self.model, str) else self.model,
+        )
+        if self.packets <= 0:
+            raise ValidationError(f"packets must be positive, got {self.packets}")
+
+    def host_config(self, fabric: FabricConfig) -> NicHostConfig:
+        """This device's buffer layout bound to the fabric's shared host."""
+        return NicHostConfig(
+            system=fabric.system,
+            iommu_enabled=fabric.iommu_enabled,
+            iommu_page_size=fabric.iommu_page_size,
+            payload_window=self.payload_window,
+            payload_cache_state=self.payload_cache_state,
+            payload_placement=self.payload_placement,
+        )
+
+    def sim_config(self, fabric: FabricConfig) -> NicSimConfig:
+        """The datapath configuration this device runs with."""
+        return NicSimConfig(
+            ring_depth=self.ring_depth,
+            rx_backpressure=self.rx_backpressure,
+            host=self.host_config(fabric),
+            num_queues=self.num_queues,
+            dma_tags=self.dma_tags,
+        )
+
+
+class SharedHost:
+    """One host instance N device couplings contend on.
+
+    Construction order matters and mirrors the single-device
+    :class:`~repro.sim.nichost.HostCoupling` exactly: build the host,
+    build the (shared) descriptor root complex, bind the couplings, then
+    prepare the payload cache, the descriptor cache and the IOTLB — each
+    over the *aggregate* working set, so N devices genuinely squeeze each
+    other out of the LLC and the IOTLB reach.  With one device every
+    aggregate equals the device's own working set and the preparation is
+    identical to the un-shared path.
+    """
+
+    def __init__(
+        self,
+        fabric: FabricConfig,
+        device_configs: Sequence[NicHostConfig],
+        ring_depths: Sequence[int],
+        *,
+        seed: int,
+    ) -> None:
+        if not device_configs:
+            raise ValidationError("a shared host needs at least one device")
+        if len(device_configs) != len(ring_depths):
+            raise ValidationError(
+                "need one ring depth per device config "
+                f"({len(device_configs)} vs {len(ring_depths)})"
+            )
+        states = {config.payload_cache_state for config in device_configs}
+        if len(states) > 1:
+            raise ValidationError(
+                "devices sharing a host must share one payload cache "
+                f"preparation state, got {sorted(states)} (per-device DDIO "
+                "partitioning is not modelled yet)"
+            )
+        self.config = fabric
+        self.host = HostSystem.from_profile(
+            fabric.system,
+            iommu_enabled=fabric.iommu_enabled,
+            iommu_page_size=fabric.iommu_page_size,
+            seed=seed,
+            cache_model="statistical",
+        )
+        profile = self.host.profile
+        descriptor_rng = SimRng(seed ^ _DESCRIPTOR_SEED_SALT)
+        descriptor_cache = StatisticalCache(
+            profile.llc_bytes,
+            ddio_fraction=profile.ddio_fraction,
+            rng=descriptor_rng,
+        )
+        self.descriptor_rc = RootComplex(
+            profile.root_complex_config(),
+            cache=descriptor_cache,
+            iommu=self.host.iommu,
+            numa=self.host.numa,
+            memory=self.host.root_complex.memory,
+            noise=profile.noise,
+            rng=descriptor_rng,
+        )
+        self.couplings = [
+            HostCoupling(
+                config,
+                ring_depth=ring_depth,
+                seed=seed,
+                shared=self,
+                device_index=index,
+            )
+            for index, (config, ring_depth) in enumerate(
+                zip(device_configs, ring_depths)
+            )
+        ]
+        self._prepare()
+
+    def _prepare(self) -> None:
+        """Prime the shared cache and IOTLB for the aggregate working set."""
+        payload_lines = sum(
+            coupling.payload_buffer.window_cachelines
+            for coupling in self.couplings
+        )
+        self.host.root_complex.prepare_cache(
+            self.couplings[0].config.payload_cache_state, payload_lines
+        )
+        ring_lines = sum(
+            2 * coupling.ring_buffers["tx"].window_cachelines
+            for coupling in self.couplings
+        )
+        self.descriptor_rc.prepare_cache(CacheState.HOST_WARM, ring_lines)
+        iommu = self.host.iommu
+        iommu.invalidate()
+        if iommu.enabled:
+            page = self.config.iommu_page_size
+            for coupling in self.couplings:
+                buffer = coupling.payload_buffer
+                pages_to_warm = min(
+                    buffer.window_pages, iommu.config.iotlb_entries
+                )
+                iommu.warm(
+                    [
+                        buffer.base_address + index * page
+                        for index in range(pages_to_warm)
+                    ]
+                )
+            # Ring pages last, per device, so every device's (few) ring
+            # translations begin as the most recently used entries.
+            for coupling in self.couplings:
+                for buffer in coupling.ring_buffers.values():
+                    iommu.warm(
+                        [
+                            buffer.base_address + index * page
+                            for index in range(buffer.window_pages)
+                        ]
+                    )
+        iommu.reset_stats()
+
+
+class _UpstreamPort:
+    """One device's view of the arbitrated ingress and walker resources.
+
+    Bound to a client index so :class:`~repro.sim.nicsim._Datapath` stays
+    device-agnostic; ``claim`` replays the single-device serialisation
+    order (ingress first, walker second, per-device stall accounting) but
+    through the fabric's arbitration queues.
+
+    The walker request chained after an ingress grant matures ``ingress
+    occupancy`` nanoseconds in the simulated future; submitting it
+    eagerly would let the arbiter book walker time before other devices'
+    earlier requests even exist (pre-booking is exactly the unfairness
+    the arbitration layer removes).  It is therefore *scheduled* through
+    the event loop and submitted only when simulated time reaches it, so
+    every ``request`` the arbiter sees carries the current time.
+    """
+
+    __slots__ = ("_ingress", "_walker", "_client", "_schedule")
+
+    def __init__(
+        self,
+        ingress: ArbitratedResource,
+        walker: ArbitratedResource,
+        client: int,
+        schedule,
+    ) -> None:
+        self._ingress = ingress
+        self._walker = walker
+        self._client = client
+        self._schedule = schedule
+
+    def claim(self, now, access, coupling, then) -> None:
+        def at_walker(ready: float) -> None:
+            occupancy = access.walker_occupancy_ns
+
+            def granted(start: float) -> None:
+                coupling.note_walker_stall(max(0.0, start - ready))
+                then(start + occupancy)
+
+            self._walker.request(self._client, ready, occupancy, granted)
+
+        def after_ingress(ready: float) -> None:
+            if access.walker_occupancy_ns > 0.0:
+                if ready > now:
+                    self._schedule(ready, at_walker)
+                else:
+                    at_walker(ready)
+            else:
+                then(ready)
+
+        occupancy = access.ingress_occupancy_ns
+        if occupancy > 0.0:
+            self._ingress.request(
+                self._client,
+                now,
+                occupancy,
+                lambda start: after_ingress(start + occupancy),
+            )
+        else:
+            after_ingress(now)
+
+
+# ---------------------------------------------------------------------------
+# Result records
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FabricPortStats:
+    """Per-device arbitration counters for one shared resource (frozen
+    snapshot of :class:`~repro.sim.engine.ArbiterClientStats`)."""
+
+    requests: int
+    waited: int
+    wait_ns_total: float
+    busy_ns_total: float
+
+    @classmethod
+    def from_client(cls, stats) -> "FabricPortStats":
+        """Snapshot one client's live counters."""
+        return cls(
+            requests=stats.requests,
+            waited=stats.waited,
+            wait_ns_total=stats.wait_ns_total,
+            busy_ns_total=stats.busy_ns_total,
+        )
+
+    @property
+    def wait_ns_mean(self) -> float:
+        """Mean queueing delay per request (0 when nothing was submitted)."""
+        return self.wait_ns_total / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """Serialisable representation."""
+        return {
+            "requests": self.requests,
+            "waited": self.waited,
+            "wait_ns_total": self.wait_ns_total,
+            "wait_ns_mean": self.wait_ns_mean,
+            "busy_ns_total": self.busy_ns_total,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FabricPortStats":
+        """Rebuild port statistics from :meth:`as_dict` output."""
+        return cls(
+            requests=int(data["requests"]),
+            waited=int(data["waited"]),
+            wait_ns_total=float(data["wait_ns_total"]),
+            busy_ns_total=float(data["busy_ns_total"]),
+        )
+
+
+@dataclass(frozen=True)
+class DeviceContentionResult:
+    """One device's outcome of a shared-host run.
+
+    ``ingress`` / ``walker`` carry the device's arbitration counters;
+    they are ``None`` for single-device runs, where no arbitration layer
+    exists (the degenerate path).
+    """
+
+    name: str
+    result: NicSimResult
+    ingress: FabricPortStats | None = None
+    walker: FabricPortStats | None = None
+
+    def as_dict(self) -> dict[str, object]:
+        """Serialisable representation."""
+        record: dict[str, object] = {
+            "name": self.name,
+            "result": self.result.as_dict(),
+        }
+        if self.ingress is not None:
+            record["ingress"] = self.ingress.as_dict()
+        if self.walker is not None:
+            record["walker"] = self.walker.as_dict()
+        return record
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeviceContentionResult":
+        """Rebuild a device record from :meth:`as_dict` output."""
+        ingress = data.get("ingress")
+        walker = data.get("walker")
+        return cls(
+            name=str(data["name"]),
+            result=NicSimResult.from_dict(data["result"]),
+            ingress=FabricPortStats.from_dict(ingress) if ingress else None,
+            walker=FabricPortStats.from_dict(walker) if walker else None,
+        )
+
+
+@dataclass(frozen=True)
+class ContentionResult:
+    """Everything one shared-host (multi-device) run produced."""
+
+    system: str
+    arbiter: str
+    weights: tuple[float, ...]
+    seed: int
+    duration_ns: float
+    devices: tuple[DeviceContentionResult, ...] = field(default_factory=tuple)
+
+    def device(self, name: str) -> DeviceContentionResult:
+        """Look one device's record up by name."""
+        for record in self.devices:
+            if record.name == name:
+                return record
+        raise ValidationError(
+            f"no device {name!r} in this run; devices: "
+            + ", ".join(record.name for record in self.devices)
+        )
+
+    @property
+    def throughputs_gbps(self) -> dict[str, float]:
+        """Per-device mean payload throughput, keyed by device name."""
+        return {
+            record.name: record.result.throughput_gbps
+            for record in self.devices
+        }
+
+    def as_dict(self) -> dict[str, object]:
+        """Serialisable representation (tagged ``"kind": "CONTENTION"``)."""
+        return {
+            "kind": "CONTENTION",
+            "system": self.system,
+            "arbiter": self.arbiter,
+            "weights": list(self.weights),
+            "seed": self.seed,
+            "duration_ns": self.duration_ns,
+            "devices": [record.as_dict() for record in self.devices],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ContentionResult":
+        """Rebuild a result from :meth:`as_dict` output."""
+        return cls(
+            system=str(data["system"]),
+            arbiter=str(data["arbiter"]),
+            weights=tuple(float(weight) for weight in data["weights"]),
+            seed=int(data["seed"]),
+            duration_ns=float(data["duration_ns"]),
+            devices=tuple(
+                DeviceContentionResult.from_dict(record)
+                for record in data["devices"]
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# The fabric simulator
+# ---------------------------------------------------------------------------
+
+
+class FabricSimulator:
+    """Runs N NIC datapaths against one shared host in one event loop."""
+
+    def __init__(
+        self,
+        devices: Sequence[FabricDevice],
+        fabric: FabricConfig | None = None,
+        config: PCIeConfig = PAPER_DEFAULT_CONFIG,
+    ) -> None:
+        if not devices:
+            raise ValidationError("a fabric needs at least one device")
+        self.fabric = fabric or FabricConfig()
+        if (
+            self.fabric.weights is not None
+            and len(self.fabric.weights) != len(devices)
+        ):
+            raise ValidationError(
+                f"need one arbitration weight per device ({len(devices)}), "
+                f"got {len(self.fabric.weights)}"
+            )
+        names = [
+            device.name or f"dev{index}"
+            for index, device in enumerate(devices)
+        ]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"device names must be unique, got {names}")
+        self.devices = tuple(devices)
+        self.names = tuple(names)
+        self.config = config
+
+    def run(self, *, seed: int | None = None) -> ContentionResult:
+        """Simulate every device's workload against the shared host."""
+        resolved_seed = DEFAULT_SEED if seed is None else seed
+        fabric = self.fabric
+        loop = _EventLoop()
+        shared = SharedHost(
+            fabric,
+            [device.host_config(fabric) for device in self.devices],
+            [device.ring_depth for device in self.devices],
+            seed=resolved_seed,
+        )
+        count = len(self.devices)
+        multi = count > 1
+        weights = fabric.weights or (1.0,) * count
+        if multi:
+            ingress_arb = ArbitratedResource(
+                "fabric.root_complex.ingress",
+                count,
+                schedule=loop.at,
+                scheme=fabric.arbiter,
+                weights=weights,
+            )
+            walker_arb = ArbitratedResource(
+                "fabric.iommu.walker",
+                count,
+                schedule=loop.at,
+                scheme=fabric.arbiter,
+                weights=weights,
+            )
+            ingress = walker = None
+        else:
+            # Degenerate case: one device, nothing to arbitrate — use the
+            # exact single-device resources (and code path) of
+            # NicDatapathSimulator.run, preserving golden runs bit for bit.
+            ingress_arb = walker_arb = None
+            ingress = SerialResource("nicsim.root_complex.ingress")
+            walker = SerialResource("nicsim.iommu.walker")
+
+        links: list[tuple[SerialResource, SerialResource]] = []
+        device_tags: list[TagPool | None] = []
+        device_paths: list[list[tuple[str, list[_Datapath]]]] = []
+        for index, device in enumerate(self.devices):
+            device_seed = (
+                device.seed if device.seed is not None else resolved_seed
+            )
+            rng = SimRng(device_seed)
+            sim_config = device.sim_config(fabric)
+            coupling = shared.couplings[index]
+            link_up = SerialResource(f"fabric.{self.names[index]}.device_to_host")
+            link_down = SerialResource(f"fabric.{self.names[index]}.host_to_device")
+            links.append((link_up, link_down))
+            tags = (
+                TagPool(f"fabric.{self.names[index]}.dma_tags", device.dma_tags)
+                if device.dma_tags is not None
+                else None
+            )
+            device_tags.append(tags)
+            port = (
+                _UpstreamPort(ingress_arb, walker_arb, index, loop.at)
+                if multi
+                else None
+            )
+            workload = device.workload
+            directions: list[tuple[str, list[_Datapath]]] = []
+            for direction in ("tx", "rx") if workload.duplex else ("tx",):
+                queues = [
+                    _Datapath(
+                        direction,
+                        device.model,
+                        self.config,
+                        sim_config,
+                        loop,
+                        link_up,
+                        link_down,
+                        coupling=coupling,
+                        ingress=ingress,
+                        walker=walker,
+                        tags=tags,
+                        queue_index=queue_index,
+                        num_queues=device.num_queues,
+                        host_port=port,
+                    )
+                    for queue_index in range(device.num_queues)
+                ]
+                schedule = workload.generate(
+                    device.packets, rng, stream=direction
+                )
+                if device.num_queues == 1:
+                    targets = None
+                else:
+                    if schedule.flows is None:
+                        raise ValidationError(
+                            f"a {device.num_queues}-queue device needs a "
+                            "workload with a flow model to steer by"
+                        )
+                    targets = rss_queues(
+                        schedule.flows, device.num_queues, seed=device_seed
+                    )
+                for packet in range(schedule.count):
+                    time = float(schedule.arrival_times_ns[packet])
+                    size = int(schedule.sizes[packet])
+                    path = (
+                        queues[0]
+                        if targets is None
+                        else queues[int(targets[packet])]
+                    )
+                    loop.at(
+                        time,
+                        lambda now, path=path, size=size: path.on_arrival(
+                            now, size
+                        ),
+                    )
+                directions.append((direction, queues))
+            device_paths.append(directions)
+
+        loop.run()
+
+        records = []
+        overall_duration = 0.0
+        for index, device in enumerate(self.devices):
+            directions = device_paths[index]
+            for _, queues in directions:
+                for path in queues:
+                    path.finish()
+            duration = max(
+                [0.0]
+                + [
+                    max(path.notifies)
+                    for _, queues in directions
+                    for path in queues
+                    if path.notifies
+                ]
+            )
+            overall_duration = max(overall_duration, duration)
+            sim_config = device.sim_config(fabric)
+            results = [
+                _direction_result(direction, queues, sim_config)
+                for direction, queues in directions
+            ]
+            link_up, link_down = links[index]
+            tags = device_tags[index]
+            result = NicSimResult(
+                model=device.model.name,
+                workload=device.workload.name,
+                packets=device.packets,
+                duration_ns=duration,
+                tx=results[0],
+                rx=results[1] if len(results) > 1 else None,
+                link_utilisation_up=(
+                    link_up.utilisation(duration) if duration > 0 else 0.0
+                ),
+                link_utilisation_down=(
+                    link_down.utilisation(duration) if duration > 0 else 0.0
+                ),
+                host=shared.couplings[index].stats(),
+                tags=DmaTagStats.from_pool(tags) if tags is not None else None,
+            )
+            records.append(
+                DeviceContentionResult(
+                    name=self.names[index],
+                    result=result,
+                    ingress=(
+                        _port_stats(ingress_arb, index) if multi else None
+                    ),
+                    walker=(
+                        _port_stats(walker_arb, index) if multi else None
+                    ),
+                )
+            )
+
+        return ContentionResult(
+            system=fabric.system,
+            arbiter=fabric.arbiter,
+            weights=tuple(weights),
+            seed=resolved_seed,
+            duration_ns=overall_duration,
+            devices=tuple(records),
+        )
+
+
+def _port_stats(
+    resource: ArbitratedResource, client: int
+) -> FabricPortStats:
+    """Snapshot one client's counters from an arbitrated resource."""
+    return FabricPortStats.from_client(resource.stats[client])

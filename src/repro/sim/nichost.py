@@ -57,6 +57,13 @@ TX_RING_BASE = 0
 RX_RING_BASE = 1 << 30
 PAYLOAD_BASE = 1 << 34
 
+#: Address-space stride between devices sharing one host (see
+#: :mod:`repro.sim.fabric`).  Each device's three regions are offset by
+#: ``device_index * DEVICE_ADDRESS_STRIDE`` so no two devices' pages alias
+#: in the shared IOTLB.  Device 0's layout is byte-identical to the
+#: single-device layout above.
+DEVICE_ADDRESS_STRIDE = 1 << 40
+
 #: Seed perturbation for the descriptor-side RNG.  ``SimRng`` caches named
 #: sub-streams, so building the descriptor root complex from the *same*
 #: ``SimRng`` as the payload one would make both caches (and both noise
@@ -195,23 +202,58 @@ class HostCoupling:
     calls :meth:`access` once per DMA transaction and layers link
     serialisation, ingress and walker occupancy on top of the returned
     :class:`HostAccess`.
+
+    Two construction modes exist.  The historical one (``shared=None``)
+    builds a private :class:`~repro.sim.host.HostSystem` for this one
+    device and prepares cache/IOTLB state itself.  The *shared-host* mode
+    (``shared`` set to a :class:`repro.sim.fabric.SharedHost`) instead
+    binds this coupling to a host that several devices contend on: the
+    root complexes, cache, IOMMU, NUMA and noise models come from the
+    shared instance, this device's buffer regions are offset by
+    ``device_index * DEVICE_ADDRESS_STRIDE`` so translations never alias
+    across devices, and cache/IOTLB preparation is deferred to the shared
+    host (which warms the *aggregate* working set).  Per-device counters
+    work identically in both modes.
     """
 
     def __init__(
-        self, config: NicHostConfig, *, ring_depth: int, seed: int
+        self,
+        config: NicHostConfig,
+        *,
+        ring_depth: int,
+        seed: int,
+        shared: "object | None" = None,
+        device_index: int = 0,
     ) -> None:
         if ring_depth <= 0:
             raise ValidationError(
                 f"ring_depth must be positive, got {ring_depth}"
             )
+        if device_index < 0:
+            raise ValidationError(
+                f"device_index must be non-negative, got {device_index}"
+            )
+        if shared is None and device_index != 0:
+            raise ValidationError(
+                "device_index is only meaningful with a shared host"
+            )
         self.config = config
-        self.host = HostSystem.from_profile(
-            config.system,
-            iommu_enabled=config.iommu_enabled,
-            iommu_page_size=config.iommu_page_size,
-            seed=seed,
-            cache_model="statistical",
-        )
+        self.device_index = device_index
+        if shared is None:
+            self.host = HostSystem.from_profile(
+                config.system,
+                iommu_enabled=config.iommu_enabled,
+                iommu_page_size=config.iommu_page_size,
+                seed=seed,
+                cache_model="statistical",
+            )
+        else:
+            self.host = shared.host
+            if self.host.profile.name != get_profile(config.system).name:
+                raise ValidationError(
+                    f"device profile {config.system!r} does not match the "
+                    f"shared host profile {self.host.profile.name!r}"
+                )
         profile = self.host.profile
         numa = self.host.numa
         self._payload_node = (
@@ -219,11 +261,12 @@ class HostCoupling:
             if config.payload_placement == "local"
             else numa.remote_node()
         )
+        region_base = device_index * DEVICE_ADDRESS_STRIDE
         self.payload_buffer = HostBuffer(
             window_size=config.payload_window,
             transfer_size=PAYLOAD_UNIT_BYTES,
             numa_node=self._payload_node,
-            base_address=PAYLOAD_BASE,
+            base_address=PAYLOAD_BASE + region_base,
             page_size=config.iommu_page_size,
         )
         ring_window = align_up(ring_depth * DESCRIPTOR_BYTES, CACHELINE_BYTES)
@@ -232,14 +275,14 @@ class HostCoupling:
                 window_size=ring_window,
                 transfer_size=DESCRIPTOR_BYTES,
                 numa_node=numa.device_node,
-                base_address=TX_RING_BASE,
+                base_address=TX_RING_BASE + region_base,
                 page_size=config.iommu_page_size,
             ),
             "rx": HostBuffer(
                 window_size=ring_window,
                 transfer_size=DESCRIPTOR_BYTES,
                 numa_node=numa.device_node,
-                base_address=RX_RING_BASE,
+                base_address=RX_RING_BASE + region_base,
                 page_size=config.iommu_page_size,
             ),
         }
@@ -250,33 +293,47 @@ class HostCoupling:
         # because the statistical cache's residency is per-window: the hot
         # ring must not inherit the payload window's (low) hit probability.
         # A salted RNG keeps the descriptor-side streams independent of the
-        # payload-side ones (see _DESCRIPTOR_SEED_SALT).
+        # payload-side ones (see _DESCRIPTOR_SEED_SALT).  In shared-host
+        # mode both root complexes (and so both caches) are the shared
+        # host's: devices genuinely contend on one LLC/DDIO slice and one
+        # descriptor-cache view, and preparation is the shared host's job.
         self.payload_rc = self.host.root_complex
-        descriptor_rng = SimRng(seed ^ _DESCRIPTOR_SEED_SALT)
-        descriptor_cache = StatisticalCache(
-            profile.llc_bytes,
-            ddio_fraction=profile.ddio_fraction,
-            rng=descriptor_rng,
-        )
-        self.descriptor_rc = RootComplex(
-            profile.root_complex_config(),
-            cache=descriptor_cache,
-            iommu=self.host.iommu,
-            numa=numa,
-            memory=self.payload_rc.memory,
-            noise=profile.noise,
-            rng=descriptor_rng,
-        )
-        self.payload_rc.prepare_cache(
-            config.payload_cache_state, self.payload_buffer.window_cachelines
-        )
-        self.descriptor_rc.prepare_cache(
-            CacheState.HOST_WARM,
-            2 * self.ring_buffers["tx"].window_cachelines,
-        )
-        self._warm_iotlb()
+        if shared is None:
+            descriptor_rng = SimRng(seed ^ _DESCRIPTOR_SEED_SALT)
+            descriptor_cache = StatisticalCache(
+                profile.llc_bytes,
+                ddio_fraction=profile.ddio_fraction,
+                rng=descriptor_rng,
+            )
+            self.descriptor_rc = RootComplex(
+                profile.root_complex_config(),
+                cache=descriptor_cache,
+                iommu=self.host.iommu,
+                numa=numa,
+                memory=self.payload_rc.memory,
+                noise=profile.noise,
+                rng=descriptor_rng,
+            )
+            self.payload_rc.prepare_cache(
+                config.payload_cache_state, self.payload_buffer.window_cachelines
+            )
+            self.descriptor_rc.prepare_cache(
+                CacheState.HOST_WARM,
+                2 * self.ring_buffers["tx"].window_cachelines,
+            )
+            self._warm_iotlb()
+        else:
+            self.descriptor_rc = shared.descriptor_rc
 
-        self._unit_stream = self.host.rng.spawn("nicsim.host.payload_units")
+        # Device 0 keeps the historical stream name so a single-device
+        # shared host reproduces the un-shared coupling bit for bit; later
+        # devices get decorrelated sibling streams.
+        stream = (
+            "nicsim.host.payload_units"
+            if device_index == 0
+            else f"nicsim.host.payload_units.dev{device_index}"
+        )
+        self._unit_stream = self.host.rng.spawn(stream)
         self._ring_cursor = {"tx": 0, "rx": 0}
         self._payload_accesses = 0
         self._payload_cache_hits = 0

@@ -638,6 +638,7 @@ class _Datapath:
         tags: TagPool | None = None,
         queue_index: int = 0,
         num_queues: int = 1,
+        host_port: "object | None" = None,
     ) -> None:
         self.direction = direction
         self.queue_index = queue_index
@@ -654,6 +655,10 @@ class _Datapath:
         self._ingress = ingress
         self._walker = walker
         self._tags = tags
+        #: Optional arbitrated upstream port (multi-device fabric runs):
+        #: an object with ``claim(now, access, coupling, then)`` that
+        #: replaces the direct ingress/walker serialisation below.
+        self._host_port = host_port
         self.ring = _Ring(f"{self.label}_ring", sim_config.ring_depth)
         self._compiled: dict[int, list[_CompiledOp]] = {}
 
@@ -776,6 +781,22 @@ class _Datapath:
             )
         return ready
 
+    def _visit_host(
+        self, now: float, access, then: Callable[[float], None]
+    ) -> None:
+        """Route one transaction through the host-side resources.
+
+        Single-device runs take the direct, synchronous path above (so the
+        pre-fabric behaviour is preserved bit for bit); fabric runs route
+        through the device's arbitrated upstream port, where ingress and
+        walker grants are scheduled among all devices sharing the host.
+        ``then(ready)`` fires when host processing can begin.
+        """
+        if self._host_port is None:
+            then(self._claim_host_resources(now, access))
+        else:
+            self._host_port.claim(now, access, self._coupling, then)
+
     def _issue(
         self,
         op: _CompiledOp,
@@ -862,8 +883,13 @@ class _Datapath:
                         payload=payload,
                         size=op.size,
                     )
-                    ready = self._claim_host_resources(time, access)
-                    self._loop.at(ready + access.latency_ns, completion)
+                    self._visit_host(
+                        time,
+                        access,
+                        lambda ready: self._loop.at(
+                            ready + access.latency_ns, completion
+                        ),
+                    )
 
                 self._loop.at(start + op.up_ns, at_root_complex)
         elif op.kind is OpKind.DMA_WRITE:
@@ -882,11 +908,14 @@ class _Datapath:
                         payload=payload,
                         size=op.size,
                     )
-                    ready = self._claim_host_resources(time, access)
-                    if tagged:
-                        self._loop.at(
-                            ready + access.latency_ns, self._tags.release
-                        )
+
+                    def drained(ready: float) -> None:
+                        if tagged:
+                            self._loop.at(
+                                ready + access.latency_ns, self._tags.release
+                            )
+
+                    self._visit_host(time, access, drained)
 
                 self._loop.at(start + op.up_ns, at_root_complex_write)
         elif op.kind is OpKind.MMIO_WRITE:

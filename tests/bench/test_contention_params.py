@@ -1,0 +1,196 @@
+"""Tests for the contention benchmark surface (repro.bench.contention)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.contention import (
+    ContentionParams,
+    run_contention_benchmark,
+    solo_device_params,
+)
+from repro.bench.nicsim import NicSimParams, run_nicsim_benchmark
+from repro.bench.runner import (
+    BenchmarkRunner,
+    contention_suite_params,
+    full_suite_params,
+)
+from repro.bench.results import load_results_json
+from repro.errors import BenchmarkError, ValidationError
+from repro.sim.fabric import ContentionResult
+from repro.units import KIB, MIB
+
+
+def _pair(**overrides) -> ContentionParams:
+    victim = NicSimParams(
+        model="dpdk",
+        workload="fixed",
+        packet_size=512,
+        offered_load_gbps=5.0,
+        packets=200,
+        ring_depth=64,
+        payload_window=256 * KIB,
+    )
+    aggressor = NicSimParams(
+        model="kernel", workload="imix", packets=1200, payload_window=16 * MIB
+    )
+    fields = dict(
+        devices=(victim, aggressor),
+        names=("victim", "aggressor"),
+        system="NFP6000-HSW",
+        iommu_enabled=True,
+        arbiter="rr",
+    )
+    fields.update(overrides)
+    return ContentionParams(**fields)
+
+
+class TestContentionParams:
+    def test_round_trips_through_dict(self):
+        params = _pair(arbiter="wrr", weights=(8.0, 1.0), seed=3)
+        rebuilt = ContentionParams.from_dict(params.as_dict())
+        assert rebuilt == params
+        assert rebuilt.as_dict() == params.as_dict()
+
+    def test_kind_and_label(self):
+        params = _pair(arbiter="wrr", weights=(8.0, 1.0))
+        assert params.kind == "CONTENTION"
+        label = params.label()
+        assert "CONTENTION" in label
+        assert "arbiter=wrr" in label
+        assert "weights=8:1" in label
+        assert "victim" in label and "aggressor" in label
+
+    def test_device_names_default_to_indices(self):
+        params = _pair(names=None)
+        assert params.device_names() == ("dev0", "dev1")
+
+    def test_rejects_devices_with_their_own_host(self):
+        coupled = NicSimParams(system="NFP6000-HSW", packets=100)
+        with pytest.raises(ValidationError):
+            ContentionParams(devices=(coupled,))
+
+    def test_rejects_mismatched_names_and_weights(self):
+        with pytest.raises(ValidationError):
+            _pair(names=("only-one",))
+        with pytest.raises(ValidationError):
+            _pair(names=("twin", "twin"))
+        with pytest.raises(ValidationError):
+            _pair(arbiter="wrr", weights=(1.0,))
+        with pytest.raises(ValidationError):
+            _pair(arbiter="wrr", weights=(1.0, -2.0))
+        with pytest.raises(ValidationError):
+            _pair(arbiter="lottery")
+        with pytest.raises(ValidationError):
+            ContentionParams(devices=())
+
+    def test_weights_rejected_for_schemes_that_ignore_them(self):
+        # fcfs/rr never read weights; advertising them in labels while
+        # silently ignoring them would mislead the operator.
+        with pytest.raises(ValidationError):
+            _pair(arbiter="rr", weights=(8.0, 1.0))
+        with pytest.raises(ValidationError):
+            _pair(arbiter="fcfs", weights=(8.0, 1.0))
+
+    def test_solo_device_params_couples_to_the_fabric_host(self):
+        params = _pair(seed=17)
+        solo = solo_device_params(params, 0)
+        assert solo.system == params.system
+        assert solo.iommu_enabled is params.iommu_enabled
+        assert solo.seed == 17  # inherits the run seed
+        assert solo.workload == params.devices[0].workload
+        with pytest.raises(ValidationError):
+            solo_device_params(params, 9)
+
+    def test_solo_params_equal_one_device_contention_run(self):
+        params = _pair(seed=5)
+        solo = run_nicsim_benchmark(solo_device_params(params, 0))
+        one_device = run_contention_benchmark(
+            params.with_(
+                devices=(params.devices[0],), names=("victim",), weights=None
+            )
+        )
+        assert one_device.devices[0].result == solo
+
+    def test_solo_equivalence_holds_under_a_device_seed_override(self):
+        # A device seed overrides the run seed for a plain NICSIM run's
+        # host too, so a one-device contention run resolves its host seed
+        # the same way — the degenerate contract must survive seeding.
+        params = _pair(seed=5)
+        seeded = params.devices[0].with_(seed=23)
+        solo = run_nicsim_benchmark(
+            solo_device_params(params.with_(devices=(seeded, params.devices[1])), 0)
+        )
+        one_device = run_contention_benchmark(
+            params.with_(devices=(seeded,), names=("victim",), weights=None)
+        )
+        assert one_device.devices[0].result == solo
+
+
+class TestRunnerDispatch:
+    def test_runner_executes_contention_params(self):
+        result = BenchmarkRunner().run(_pair(seed=2))
+        assert isinstance(result, ContentionResult)
+        assert {record.name for record in result.devices} == {
+            "victim",
+            "aggressor",
+        }
+
+    def test_parallel_results_identical_to_serial_with_contention(self):
+        def mixed():
+            return [
+                NicSimParams(model="dpdk", packets=200, packet_size=512, seed=5),
+                _pair(seed=9),
+                _pair(arbiter="wrr", weights=(4.0, 1.0), seed=9),
+            ]
+
+        serial = BenchmarkRunner().run_all(mixed())
+        parallel = BenchmarkRunner().run_all(mixed(), jobs=2)
+        assert len(parallel) == len(serial)
+        for serial_result, parallel_result in zip(serial, parallel):
+            assert type(parallel_result) is type(serial_result)
+            assert parallel_result == serial_result
+
+    def test_save_and_load_round_trip(self, tmp_path):
+        runner = BenchmarkRunner()
+        results = runner.run_all([_pair(seed=2)])
+        path = tmp_path / "contention.json"
+        runner.save(results, path)
+        restored = load_results_json(path)
+        assert len(restored) == 1
+        assert isinstance(restored[0], ContentionResult)
+        assert restored[0] == results[0]
+
+    def test_csv_export_rejects_contention_results(self, tmp_path):
+        runner = BenchmarkRunner()
+        results = runner.run_all([_pair(seed=2)])
+        with pytest.raises(BenchmarkError):
+            runner.save(results, tmp_path / "contention.csv", fmt="csv")
+
+
+class TestSuiteSurface:
+    def test_contention_suite_covers_every_scheme(self):
+        scenarios = contention_suite_params(packets=100)
+        assert [params.arbiter for params in scenarios] == ["fcfs", "rr", "wrr"]
+        assert all(
+            params.device_names() == ("victim", "aggressor")
+            for params in scenarios
+        )
+        wrr = scenarios[-1]
+        assert wrr.weights == (8.0, 1.0)
+
+    def test_full_suite_count_includes_contention_when_asked(self):
+        base = full_suite_params()
+        extended = full_suite_params(include_contention=True)
+        assert len(extended) == len(base) + len(contention_suite_params())
+        assert not any(
+            isinstance(params, ContentionParams) for params in base
+        )
+        assert (
+            sum(
+                1
+                for params in extended
+                if isinstance(params, ContentionParams)
+            )
+            == 3
+        )

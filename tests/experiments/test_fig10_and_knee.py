@@ -1,0 +1,69 @@
+"""Structure and shape-check tests for the two new experiments.
+
+``figure-10-contention`` pins the PR's acceptance criterion: a >=10%
+victim degradation under a bulk aggressor on the shared walker/ingress,
+reduced by at least half under weighted arbitration, with the one-device
+degenerate case identical to the plain host-coupled datapath.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig8_knee import knee_tags
+from repro.experiments.registry import experiment_ids, run_experiment
+
+
+class TestFigure10Contention:
+    def test_structure_and_checks(self):
+        result = run_experiment("figure-10-contention", quick=True)
+        assert result.experiment_id == "figure-10-contention"
+        assert result.table_headers[0] == "scenario"
+        # One row per (scheme, device).
+        assert len(result.table_rows) == 6
+        assert len(result.checks) == 7
+        assert result.passed, [
+            check.description for check in result.checks if not check.passed
+        ]
+        text = result.to_text()
+        assert "noisy neighbour" in text.lower()
+        assert "wrr" in text
+
+    def test_acceptance_criterion_margins(self):
+        # The acceptance criterion wants >= 10% degradation halved by
+        # weighted arbitration; assert the quick run holds it with margin
+        # by re-reading the checks' measured details.
+        result = run_experiment("figure-10-contention", quick=True)
+        degradation_check = result.checks[0]
+        protection_check = result.checks[2]
+        assert degradation_check.passed and protection_check.passed
+        degenerate_check = result.checks[-1]
+        assert "identical" in degenerate_check.description
+        assert degenerate_check.passed
+
+
+class TestFigure8Knee:
+    def test_structure_and_checks(self):
+        result = run_experiment("figure-8-knee", quick=True)
+        assert result.experiment_id == "figure-8-knee"
+        assert sorted(result.series) == ["ring=128", "ring=512", "ring=64"]
+        # One sweep point per tag-pool size, every ring depth.
+        assert {len(points) for points in result.series.values()} == {6}
+        assert len(result.checks) == 5
+        assert result.passed, [
+            check.description for check in result.checks if not check.passed
+        ]
+        text = result.to_text()
+        assert "knee" in text.lower()
+
+    def test_knee_helper_finds_smallest_saturating_pool(self):
+        points = [(4.0, 10.0), (8.0, 20.0), (16.0, 39.0), (32.0, 40.0)]
+        assert knee_tags(points, fraction=0.95) == 16.0
+        assert knee_tags(points, fraction=1.0) == 32.0
+
+
+class TestRegistry:
+    def test_new_experiments_registered_in_order(self):
+        ids = experiment_ids()
+        assert "figure-8-knee" in ids
+        assert "figure-10-contention" in ids
+        assert ids.index("figure-8-sim") < ids.index("figure-8-knee")
+        assert ids.index("figure-8-knee") < ids.index("figure-10-contention")

@@ -32,6 +32,8 @@ class TestRegistry:
             "figure-9",
             "figure-7-9-sim",
             "figure-8-sim",
+            "figure-8-knee",
+            "figure-10-contention",
             "table-1",
             "table-2",
         ]

@@ -37,6 +37,20 @@ class TestParser:
         args = build_parser().parse_args(["suite", "--jobs", "4"])
         assert args.jobs == 4
 
+    def test_suite_accepts_contention_flag(self):
+        args = build_parser().parse_args(["suite", "--contention"])
+        assert args.contention is True
+
+    def test_contend_defaults(self):
+        args = build_parser().parse_args(["contend"])
+        assert args.device is None
+        assert args.arbiter == "fcfs"
+        assert args.weights is None
+
+    def test_contend_rejects_unknown_arbiter(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["contend", "--arbiter", "lottery"])
+
 
 class TestCommands:
     def test_systems_lists_table1(self, capsys):
@@ -126,3 +140,67 @@ class TestCommands:
         )
         assert code == 1
         assert "fixed-size" in capsys.readouterr().err
+
+
+class TestContendCommand:
+    def test_contend_with_explicit_devices(self, capsys):
+        code = main(
+            [
+                "contend",
+                "--device", "name=victim,model=dpdk,workload=fixed,size=512,"
+                "load=5,packets=150,ring-depth=64,window=256K",
+                "--device", "name=aggressor,model=kernel,workload=imix,"
+                "packets=900,window=16M",
+                "--iommu", "--arbiter", "rr",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Contention run" in captured.out
+        assert "victim" in captured.out and "aggressor" in captured.out
+        assert "arbiter=rr" in captured.err
+
+    def test_contend_solo_baseline_reports_slowdowns(self, capsys):
+        code = main(
+            [
+                "contend",
+                "--device", "name=victim,load=5,packets=120,ring-depth=64,"
+                "window=256K",
+                "--device", "name=aggressor,workload=imix,packets=700,"
+                "window=16M",
+                "--iommu", "--arbiter", "wrr", "--weights", "8:1",
+                "--solo-baseline",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Slowdown vs solo baseline" in captured.out
+        assert "Jain fairness index" in captured.out
+        assert "weights 8:1" in captured.out
+        assert "solo baseline: victim" in captured.err
+
+    def test_contend_detail_prints_per_device_tables(self, capsys):
+        code = main(
+            [
+                "contend",
+                "--device", "name=a,load=5,packets=100",
+                "--device", "name=b,workload=imix,packets=300",
+                "--detail",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Device detail: a" in captured.out
+        assert "Device detail: b" in captured.out
+
+    def test_contend_rejects_bad_device_spec(self, capsys):
+        code = main(["contend", "--device", "model=dpdk,bogus=1"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "unknown device spec key" in captured.err
+
+    def test_contend_rejects_non_key_value_spec(self, capsys):
+        code = main(["contend", "--device", "dpdk"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "not KEY=VALUE" in captured.err

@@ -186,3 +186,139 @@ class TestValidationPaths:
         # Failed calls must not corrupt the pool.
         assert pool.in_flight == 0
         assert pool.acquire(0.0) == 0.0
+
+
+class _ManualLoop:
+    """Minimal schedule() target: collects (time, fn) and runs in time order."""
+
+    def __init__(self):
+        self.events = []
+        self._sequence = 0
+
+    def at(self, time, fn):
+        self.events.append((time, self._sequence, fn))
+        self._sequence += 1
+
+    def run(self):
+        while self.events:
+            self.events.sort()
+            time, _, fn = self.events.pop(0)
+            fn(time)
+
+
+class TestArbitratedResource:
+    def _arbiter(self, scheme, clients=2, weights=None):
+        from repro.sim.engine import ArbitratedResource
+
+        loop = _ManualLoop()
+        resource = ArbitratedResource(
+            "test", clients, schedule=loop.at, scheme=scheme, weights=weights
+        )
+        return loop, resource
+
+    def test_idle_resource_grants_immediately(self):
+        loop, resource = self._arbiter("fcfs")
+        grants = []
+        resource.request(0, 5.0, 10.0, grants.append)
+        assert grants == [5.0]
+        assert resource.busy_until == 15.0
+        assert resource.stats[0].waited == 0
+
+    def test_fcfs_serves_globally_oldest_request(self):
+        loop, resource = self._arbiter("fcfs")
+        grants = []
+        resource.request(1, 0.0, 10.0, lambda t: grants.append(("b0", t)))
+        # Queued while busy: client 1 asked at 1.0, client 0 at 2.0.
+        resource.request(1, 1.0, 5.0, lambda t: grants.append(("b1", t)))
+        resource.request(0, 2.0, 5.0, lambda t: grants.append(("a0", t)))
+        loop.run()
+        assert grants == [("b0", 0.0), ("b1", 10.0), ("a0", 15.0)]
+
+    def test_rr_alternates_between_backlogged_clients(self):
+        loop, resource = self._arbiter("rr")
+        grants = []
+        resource.request(0, 0.0, 10.0, lambda t: grants.append(("a0", t)))
+        # Client 0 queues three more; client 1 queues one at the same time.
+        for index in range(1, 4):
+            resource.request(
+                0, 1.0, 10.0, lambda t, i=index: grants.append((f"a{i}", t))
+            )
+        resource.request(1, 1.0, 10.0, lambda t: grants.append(("b0", t)))
+        loop.run()
+        # Round-robin: after a0 completes, client 1 gets its turn before
+        # client 0's backlog drains.
+        assert grants[0] == ("a0", 0.0)
+        assert grants[1] == ("b0", 10.0)
+        assert [label for label, _ in grants[2:]] == ["a1", "a2", "a3"]
+
+    def test_wrr_shares_service_time_by_weight(self):
+        loop, resource = self._arbiter("wrr", weights=(3.0, 1.0))
+        served = []
+        # Both clients keep a deep backlog of equal-duration requests.
+        for client in (0, 1):
+            for _ in range(12):
+                resource.request(
+                    client, 0.0, 10.0, lambda t, c=client: served.append(c)
+                )
+        loop.run()
+        # Over the first 8 grants the 3:1 weighting shows: client 0 gets
+        # about three quarters of them.
+        head = served[:8]
+        assert head.count(0) == 6 and head.count(1) == 2
+        stats = resource.stats
+        assert stats[0].busy_ns_total == 120.0
+        assert stats[1].busy_ns_total == 120.0  # backlogs fully drain
+
+    def test_wait_accounting_tracks_queueing_delay(self):
+        loop, resource = self._arbiter("fcfs")
+        resource.request(0, 0.0, 10.0, lambda t: None)
+        resource.request(1, 2.0, 4.0, lambda t: None)
+        loop.run()
+        assert resource.stats[1].waited == 1
+        assert resource.stats[1].wait_ns_total == pytest.approx(8.0)
+        assert resource.stats[1].wait_ns_mean == pytest.approx(8.0)
+        assert resource.stats[0].wait_ns_mean == 0.0
+
+    def test_single_client_fcfs_matches_serial_resource_timing(self):
+        loop, resource = self._arbiter("fcfs", clients=1)
+        serial = SerialResource("reference")
+        starts = []
+        for now, duration in ((0.0, 7.0), (1.0, 3.0), (20.0, 5.0)):
+            resource.request(0, now, duration, starts.append)
+            serial.occupy(now, duration)
+        loop.run()
+        # Same grant start times as the plain serial resource's bookings.
+        assert starts == [0.0, 7.0, 20.0]
+        assert resource.busy_until == serial.free_at
+
+    def test_validation_errors(self):
+        from repro.sim.engine import ArbitratedResource
+
+        loop = _ManualLoop()
+        with pytest.raises(ValidationError):
+            ArbitratedResource("x", 0, schedule=loop.at)
+        with pytest.raises(ValidationError):
+            ArbitratedResource("x", 2, schedule=loop.at, scheme="lottery")
+        with pytest.raises(ValidationError):
+            ArbitratedResource("x", 2, schedule=loop.at, weights=(1.0,))
+        with pytest.raises(ValidationError):
+            ArbitratedResource("x", 2, schedule=loop.at, weights=(1.0, -1.0))
+        resource = ArbitratedResource("x", 2, schedule=loop.at)
+        with pytest.raises(ValidationError):
+            resource.request(5, 0.0, 1.0, lambda t: None)
+        with pytest.raises(ValidationError):
+            resource.request(0, -1.0, 1.0, lambda t: None)
+        with pytest.raises(ValidationError):
+            resource.request(0, 0.0, -1.0, lambda t: None)
+
+    def test_stats_snapshot_into_fabric_port_stats(self):
+        from repro.sim.fabric import FabricPortStats
+
+        loop, resource = self._arbiter("rr")
+        resource.request(0, 0.0, 2.0, lambda t: None)
+        loop.run()
+        snapshot = FabricPortStats.from_client(resource.stats[0])
+        assert snapshot.requests == 1
+        assert snapshot.busy_ns_total == 2.0
+        assert snapshot.wait_ns_mean == 0.0
+        assert snapshot.as_dict()["wait_ns_mean"] == 0.0

@@ -1,0 +1,233 @@
+"""Tests for the shared-host fabric subsystem (repro.sim.fabric).
+
+The two load-bearing contracts:
+
+* **Solo equivalence** — a fabric with one device takes the exact
+  single-device code path and reproduces ``tests/golden/nicsim_seeded.json``
+  bit for bit (the acceptance criterion of the contention subsystem).
+* **Contention is real and arbitrable** — with two devices the shared
+  walker/ingress degrade a victim under fcfs, and per-device arbitration
+  (rr/wrr) restores it, without breaking any conservation law.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.nicsim import NicSimParams, run_nicsim_benchmark
+from repro.errors import ValidationError
+from repro.sim.fabric import (
+    ContentionResult,
+    FabricConfig,
+    FabricDevice,
+    FabricSimulator,
+    SharedHost,
+)
+from repro.sim.nichost import DEVICE_ADDRESS_STRIDE, NicHostConfig
+from repro.units import KIB, MIB
+from repro.workloads import build_workload
+
+GOLDEN_PATH = Path(__file__).parent.parent / "golden" / "nicsim_seeded.json"
+
+
+def _golden_device_and_fabric() -> tuple[FabricDevice, FabricConfig, dict]:
+    golden = json.loads(GOLDEN_PATH.read_text())
+    params = NicSimParams.from_dict(golden["params"])
+    workload = build_workload(
+        params.workload,
+        size=params.packet_size,
+        load_gbps=params.offered_load_gbps,
+        duplex=params.duplex,
+    )
+    device = FabricDevice(
+        workload=workload,
+        model=params.model,
+        packets=params.packets,
+        ring_depth=params.ring_depth,
+        rx_backpressure=params.rx_backpressure,
+        payload_window=params.payload_window,
+        payload_cache_state=params.payload_cache_state,
+        payload_placement=params.payload_placement,
+    )
+    fabric = FabricConfig(
+        system=params.system,
+        iommu_enabled=params.iommu_enabled,
+        iommu_page_size=params.iommu_page_size,
+    )
+    return device, fabric, golden
+
+
+def _two_device_run(arbiter: str, weights=None, *, seed: int = 11) -> ContentionResult:
+    victim = FabricDevice(
+        workload=build_workload("fixed", size=512, load_gbps=5.0, duplex=True),
+        model="dpdk",
+        packets=400,
+        name="victim",
+        ring_depth=64,
+        payload_window=256 * KIB,
+    )
+    aggressor = FabricDevice(
+        workload=build_workload("imix", load_gbps=None, duplex=True),
+        model="kernel",
+        packets=2500,
+        name="aggressor",
+        payload_window=64 * MIB,
+    )
+    fabric = FabricConfig(
+        system="NFP6000-HSW",
+        iommu_enabled=True,
+        arbiter=arbiter,
+        weights=weights,
+    )
+    return FabricSimulator([victim, aggressor], fabric).run(seed=seed)
+
+
+class TestSoloEquivalence:
+    def test_single_device_fabric_matches_golden_bit_for_bit(self):
+        device, fabric, golden = _golden_device_and_fabric()
+        result = FabricSimulator([device], fabric).run(
+            seed=golden["params"]["seed"]
+        )
+        assert len(result.devices) == 1
+        solo = result.devices[0]
+        assert solo.name == "dev0"
+        # No arbitration layer exists for one device.
+        assert solo.ingress is None and solo.walker is None
+        assert solo.result.as_dict() == golden["result"]
+
+    def test_single_device_fabric_matches_live_nicsim_run(self):
+        device, fabric, golden = _golden_device_and_fabric()
+        params = NicSimParams.from_dict(golden["params"])
+        plain = run_nicsim_benchmark(params)
+        fabric_run = FabricSimulator([device], fabric).run(seed=params.seed)
+        assert fabric_run.devices[0].result == plain
+
+
+class TestContention:
+    def test_two_devices_conserve_packets_and_bytes_per_device(self):
+        result = _two_device_run("fcfs")
+        assert {record.name for record in result.devices} == {
+            "victim",
+            "aggressor",
+        }
+        for record in result.devices:
+            for path in (record.result.tx, record.result.rx):
+                assert path is not None
+                assert (
+                    path.delivered_packets + path.drops + path.in_flight
+                    == path.offered_packets
+                )
+                assert path.payload_bytes + path.dropped_bytes <= path.offered_bytes
+                assert path.ring.max_occupancy <= path.ring.depth
+            # Arbitration counters exist and are self-consistent.
+            for port in (record.ingress, record.walker):
+                assert port is not None
+                assert port.waited <= port.requests
+                assert port.wait_ns_total >= 0.0
+        assert result.duration_ns > 0.0
+
+    def test_same_seed_reproduces_identical_results(self):
+        first = _two_device_run("wrr", (8.0, 1.0))
+        second = _two_device_run("wrr", (8.0, 1.0))
+        assert first == second
+
+    def test_fcfs_degrades_victim_and_wrr_protects_it(self):
+        fcfs = _two_device_run("fcfs")
+        wrr = _two_device_run("wrr", (8.0, 1.0))
+        fcfs_victim = fcfs.device("victim").result
+        wrr_victim = wrr.device("victim").result
+        assert fcfs_victim.tx.latency is not None
+        assert wrr_victim.tx.latency is not None
+        # The shared walker hurts the victim under fcfs; per-device queues
+        # with victim-favouring weights restore it by a wide margin.
+        assert fcfs_victim.tx.latency.p99 > 2.0 * wrr_victim.tx.latency.p99
+        # The victim's sparse requests barely wait under wrr.
+        assert (
+            wrr.device("victim").walker.wait_ns_mean
+            < fcfs.device("victim").walker.wait_ns_mean
+        )
+
+    def test_walker_contention_shows_in_arbiter_counters(self):
+        result = _two_device_run("fcfs")
+        aggressor = result.device("aggressor")
+        # The aggressor's huge window forces walks: it must have queued.
+        assert aggressor.walker.requests > 0
+        assert aggressor.walker.busy_ns_total > 0.0
+
+    def test_result_round_trips_through_dict(self):
+        result = _two_device_run("rr")
+        rebuilt = ContentionResult.from_dict(result.as_dict())
+        assert rebuilt == result
+        assert rebuilt.as_dict() == result.as_dict()
+
+    def test_device_lookup_by_name(self):
+        result = _two_device_run("rr")
+        assert result.device("victim").name == "victim"
+        with pytest.raises(ValidationError):
+            result.device("nobody")
+
+
+class TestValidation:
+    def test_device_names_must_be_unique(self):
+        workload = build_workload("fixed", size=512, load_gbps=5.0)
+        devices = [
+            FabricDevice(workload=workload, packets=10, name="twin"),
+            FabricDevice(workload=workload, packets=10, name="twin"),
+        ]
+        with pytest.raises(ValidationError):
+            FabricSimulator(devices)
+
+    def test_weights_must_match_device_count(self):
+        workload = build_workload("fixed", size=512, load_gbps=5.0)
+        devices = [FabricDevice(workload=workload, packets=10)]
+        with pytest.raises(ValidationError):
+            FabricSimulator(
+                devices, FabricConfig(arbiter="wrr", weights=(1.0, 2.0))
+            )
+
+    def test_weights_require_the_wrr_arbiter(self):
+        with pytest.raises(ValidationError):
+            FabricConfig(arbiter="rr", weights=(1.0, 2.0))
+
+    def test_unknown_arbiter_rejected(self):
+        with pytest.raises(ValidationError):
+            FabricConfig(arbiter="lottery")
+
+    def test_empty_fabric_rejected(self):
+        with pytest.raises(ValidationError):
+            FabricSimulator([])
+
+    def test_shared_host_rejects_mixed_cache_states(self):
+        fabric = FabricConfig()
+        configs = [
+            NicHostConfig(system=fabric.system, payload_cache_state="host_warm"),
+            NicHostConfig(system=fabric.system, payload_cache_state="cold"),
+        ]
+        with pytest.raises(ValidationError):
+            SharedHost(fabric, configs, [512, 512], seed=1)
+
+    def test_shared_host_couplings_use_disjoint_regions(self):
+        fabric = FabricConfig(iommu_enabled=True)
+        configs = [
+            NicHostConfig(
+                system=fabric.system,
+                iommu_enabled=True,
+                payload_window=256 * KIB,
+            )
+            for _ in range(2)
+        ]
+        shared = SharedHost(fabric, configs, [256, 256], seed=3)
+        first, second = shared.couplings
+        assert (
+            second.payload_buffer.base_address
+            - first.payload_buffer.base_address
+            == DEVICE_ADDRESS_STRIDE
+        )
+        # Both couplings share one host, one payload root complex and one
+        # descriptor root complex — that is the whole point.
+        assert first.host is second.host
+        assert first.payload_rc is second.payload_rc
+        assert first.descriptor_rc is second.descriptor_rc
