@@ -3,7 +3,9 @@
 from .bandwidth import bw_rd, bw_rdwr, bw_wr, run_bandwidth_benchmark
 from .contention import (
     CONTENTION_KIND,
+    FOUR_DEVICE_NAMES,
     ContentionParams,
+    four_device_mix,
     noisy_neighbour_pair,
     run_contention_benchmark,
     solo_device_params,
@@ -41,7 +43,9 @@ __all__ = [
     "NicSimParams",
     "run_nicsim_benchmark",
     "CONTENTION_KIND",
+    "FOUR_DEVICE_NAMES",
     "ContentionParams",
+    "four_device_mix",
     "noisy_neighbour_pair",
     "run_contention_benchmark",
     "solo_device_params",

@@ -23,7 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from ..errors import ValidationError
-from ..sim.engine import ARBITER_SCHEMES
 from ..sim.fabric import (
     ContentionResult,
     FabricConfig,
@@ -31,7 +30,7 @@ from ..sim.fabric import (
     FabricSimulator,
 )
 from ..sim.iommu import SUPPORTED_PAGE_SIZES
-from ..sim.profiles import get_profile
+from ..sim.topology import FabricTopology
 from ..units import KIB, MIB, format_size
 from ..workloads import build_flow_model, build_workload
 from .nicsim import NicSimParams
@@ -75,6 +74,43 @@ def noisy_neighbour_pair(
     return victim, aggressor
 
 
+def four_device_mix(
+    *,
+    victim_packets: int = 600,
+    aggressor_packets: int = 5000,
+) -> tuple[NicSimParams, NicSimParams, NicSimParams, NicSimParams]:
+    """A four-device shared-host mix: the fabric beyond the canonical pair.
+
+    The :func:`noisy_neighbour_pair` victim and bulk aggressor joined by
+    two mid-rate neighbours — a second (smaller-window) IMIX bulk device
+    and a steady 1024 B streamer — so suite scenarios and invariant grids
+    exercise N > 2 devices: four upstream queues per arbiter, four
+    address regions in the shared IOTLB, four-way cache pressure.
+    """
+    victim, aggressor = noisy_neighbour_pair(
+        victim_packets=victim_packets, aggressor_packets=aggressor_packets
+    )
+    bulk2 = NicSimParams(
+        model="kernel",
+        workload="imix",
+        packets=max(1, aggressor_packets // 2),
+        payload_window=16 * MIB,
+    )
+    streamer = NicSimParams(
+        model="dpdk",
+        workload="fixed",
+        packet_size=1024,
+        offered_load_gbps=10.0,
+        packets=victim_packets,
+        payload_window=1 * MIB,
+    )
+    return victim, aggressor, bulk2, streamer
+
+
+#: Device labels of :func:`four_device_mix`, in order.
+FOUR_DEVICE_NAMES = ("victim", "aggressor", "bulk2", "streamer")
+
+
 @dataclass(frozen=True)
 class ContentionParams:
     """Complete description of one shared-host contention run.
@@ -89,8 +125,22 @@ class ContentionParams:
             defaults to ``dev0..devN-1``.
         system: Table 1 profile of the shared host.
         iommu_enabled / iommu_page_size: shared IOMMU settings.
-        arbiter: upstream arbitration scheme (``fcfs``, ``rr``, ``wrr``).
-        weights: per-device service weights for ``wrr``.
+        arbiter: arbitration scheme applied at every fabric node
+            (``fcfs``, ``rr``, ``wrr``, ``age``, ``sliced``).
+        weights: per-device service weights for the weighted schemes
+            (``wrr``/``age``/``sliced``).
+        topology: fabric tree as a compact spec string, e.g.
+            ``"victim=root,aggressor=sw0,sw0=root"`` (devices → N-port
+            switches → root port); ``None`` is the flat topology with
+            every device directly on the root port.
+        quantum_ns: preemptible service quantum of the ``sliced``
+            arbiter (``None`` uses the engine default).
+        ddio_partition: per-device DDIO/LLC capacity shares; ``None``
+            keeps the shared aggregate residency.
+        cache_model: ``"statistical"`` (default) or ``"faithful"`` — the
+            line-accurate set-associative cache, warmed over each
+            device's real address regions (per-owner DDIO *way* budgets
+            when combined with ``ddio_partition``; O(window) to warm).
         seed: run seed (``None`` uses the library default).
     """
 
@@ -101,6 +151,10 @@ class ContentionParams:
     iommu_page_size: int = 4 * KIB
     arbiter: str = "fcfs"
     weights: tuple[float, ...] | None = None
+    topology: str | None = None
+    quantum_ns: float | None = None
+    ddio_partition: tuple[float, ...] | None = None
+    cache_model: str = "statistical"
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -118,17 +172,10 @@ class ContentionParams:
                     "fabric owns the host — leave the device's host half "
                     "empty (system=None)"
                 )
-        profile = get_profile(self.system)
-        object.__setattr__(self, "system", profile.name)
         if self.iommu_page_size not in SUPPORTED_PAGE_SIZES:
             raise ValidationError(
                 f"iommu_page_size must be one of {SUPPORTED_PAGE_SIZES}, "
                 f"got {self.iommu_page_size}"
-            )
-        if self.arbiter not in ARBITER_SCHEMES:
-            raise ValidationError(
-                f"unknown arbitration scheme {self.arbiter!r}; valid: "
-                + ", ".join(ARBITER_SCHEMES)
             )
         if self.names is not None:
             names = tuple(str(name) for name in self.names)
@@ -140,23 +187,49 @@ class ContentionParams:
             if len(set(names)) != len(names):
                 raise ValidationError(f"device names must be unique: {names}")
             object.__setattr__(self, "names", names)
-        if self.weights is not None:
-            if self.arbiter != "wrr":
-                raise ValidationError(
-                    f"arbitration weights require the wrr arbiter; the "
-                    f"{self.arbiter!r} scheme ignores them"
-                )
-            weights = tuple(float(weight) for weight in self.weights)
-            if len(weights) != len(self.devices):
+        # Delegate the fabric-half validation (profile, arbiter scheme,
+        # weight/quantum scheme compatibility and positivity, topology
+        # grammar, partition-share positivity, cache model) to the
+        # FabricConfig these parameters will construct at run time — one
+        # source of truth — and keep only the device-count-dependent
+        # rules here, which FabricConfig cannot know.
+        fabric = self._fabric_config()
+        object.__setattr__(self, "system", fabric.system)
+        if fabric.weights is not None:
+            if len(fabric.weights) != len(self.devices):
                 raise ValidationError(
                     f"need one weight per device ({len(self.devices)}), "
-                    f"got {len(weights)}"
+                    f"got {len(fabric.weights)}"
                 )
-            if any(weight <= 0 for weight in weights):
+            object.__setattr__(self, "weights", fabric.weights)
+        if self.quantum_ns is not None:
+            object.__setattr__(self, "quantum_ns", float(self.quantum_ns))
+        if fabric.topology is not None:
+            # The leaves must be exactly this run's devices; pin the
+            # canonical spec spelling.
+            fabric.topology.validate_devices(self.device_names())
+            object.__setattr__(self, "topology", fabric.topology.spec())
+        if fabric.ddio_partition is not None:
+            if len(fabric.ddio_partition) != len(self.devices):
                 raise ValidationError(
-                    f"arbitration weights must be positive, got {weights}"
+                    f"need one ddio_partition share per device "
+                    f"({len(self.devices)}), got {len(fabric.ddio_partition)}"
                 )
-            object.__setattr__(self, "weights", weights)
+            object.__setattr__(self, "ddio_partition", fabric.ddio_partition)
+
+    def _fabric_config(self) -> FabricConfig:
+        """The runtime fabric these parameters describe (also validates)."""
+        return FabricConfig(
+            system=self.system,
+            iommu_enabled=self.iommu_enabled,
+            iommu_page_size=self.iommu_page_size,
+            arbiter=self.arbiter,
+            weights=self.weights,
+            topology=self.topology,
+            quantum_ns=self.quantum_ns,
+            ddio_partition=self.ddio_partition,
+            cache_model=self.cache_model,
+        )
 
     @property
     def kind(self) -> str:
@@ -185,6 +258,18 @@ class ContentionParams:
             parts.append(
                 "weights=" + ":".join(f"{weight:g}" for weight in self.weights)
             )
+        if self.topology is not None:
+            depth = FabricTopology.parse(self.topology).depth()
+            parts.append(f"topology=depth{depth}")
+        if self.quantum_ns is not None:
+            parts.append(f"quantum={self.quantum_ns:g}ns")
+        if self.ddio_partition is not None:
+            parts.append(
+                "ddio="
+                + ":".join(f"{share:g}" for share in self.ddio_partition)
+            )
+        if self.cache_model != "statistical":
+            parts.append(f"cache={self.cache_model}")
         if self.iommu_enabled:
             parts.append(f"iommu({format_size(self.iommu_page_size)} pages)")
         for name, device in zip(self.device_names(), self.devices):
@@ -197,7 +282,12 @@ class ContentionParams:
         return " ".join(parts)
 
     def as_dict(self) -> dict[str, object]:
-        """Serialisable representation of the parameters."""
+        """Serialisable representation of the parameters.
+
+        The topology/quantum/partition keys are emitted only when they
+        differ from the flat-fabric defaults, so records written before
+        those knobs existed round-trip unchanged.
+        """
         record: dict[str, object] = {
             "kind": CONTENTION_KIND,
             "system": self.system,
@@ -210,6 +300,14 @@ class ContentionParams:
         }
         if self.names is not None:
             record["names"] = list(self.names)
+        if self.topology is not None:
+            record["topology"] = self.topology
+        if self.quantum_ns is not None:
+            record["quantum_ns"] = self.quantum_ns
+        if self.ddio_partition is not None:
+            record["ddio_partition"] = list(self.ddio_partition)
+        if self.cache_model != "statistical":
+            record["cache_model"] = self.cache_model
         return record
 
     @classmethod
@@ -221,6 +319,9 @@ class ContentionParams:
         )
         names = data.get("names")
         weights = data.get("weights")
+        topology = data.get("topology")
+        quantum = data.get("quantum_ns")
+        partition = data.get("ddio_partition")
         return cls(
             devices=devices,
             names=None if names is None else tuple(names),  # type: ignore[arg-type]
@@ -229,6 +330,12 @@ class ContentionParams:
             iommu_page_size=int(data.get("iommu_page_size", 4 * KIB)),  # type: ignore[arg-type]
             arbiter=str(data.get("arbiter", "fcfs")),
             weights=None if weights is None else tuple(weights),  # type: ignore[arg-type]
+            topology=None if topology is None else str(topology),
+            quantum_ns=None if quantum is None else float(quantum),  # type: ignore[arg-type]
+            ddio_partition=(
+                None if partition is None else tuple(partition)  # type: ignore[arg-type]
+            ),
+            cache_model=str(data.get("cache_model", "statistical")),
             seed=data.get("seed"),  # type: ignore[arg-type]
         )
 
@@ -302,13 +409,7 @@ def run_contention_benchmark(params: ContentionParams) -> ContentionResult:
     seed = params.seed
     if len(params.devices) == 1 and params.devices[0].seed is not None:
         seed = params.devices[0].seed
-    fabric = FabricConfig(
-        system=params.system,
-        iommu_enabled=params.iommu_enabled,
-        iommu_page_size=params.iommu_page_size,
-        arbiter=params.arbiter,
-        weights=params.weights,
-    )
+    fabric = params._fabric_config()
     devices = [
         _fabric_device(device, name)
         for device, name in zip(params.devices, params.device_names())

@@ -23,7 +23,9 @@ from ..sim.host import HostSystem
 from ..sim.nicsim import NicSimResult
 from .bandwidth import run_bandwidth_benchmark
 from .contention import (
+    FOUR_DEVICE_NAMES,
     ContentionParams,
+    four_device_mix,
     noisy_neighbour_pair,
     run_contention_benchmark,
 )
@@ -283,13 +285,16 @@ def contention_suite_params(
     One noisy-neighbour pair (the canonical victim/aggressor devices of
     :func:`~repro.bench.contention.noisy_neighbour_pair`, shared IOMMU)
     per arbitration scheme, with the ``wrr`` entry weighted 8:1 in the
-    victim's favour — small enough to ride along the classic suite,
-    broad enough to exercise every scheme.
+    victim's favour, plus two four-device scenarios (the
+    :func:`~repro.bench.contention.four_device_mix`): a weighted flat
+    fabric and a switch-tree topology with the victim on its own root
+    port — small enough to ride along the classic suite, broad enough to
+    exercise every scheme and N > 2 devices.
     """
     victim, aggressor = noisy_neighbour_pair(
         victim_packets=packets, aggressor_packets=8 * packets
     )
-    return [
+    scenarios = [
         ContentionParams(
             devices=(victim, aggressor),
             names=("victim", "aggressor"),
@@ -300,3 +305,30 @@ def contention_suite_params(
         )
         for arbiter in arbiters
     ]
+    quad = four_device_mix(
+        victim_packets=packets, aggressor_packets=4 * packets
+    )
+    scenarios.append(
+        ContentionParams(
+            devices=quad,
+            names=FOUR_DEVICE_NAMES,
+            system=system,
+            iommu_enabled=True,
+            arbiter="wrr",
+            weights=(8.0, 1.0, 2.0, 2.0),
+        )
+    )
+    scenarios.append(
+        ContentionParams(
+            devices=quad,
+            names=FOUR_DEVICE_NAMES,
+            system=system,
+            iommu_enabled=True,
+            arbiter="fcfs",
+            topology=(
+                "victim=root,aggressor=sw0,bulk2=sw0,"
+                "streamer=sw1,sw0=root,sw1=root"
+            ),
+        )
+    )
+    return scenarios

@@ -17,7 +17,11 @@ Examples::
     pcie-bench contend --iommu --arbiter wrr --weights 8:1 --solo-baseline
     pcie-bench contend --device name=victim,model=dpdk,load=5 \\
         --device name=aggressor,workload=imix --iommu --arbiter rr
+    pcie-bench contend --iommu --topology victim=root,aggressor=sw0,sw0=root
+    pcie-bench contend --iommu --arbiter sliced --quantum 16 --weights 8:1
+    pcie-bench contend --iommu --ddio-partition 3:1
     pcie-bench experiment figure-10-contention
+    pcie-bench experiment figure-11-topology
     pcie-bench experiment figure-8-sim
     pcie-bench experiment figure-7-9-sim
     pcie-bench experiment figure-9
@@ -46,7 +50,7 @@ from .bench.params import BenchmarkKind, BenchmarkParams
 from .bench.runner import BenchmarkRunner, full_suite_params
 from .core.model import PCIeModel
 from .core.nic import FIGURE1_MODELS, model_by_name
-from .errors import ReproError, ValidationError
+from .errors import ReproError, UsageError, ValidationError
 from .experiments.registry import experiment_ids, run_all, run_experiment
 from .sim.engine import ARBITER_SCHEMES
 from .sim.nicsim import cross_validate
@@ -179,12 +183,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     contend.add_argument(
         "--arbiter", default="fcfs", choices=list(ARBITER_SCHEMES),
-        help="upstream arbitration over per-device queues: fcfs (no "
-        "arbitration), rr (round-robin) or wrr (weighted)",
+        help="arbitration at every fabric node: fcfs (no arbitration), rr "
+        "(round-robin), wrr (weighted), age (weighted aging) or sliced "
+        "(preemptible wrr quanta)",
     )
     contend.add_argument(
         "--weights", default=None,
-        help="per-device wrr weights, colon-separated (e.g. 8:1)",
+        help="per-device weights for wrr/age/sliced, colon-separated "
+        "(e.g. 8:1)",
+    )
+    contend.add_argument(
+        "--topology", default=None,
+        metavar="CHILD=PARENT[,...]",
+        help="fabric tree: device and switch attachments, e.g. "
+        "'victim=root,aggressor=sw0,sw0=root' (default: every device "
+        "directly on the root port)",
+    )
+    contend.add_argument(
+        "--quantum", type=float, default=None, metavar="NS",
+        help="service quantum of the sliced arbiter in ns "
+        "(default: the engine's quantum)",
+    )
+    contend.add_argument(
+        "--ddio-partition", default=None, nargs="?", const="equal",
+        metavar="SHARES",
+        help="give each device a private slice of the DDIO/LLC capacity: "
+        "'equal' (the bare flag) or colon-separated shares (e.g. 3:1); "
+        "default: one shared aggregate residency",
+    )
+    contend.add_argument(
+        "--cache-model", default="statistical",
+        choices=["statistical", "faithful"],
+        help="cache substrate: the fast statistical occupancy model, or "
+        "the line-accurate set-associative cache (real per-owner DDIO "
+        "way budgets with --ddio-partition; slow to warm beyond a few "
+        "MiB of window)",
     )
     contend.add_argument("--seed", type=int, default=None)
     contend.add_argument(
@@ -437,6 +470,36 @@ def _cmd_contend(args: argparse.Namespace) -> int:
                 f"--weights must be colon-separated numbers (e.g. 8:1), "
                 f"got {args.weights!r}"
             ) from exc
+        if len(weights) != len(devices):
+            raise UsageError(
+                f"--weights names {len(weights)} "
+                f"weight{'s' if len(weights) != 1 else ''} "
+                f"({args.weights}) but the run has {len(devices)} devices "
+                f"({', '.join(names)}); pass one colon-separated weight "
+                "per device, e.g. "
+                + ":".join("1" for _ in names)
+            )
+    ddio_partition = None
+    if args.ddio_partition is not None:
+        text = args.ddio_partition.strip().lower()
+        if text == "equal":
+            ddio_partition = (1.0,) * len(devices)
+        else:
+            try:
+                ddio_partition = tuple(
+                    float(part) for part in text.split(":") if part
+                )
+            except ValueError as exc:
+                raise ValidationError(
+                    f"--ddio-partition must be 'equal' or colon-separated "
+                    f"shares (e.g. 3:1), got {args.ddio_partition!r}"
+                ) from exc
+            if len(ddio_partition) != len(devices):
+                raise UsageError(
+                    f"--ddio-partition names {len(ddio_partition)} shares "
+                    f"({args.ddio_partition}) but the run has "
+                    f"{len(devices)} devices ({', '.join(names)})"
+                )
     params = ContentionParams(
         devices=devices,
         names=names,
@@ -445,6 +508,10 @@ def _cmd_contend(args: argparse.Namespace) -> int:
         iommu_page_size=parse_size(args.iommu_pagesize),
         arbiter=args.arbiter,
         weights=weights,
+        topology=args.topology,
+        quantum_ns=args.quantum,
+        ddio_partition=ddio_partition,
+        cache_model=args.cache_model,
         seed=args.seed,
     )
     print(params.label(), file=sys.stderr)

@@ -20,6 +20,15 @@ class ValidationError(ConfigurationError):
     """A parameter value is out of range or inconsistent with other values."""
 
 
+class UsageError(ConfigurationError):
+    """A command-line invocation is inconsistent (bad flag combinations).
+
+    Raised by the CLI layer for mistakes best explained in terms of the
+    flags the user typed (e.g. ``--weights 8:1`` with three ``--device``
+    entries), before they can surface as a confusing library-level error.
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 

@@ -1,0 +1,295 @@
+"""Figure 11 (new): what fabric *structure* buys a noisy-neighbour victim.
+
+Figure 10 showed the shared-host noisy-neighbour effect and weighted
+arbitration as a scheduling cure.  This experiment exercises the three
+*structural* cures the topology-graph fabric adds, against the same
+canonical victim/aggressor pair:
+
+* **Placement.**  Behind a switch shared with the aggressor, the victim
+  queues against the aggressor's whole per-port backlog (and pays the
+  extra store-and-forward hop) — the degradation matches the flat fcfs
+  collapse.  On its *own root port*, with the aggressor behind a
+  credit-flow-controlled switch, at most one aggressor request is ever
+  pending at the root: the victim's degradation all but vanishes even
+  under fcfs, no weights needed.
+* **DDIO way partitioning.**  In the shared-cache regime the aggressor's
+  64 MiB window squeezes the victim's descriptor rings out of the LLC
+  (ring hit rates collapse to the aggregate residency).  Giving each
+  device its own capacity slice restores the victim's descriptor-ring
+  hit rate to its solo value — cache isolation orthogonal to
+  arbitration.
+* **Grant slicing.**  Non-preemptive wrr still makes a victim request
+  wait out a full in-flight bulk grant; the ``sliced`` scheme preempts
+  grants at quantum boundaries, bounding the victim's added latency to
+  about two quanta.  A controlled single-resource microbench pins the
+  bound exactly; the full datapath shows the same ordering.
+
+A depth-1 sanity check pins the compile contract: an *explicit* flat
+topology spec reproduces the implicit flat fabric bit for bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from ..bench.contention import (
+    ContentionParams,
+    noisy_neighbour_pair,
+    run_contention_benchmark,
+    solo_device_params,
+)
+from ..bench.nicsim import NicSimParams, run_nicsim_benchmark
+from ..sim.engine import ArbitratedResource
+from ..sim.fabric import ContentionResult
+from .base import Check, ExperimentResult
+
+EXPERIMENT_ID = "figure-11-topology"
+TITLE = (
+    "Composable fabric topologies: switch placement, DDIO way "
+    "partitioning and preemptive grant slicing as structural cures for "
+    "the noisy neighbour"
+)
+
+#: Shared host; the IOMMU must be on so both devices share IOTLB + walker.
+SYSTEM = "NFP6000-HSW"
+#: Service quantum of the sliced-arbitration scenarios (ns).
+QUANTUM_NS = 16.0
+#: wrr/sliced weights: victim over aggressor.
+WEIGHTS = (8.0, 1.0)
+#: The victim+aggressor behind one shared switch (worst placement).
+SHARED_SWITCH = "victim=sw0,aggressor=sw0,sw0=root"
+#: The victim on its own root port, aggressor behind a switch.
+OWN_PORT = "victim=root,aggressor=sw0,sw0=root"
+#: Explicit spelling of the flat (depth-1) topology.
+FLAT_SPEC = "victim=root,aggressor=root"
+#: Descriptor-ring hit rates must return to within this of solo (b).
+RING_HIT_TOLERANCE = 0.05
+
+
+def _devices(quick: bool) -> tuple[NicSimParams, NicSimParams]:
+    return noisy_neighbour_pair(
+        victim_packets=600 if quick else 1200,
+        aggressor_packets=5000 if quick else 10000,
+    )
+
+
+def _params(quick: bool, **changes: object) -> ContentionParams:
+    victim, aggressor = _devices(quick)
+    return ContentionParams(
+        devices=(victim, aggressor),
+        names=("victim", "aggressor"),
+        system=SYSTEM,
+        iommu_enabled=True,
+        arbiter="fcfs",
+    ).with_(**changes)
+
+
+def _worst_victim_wait(scheme: str, quantum_ns: float | None) -> float:
+    """Worst-case victim queueing delay on one saturated arbitrated port.
+
+    A controlled microbench: a bulk aggressor keeps the resource 100%
+    busy with long (100 ns) grants in a closed loop, while a sparse
+    victim submits one short request at a time at awkward phases (just
+    after a bulk grant started).  Returns the victim's ``wait_ns_max``:
+    under non-preemptive schemes it approaches the full bulk service
+    time, under ``sliced`` it is bounded by about two quanta.
+    """
+    pending: list[tuple[float, int, Callable[[float], None]]] = []
+    sequence = 0
+
+    def at(time: float, fn: Callable[[float], None]) -> None:
+        nonlocal sequence
+        heapq.heappush(pending, (time, sequence, fn))
+        sequence += 1
+
+    resource = ArbitratedResource(
+        "fig11.microbench",
+        2,
+        schedule=at,
+        scheme=scheme,
+        weights=WEIGHTS,
+        quantum_ns=quantum_ns,
+    )
+    bulk_service = 100.0
+    horizon = 20_000.0
+
+    def bulk(start: float) -> None:
+        completion = start + bulk_service
+        if completion < horizon:
+            at(
+                completion,
+                lambda now: resource.request(1, now, bulk_service, bulk),
+            )
+
+    resource.request(1, 0.0, bulk_service, bulk)
+    # One victim request at a time, each arriving 1 ns after a fresh bulk
+    # grant would have started — the worst phase for a non-preemptive
+    # scheme.
+    for arrival in range(40):
+        at(
+            float(arrival) * 500.0 + 1.0,
+            lambda now: resource.request(0, now, 10.0, lambda start: None),
+        )
+    while pending:
+        time, _, fn = heapq.heappop(pending)
+        fn(time)
+    return resource.stats[0].wait_ns_max
+
+
+def _victim(result: ContentionResult):
+    return result.device("victim")
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    """Contend the pair across fabric shapes; check the structural cures."""
+    base = _params(quick)
+
+    solo_results = {
+        name: run_nicsim_benchmark(solo_device_params(base, index))
+        for index, name in enumerate(base.device_names())
+    }
+    solo_victim = solo_results["victim"]
+    assert solo_victim.tx.latency is not None
+    assert solo_victim.host is not None
+    solo_p99 = solo_victim.tx.latency.p99
+    solo_ring_hit = solo_victim.host.descriptor_cache_hit_rate
+
+    scenarios: dict[str, ContentionParams] = {
+        "flat fcfs (shared cache)": base,
+        "shared switch": base.with_(topology=SHARED_SWITCH),
+        "own root port": base.with_(topology=OWN_PORT),
+        "flat fcfs + DDIO partition": base.with_(ddio_partition=(1.0, 1.0)),
+        "flat wrr 8:1": base.with_(arbiter="wrr", weights=WEIGHTS),
+        "flat sliced 8:1": base.with_(
+            arbiter="sliced", weights=WEIGHTS, quantum_ns=QUANTUM_NS
+        ),
+    }
+    contended = {
+        label: run_contention_benchmark(params)
+        for label, params in scenarios.items()
+    }
+
+    # Depth-1 contract: the explicit flat spec is the implicit flat run.
+    explicit_flat = run_contention_benchmark(base.with_(topology=FLAT_SPEC))
+
+    def p99_degradation(label: str) -> float:
+        victim = _victim(contended[label]).result
+        assert victim.tx.latency is not None
+        return (victim.tx.latency.p99 - solo_p99) / solo_p99
+
+    shared_switch_deg = p99_degradation("shared switch")
+    own_port_deg = p99_degradation("own root port")
+
+    def ring_hit(label: str) -> float:
+        host = _victim(contended[label]).result.host
+        assert host is not None
+        return host.descriptor_cache_hit_rate
+
+    shared_ring_hit = ring_hit("flat fcfs (shared cache)")
+    partitioned_ring_hit = ring_hit("flat fcfs + DDIO partition")
+
+    def worst_fabric_wait(label: str) -> float:
+        victim = _victim(contended[label])
+        assert victim.ingress is not None and victim.walker is not None
+        return max(victim.ingress.wait_ns_max, victim.walker.wait_ns_max)
+
+    wrr_wait = _worst_victim_wait("wrr", None)
+    sliced_wait = _worst_victim_wait("sliced", QUANTUM_NS)
+
+    checks = [
+        Check(
+            "Moving the victim behind its own root port (aggressor behind "
+            "a credit-flow-controlled switch) removes at least half of the "
+            "shared-switch p99 degradation, with no weighting at all",
+            shared_switch_deg >= 0.10
+            and own_port_deg <= shared_switch_deg / 2,
+            f"p99 degradation vs solo: shared switch "
+            f"{shared_switch_deg * 100:+.0f}%, own root port "
+            f"{own_port_deg * 100:+.0f}%",
+        ),
+        Check(
+            "DDIO way partitioning restores the victim's descriptor-ring "
+            f"hit rate to within {RING_HIT_TOLERANCE * 100:.0f}% of solo",
+            abs(partitioned_ring_hit - solo_ring_hit) <= RING_HIT_TOLERANCE,
+            f"solo {solo_ring_hit:.3f} -> partitioned "
+            f"{partitioned_ring_hit:.3f}",
+        ),
+        Check(
+            "... while the shared-cache run does not: the aggregate "
+            "payload pressure evicts the victim's rings",
+            abs(shared_ring_hit - solo_ring_hit) > RING_HIT_TOLERANCE,
+            f"solo {solo_ring_hit:.3f} -> shared {shared_ring_hit:.3f}",
+        ),
+        Check(
+            "Grant slicing bounds the victim's added latency to <= 2 "
+            "quanta under a saturating bulk aggressor (single-resource "
+            "microbench), where non-preemptive wrr makes it wait out the "
+            "full bulk grant",
+            sliced_wait <= 2 * QUANTUM_NS < wrr_wait,
+            f"worst victim wait: wrr {wrr_wait:.1f} ns, sliced "
+            f"{sliced_wait:.1f} ns (quantum {QUANTUM_NS:g} ns)",
+        ),
+        Check(
+            "The same ordering holds end to end: slicing lowers the "
+            "victim's worst arbitration wait below non-preemptive wrr in "
+            "the full datapath",
+            worst_fabric_wait("flat sliced 8:1")
+            < worst_fabric_wait("flat wrr 8:1"),
+            f"worst fabric wait: wrr {worst_fabric_wait('flat wrr 8:1'):.1f} "
+            f"ns, sliced {worst_fabric_wait('flat sliced 8:1'):.1f} ns",
+        ),
+        Check(
+            "Depth-1 contract: an explicit flat topology spec reproduces "
+            "the implicit flat fabric bit for bit",
+            explicit_flat == contended["flat fcfs (shared cache)"],
+            f"victim p99 {explicit_flat.device('victim').result.tx.latency.p99:.3f}"
+            " ns in both",
+        ),
+    ]
+
+    table_rows = []
+    for label, result in contended.items():
+        for device in result.devices:
+            nic = device.result
+            assert nic.tx.latency is not None
+            assert nic.host is not None
+            table_rows.append(
+                [
+                    f"{label}, {device.name}",
+                    result.topology_depth,
+                    nic.rx.throughput_gbps if nic.rx else nic.tx.throughput_gbps,
+                    nic.tx.latency.p99,
+                    nic.host.descriptor_cache_hit_rate,
+                    device.walker.wait_ns_max if device.walker else 0.0,
+                ]
+            )
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        table_headers=[
+            "scenario",
+            "depth",
+            "delivered (Gb/s)",
+            "TX p99 (ns)",
+            "ring hit rate",
+            "max walker wait (ns)",
+        ],
+        table_rows=table_rows,
+        checks=checks,
+        notes=[
+            "Same canonical victim/aggressor pair as figure-10 (DPDK "
+            "512 B at 5 Gb/s, 12 tags, 256 KiB window vs saturating "
+            "kernel IMIX over 64 MiB), shared host with the IOMMU on.",
+            "Switch upstream links carry one credit: a request may only "
+            "be pending at the parent once the previous one's root-level "
+            "service completed.  That is why a switch in front of the "
+            "aggressor isolates the victim even under fcfs — the backlog "
+            "stays inside the aggressor's own switch.",
+            "The slicing microbench drives one arbitrated port directly "
+            "(bulk 100 ns grants in a closed loop, sparse 10 ns victim "
+            "requests at worst-case phases), so the <= 2-quantum bound "
+            "is asserted without datapath self-queueing noise.",
+        ],
+    )

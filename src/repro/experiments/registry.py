@@ -26,6 +26,7 @@ from . import (
     fig8_sim,
     fig9_iommu,
     fig10_contention,
+    fig11_topology,
     table1_systems,
     table2_findings,
 )
@@ -47,6 +48,7 @@ _MODULES: tuple[ModuleType, ...] = (
     fig8_sim,
     fig8_knee,
     fig10_contention,
+    fig11_topology,
     table1_systems,
     table2_findings,
 )

@@ -33,11 +33,24 @@ from __future__ import annotations
 import enum
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Callable, Protocol, Sequence
 
 from ..errors import ValidationError
 from ..units import CACHELINE_BYTES, MIB
 from .rng import SimRng
+
+
+def _check_partition_shares(shares: Sequence[float]) -> tuple[float, ...]:
+    """Validate and normalise per-partition capacity shares."""
+    values = tuple(float(share) for share in shares)
+    if len(values) < 2:
+        raise ValidationError(
+            f"a partition needs at least two shares, got {len(values)}"
+        )
+    if any(share <= 0 for share in values):
+        raise ValidationError(f"partition shares must be positive, got {values}")
+    total = sum(values)
+    return tuple(share / total for share in values)
 
 
 class CacheState(enum.Enum):
@@ -125,6 +138,14 @@ class SetAssociativeCache:
     may only allocate into ``ddio_ways`` of each set (mirroring how DDIO
     restricts write allocation to a subset of LLC ways), while host warming
     and device reads that hit keep lines in the general portion.
+
+    :meth:`partition_ddio` additionally splits the DDIO ways between
+    *owners* (devices sharing the cache, identified by a line-address
+    resolver): each owner's write allocations are confined to its own way
+    budget, so one device's bulk writes can only evict that device's own
+    DDIO lines — the isolation mechanism way-partitioned DDIO provides on
+    real uncores.  Unpartitioned caches behave exactly as before (one
+    owner holding every DDIO way).
     """
 
     def __init__(
@@ -153,14 +174,60 @@ class SetAssociativeCache:
         self._sets: list[OrderedDict[int, bool]] = [
             OrderedDict() for _ in range(self.sets)
         ]
-        # Lines allocated by device writes (the DDIO-occupancy accounting).
-        self._ddio_lines: list[set[int]] = [set() for _ in range(self.sets)]
+        # Lines allocated by device writes (the DDIO-occupancy accounting),
+        # per set and per DDIO-way partition; unpartitioned caches hold one
+        # partition owning every DDIO way.
+        self._ddio_budgets: tuple[int, ...] = (self.ddio_ways,)
+        self._ddio_owner: Callable[[int], int] | None = None
+        self._ddio_lines: list[list[set[int]]] = [
+            [set()] for _ in range(self.sets)
+        ]
         self.stats = CacheStats()
 
     @property
     def ddio_bytes(self) -> int:
         """Capacity available to DDIO write allocation."""
         return self.sets * self.ddio_ways * self.line_bytes
+
+    @property
+    def ddio_way_split(self) -> tuple[int, ...]:
+        """Per-partition DDIO way budgets (one entry when unpartitioned)."""
+        return self._ddio_budgets
+
+    def partition_ddio(
+        self, shares: Sequence[float], owner: Callable[[int], int]
+    ) -> None:
+        """Split the DDIO ways between owners resolved per line address.
+
+        Args:
+            shares: relative way shares, one per owner (normalised; every
+                owner is guaranteed at least one way).
+            owner: maps a line address to its owner index — typically the
+                device an address region belongs to.
+        """
+        normalised = _check_partition_shares(shares)
+        if len(normalised) > self.ddio_ways:
+            raise ValidationError(
+                f"cannot split {self.ddio_ways} DDIO ways between "
+                f"{len(normalised)} owners (each needs at least one way)"
+            )
+        budgets = [
+            max(1, int(self.ddio_ways * share)) for share in normalised
+        ]
+        # Trim the largest budgets until the split fits the DDIO ways.
+        while sum(budgets) > self.ddio_ways:
+            largest = max(range(len(budgets)), key=lambda i: (budgets[i], -i))
+            budgets[largest] -= 1
+        self._ddio_budgets = tuple(budgets)
+        self._ddio_owner = owner
+        self._ddio_lines = [
+            [set() for _ in budgets] for _ in range(self.sets)
+        ]
+
+    def _owner(self, line_address: int) -> int:
+        if self._ddio_owner is None:
+            return 0
+        return self._ddio_owner(line_address)
 
     def _set_index(self, line_address: int) -> int:
         return line_address % self.sets
@@ -188,10 +255,12 @@ class SetAssociativeCache:
             self.stats.write_hits += 1
             return CacheAccessResult(hit=True)
 
-        ddio_lines = self._ddio_lines[index]
+        part = self._owner(line_address)
+        ddio_lines = self._ddio_lines[index][part]
         writeback = False
-        if len(ddio_lines) >= self.ddio_ways:
-            # The DDIO portion of this set is full: evict its oldest line.
+        if len(ddio_lines) >= self._ddio_budgets[part]:
+            # The owner's DDIO portion of this set is full: evict its own
+            # oldest line (never a neighbouring partition's).
             victim = next(
                 (line for line in cache_set if line in ddio_lines), None
             )
@@ -217,15 +286,16 @@ class SetAssociativeCache:
             cache_set[line_address] = cache_set[line_address] or dirty
             return
         cache_set[line_address] = dirty
-        self._ddio_lines[index].discard(line_address)
+        self._ddio_lines[index][self._owner(line_address)].discard(line_address)
         self._evict_overflow(index)
 
     def thrash(self) -> None:
         """Empty the cache (the benchmark's default cold-cache preparation)."""
         for cache_set in self._sets:
             cache_set.clear()
-        for ddio in self._ddio_lines:
-            ddio.clear()
+        for partitions in self._ddio_lines:
+            for ddio in partitions:
+                ddio.clear()
 
     def prepare(self, state: CacheState, window_lines: int) -> None:
         """Prime the cache per the benchmark's cache-state parameter."""
@@ -242,10 +312,9 @@ class SetAssociativeCache:
 
     def _evict_overflow(self, index: int) -> None:
         cache_set = self._sets[index]
-        ddio_lines = self._ddio_lines[index]
         while len(cache_set) > self.ways:
             victim, dirty = cache_set.popitem(last=False)
-            ddio_lines.discard(victim)
+            self._ddio_lines[index][self._owner(victim)].discard(victim)
             if dirty:
                 self.stats.writebacks += 1
 
@@ -301,6 +370,13 @@ class StatisticalCache:
     exceeds that slice a write evicts (and must write back) a previously
     allocated dirty line with probability ``ddio_capacity / window``
     approaching one, reproducing the LAT_WRRD behaviour of Figure 7(a).
+
+    :meth:`partition` splits the modelled capacity into per-owner slices
+    routed by line address (the statistical counterpart of DDIO way
+    partitioning): each owner's residency and write-back probabilities
+    are computed against *its* slice and *its* window alone, so a bulk
+    neighbour's working set no longer dilutes a small owner's hit
+    probability.  Unpartitioned caches behave exactly as before.
     """
 
     def __init__(
@@ -327,6 +403,10 @@ class StatisticalCache:
         self._window_lines = 0
         self._resident_fraction = 0.0
         self._writeback_probability = 0.0
+        self._partition_shares: tuple[float, ...] | None = None
+        self._partition_of: Callable[[int], int] | None = None
+        self._partition_resident: list[float] = []
+        self._partition_writeback: list[float] = []
         self.stats = CacheStats()
 
     @property
@@ -351,6 +431,62 @@ class StatisticalCache:
         """Probability that a window line is resident (inspection helper)."""
         return self._resident_fraction
 
+    @property
+    def partitions(self) -> int:
+        """Number of capacity partitions (0 when unpartitioned)."""
+        return 0 if self._partition_shares is None else len(self._partition_shares)
+
+    def partition(
+        self, shares: Sequence[float], owner: Callable[[int], int]
+    ) -> None:
+        """Split the modelled capacity into per-owner slices.
+
+        Args:
+            shares: relative capacity shares, one per owner (normalised).
+            owner: maps a line address to its owner index.
+
+        Partitions start cold; prime each with :meth:`prepare_partition`.
+        A later plain :meth:`prepare` returns the model to its single
+        shared window.
+        """
+        self._partition_shares = _check_partition_shares(shares)
+        self._partition_of = owner
+        count = len(self._partition_shares)
+        self._partition_resident = [0.0] * count
+        self._partition_writeback = [0.0] * count
+
+    def prepare_partition(
+        self, index: int, state: CacheState | str, window_lines: int
+    ) -> None:
+        """Prime one partition for an owner touching ``window_lines`` lines."""
+        if self._partition_shares is None:
+            raise ValidationError(
+                "partition the cache before preparing a partition"
+            )
+        if not 0 <= index < len(self._partition_shares):
+            raise ValidationError(
+                f"partition index must be within "
+                f"[0, {len(self._partition_shares)}), got {index}"
+            )
+        if window_lines <= 0:
+            raise ValidationError(
+                f"window_lines must be positive, got {window_lines}"
+            )
+        state = CacheState.from_value(state)
+        share = self._partition_shares[index]
+        capacity_lines = max(1, int(self.llc_lines * share))
+        ddio_lines = max(1, int(self.ddio_lines * share))
+        if state is CacheState.COLD:
+            resident = 0.0
+        elif state is CacheState.HOST_WARM:
+            resident = min(1.0, capacity_lines / window_lines)
+        else:  # DEVICE_WARM
+            resident = min(1.0, ddio_lines / window_lines)
+        self._partition_resident[index] = resident
+        self._partition_writeback[index] = max(
+            0.0, 1.0 - ddio_lines / window_lines
+        )
+
     def prepare(self, state: CacheState, window_lines: int) -> None:
         """Prime the model for a benchmark touching ``window_lines`` lines."""
         if window_lines <= 0:
@@ -358,6 +494,10 @@ class StatisticalCache:
                 f"window_lines must be positive, got {window_lines}"
             )
         state = CacheState.from_value(state)
+        # A plain preparation reverts to the single shared window; the
+        # partitioned state is per-benchmark, not per-cache-lifetime.
+        self._partition_shares = None
+        self._partition_of = None
         self._window_lines = window_lines
         if state is CacheState.COLD:
             self._resident_fraction = 0.0
@@ -370,9 +510,20 @@ class StatisticalCache:
         # evicts a dirty DDIO line that must be written back first (§6.3).
         self._writeback_probability = max(0.0, 1.0 - self.ddio_lines / window_lines)
 
+    def _probabilities(self, line_address: int) -> tuple[float, float]:
+        """(resident, writeback) probabilities for a line's owner slice."""
+        if self._partition_of is None:
+            return self._resident_fraction, self._writeback_probability
+        index = self._partition_of(line_address)
+        return (
+            self._partition_resident[index],
+            self._partition_writeback[index],
+        )
+
     def read(self, line_address: int) -> CacheAccessResult:
-        """Device DMA read: hit with the current resident probability."""
-        hit = bool(self._random.random() < self._resident_fraction)
+        """Device DMA read: hit with the owner slice's resident probability."""
+        resident, _ = self._probabilities(line_address)
+        hit = bool(self._random.random() < resident)
         if hit:
             self.stats.read_hits += 1
         else:
@@ -381,7 +532,8 @@ class StatisticalCache:
 
     def write(self, line_address: int) -> CacheAccessResult:
         """Device DMA write: resident lines update in place, misses use DDIO."""
-        hit = bool(self._random.random() < self._resident_fraction)
+        resident, writeback_probability = self._probabilities(line_address)
+        hit = bool(self._random.random() < resident)
         if hit:
             self.stats.write_hits += 1
             return CacheAccessResult(hit=True)
@@ -389,7 +541,7 @@ class StatisticalCache:
         # Write allocation into the DDIO slice: when the benchmark window
         # exceeds the slice, allocations evict dirty DDIO lines which must be
         # written back to memory before the new write can complete.
-        writeback = bool(self._random.random() < self._writeback_probability)
+        writeback = bool(self._random.random() < writeback_probability)
         if writeback:
             self.stats.writebacks += 1
         return CacheAccessResult(hit=False, writeback_required=writeback, allocated=True)

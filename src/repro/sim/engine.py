@@ -13,8 +13,10 @@ in :mod:`repro.sim.nicsim`: :class:`TagPool` (bounded in-flight DMA tags
 granted through callbacks) and :class:`ArbitratedResource`, a serial
 resource shared by several *clients* (devices behind one PCIe switch or
 root port) whose pending requests are queued per client and dispatched by
-an arbitration scheme — first-come-first-served, round-robin or weighted —
-instead of the implicit call-order FIFO of :class:`SerialResource`.
+an arbitration scheme — first-come-first-served, round-robin, weighted,
+weighted-aging or preemptively sliced — instead of the implicit call-order
+FIFO of :class:`SerialResource`.  :mod:`repro.sim.topology` composes these
+per-port arbiters into switch trees.
 """
 
 from __future__ import annotations
@@ -204,7 +206,13 @@ class TagPool:
 
 
 #: Arbitration schemes :class:`ArbitratedResource` understands.
-ARBITER_SCHEMES = ("fcfs", "rr", "wrr")
+ARBITER_SCHEMES = ("fcfs", "rr", "wrr", "age", "sliced")
+
+#: The schemes whose grant order honours per-client weights.
+WEIGHTED_SCHEMES = ("wrr", "age", "sliced")
+
+#: Default service quantum of the ``"sliced"`` scheme (preemptible grants).
+DEFAULT_QUANTUM_NS = 16.0
 
 
 class ArbiterClientStats:
@@ -218,15 +226,24 @@ class ArbiterClientStats:
         requests: requests this client submitted.
         waited: grants that could not start at their request time.
         wait_ns_total: cumulative queueing delay across all grants.
+        wait_ns_max: worst single-grant queueing delay (the tail the
+            ``sliced`` scheme exists to bound).
         busy_ns_total: cumulative service time this client received.
     """
 
-    __slots__ = ("requests", "waited", "wait_ns_total", "busy_ns_total")
+    __slots__ = (
+        "requests",
+        "waited",
+        "wait_ns_total",
+        "wait_ns_max",
+        "busy_ns_total",
+    )
 
     def __init__(self) -> None:
         self.requests = 0
         self.waited = 0
         self.wait_ns_total = 0.0
+        self.wait_ns_max = 0.0
         self.busy_ns_total = 0.0
 
     @property
@@ -259,6 +276,22 @@ class ArbitratedResource:
       service falls behind, so its next request is served promptly — the
       protection a latency-sensitive victim needs against a bulk
       aggressor.
+    * ``"age"`` — weighted aging (a deadline-style scheme): grant the
+      pending request with the largest ``(now - asked) * weight``, ties
+      broken by client index.  With equal weights this serves the oldest
+      request like fcfs; weighting a latency-sensitive client effectively
+      shortens its deadline, so its requests overtake an aggressor's
+      backlog once they have aged a fraction ``1/weight`` as long.
+    * ``"sliced"`` — preemptible weighted fair service: pick order is
+      wrr's, but service is granted in quanta of ``quantum_ns``; a request
+      longer than one quantum is put back at the head of its queue with
+      the remainder, so a victim's request never waits behind more than
+      the in-flight *slice* of a bulk grant instead of its full service
+      time.  The grant callback fires when the final slice is dispatched
+      and receives the *virtual* start time ``completion - duration``, so
+      callers computing ``start + duration`` observe the true completion;
+      queueing accounting (``wait_*``) uses the same virtual start and
+      therefore includes preemption gaps.
 
     The class is event-driven: it needs a ``schedule(time, fn)`` hook (an
     event loop's ``at``) so it can wake itself when the in-flight grant's
@@ -266,8 +299,8 @@ class ArbitratedResource:
     callbacks; service for a grant occupies ``[start, start + duration)``.
 
     Determinism: grant order is a pure function of (request times, call
-    order, scheme, weights); same-time dispatch decisions use client index
-    as the final tie-break, so runs reproduce bit for bit.
+    order, scheme, weights, quantum); same-time dispatch decisions use
+    client index as the final tie-break, so runs reproduce bit for bit.
     """
 
     def __init__(
@@ -278,6 +311,7 @@ class ArbitratedResource:
         schedule: Callable[[float, Callable[[float], None]], None],
         scheme: str = "fcfs",
         weights: "tuple[float, ...] | None" = None,
+        quantum_ns: float | None = None,
     ) -> None:
         if clients <= 0:
             raise ValidationError(f"clients must be positive, got {clients}")
@@ -285,6 +319,17 @@ class ArbitratedResource:
             raise ValidationError(
                 f"unknown arbitration scheme {scheme!r}; "
                 f"valid: {', '.join(ARBITER_SCHEMES)}"
+            )
+        if scheme == "sliced":
+            if quantum_ns is None:
+                quantum_ns = DEFAULT_QUANTUM_NS
+            if quantum_ns <= 0:
+                raise ValidationError(
+                    f"quantum_ns must be positive, got {quantum_ns}"
+                )
+        elif quantum_ns is not None:
+            raise ValidationError(
+                f"quantum_ns only applies to the sliced scheme, not {scheme!r}"
             )
         if weights is None:
             weights = (1.0,) * clients
@@ -298,10 +343,14 @@ class ArbitratedResource:
         self.clients = clients
         self.scheme = scheme
         self.weights = tuple(float(weight) for weight in weights)
+        self.quantum_ns = None if quantum_ns is None else float(quantum_ns)
         self._schedule = schedule
-        self._queues: tuple[deque[tuple[float, int, float, Callable[[float], None]]], ...] = tuple(
-            deque() for _ in range(clients)
-        )
+        # Queue entries are (asked, sequence, remaining, grant, total):
+        # remaining == total except for a preempted slice remnant.
+        self._queues: tuple[
+            deque[tuple[float, int, float, Callable[[float], None], float]],
+            ...,
+        ] = tuple(deque() for _ in range(clients))
         self._sequence = 0
         self._busy_until = 0.0
         self._dispatch_pending = False
@@ -334,7 +383,9 @@ class ArbitratedResource:
             raise ValidationError(f"now must be non-negative, got {now}")
         if duration < 0:
             raise ValidationError(f"duration must be non-negative, got {duration}")
-        self._queues[client].append((now, self._sequence, duration, grant))
+        self._queues[client].append(
+            (now, self._sequence, duration, grant, duration)
+        )
         self._sequence += 1
         self.stats[client].requests += 1
         if not self._dispatch_pending and self._busy_until <= now:
@@ -342,7 +393,7 @@ class ArbitratedResource:
 
     # -- scheduling ------------------------------------------------------------
 
-    def _pick(self, eligible: list[int]) -> int:
+    def _pick(self, eligible: list[int], now: float) -> int:
         """Choose the next client to serve among those with arrived requests."""
         if self.scheme == "fcfs":
             # Globally oldest request; the per-client queues are FIFO, so
@@ -357,7 +408,17 @@ class ArbitratedResource:
                 if index in eligible:
                     return index
             return eligible[0]  # pragma: no cover - eligible is non-empty
-        # wrr: least normalised service first.
+        if self.scheme == "age":
+            # Largest weighted age first; max with (-index) makes the
+            # lowest client index win a tie deterministically.
+            return max(
+                eligible,
+                key=lambda index: (
+                    (now - self._queues[index][0][0]) * self.weights[index],
+                    -index,
+                ),
+            )
+        # wrr and sliced: least normalised service first.
         return min(
             eligible,
             key=lambda index: (
@@ -385,18 +446,42 @@ class ArbitratedResource:
             self._dispatch_pending = True
             self._schedule(wake, self._on_free)
             return
-        client = self._pick(eligible)
-        asked, _, duration, grant = self._queues[client].popleft()
+        client = self._pick(eligible, now)
+        asked, sequence, remaining, grant, total = self._queues[client].popleft()
         stats = self.stats[client]
-        if now > asked:
-            stats.waited += 1
-            stats.wait_ns_total += now - asked
-        stats.busy_ns_total += duration
-        self._busy_until = now + duration
+        if (
+            self.scheme == "sliced"
+            and self.quantum_ns is not None
+            and remaining > self.quantum_ns
+        ):
+            # Serve one quantum and put the remnant back at the head of the
+            # client's queue (same asked time and sequence, so fcfs-style
+            # ordering facts about the original request survive slicing).
+            served = self.quantum_ns
+            self._queues[client].appendleft(
+                (asked, sequence, remaining - served, grant, total)
+            )
+            stats.busy_ns_total += served
+            self._busy_until = now + served
+            self._last_granted = client
+            self._dispatch_pending = True
+            self._schedule(self._busy_until, self._on_free)
+            return
+        stats.busy_ns_total += remaining
+        self._busy_until = now + remaining
         self._last_granted = client
         self._dispatch_pending = True
         self._schedule(self._busy_until, self._on_free)
-        grant(now)
+        # The virtual start backdates a sliced grant so that
+        # start + total == the true completion time; for unsliced grants
+        # (remaining == total) it is exactly ``now``.
+        start = now + remaining - total
+        if start > asked:
+            wait = start - asked
+            stats.waited += 1
+            stats.wait_ns_total += wait
+            stats.wait_ns_max = max(stats.wait_ns_max, wait)
+        grant(start)
 
     def _on_free(self, now: float) -> None:
         self._dispatch_pending = False

@@ -16,13 +16,27 @@ a private host; this module supplies the missing multi-device substrate:
   IOTLB and the shared memory system: cache and IOTLB warming happen here,
   over the *aggregate* working set of all devices.
 
-* A PCIe switch / root-port **arbitration layer**: the root-complex
-  ingress pipeline and the IOMMU page walker are wrapped in
-  :class:`~repro.sim.engine.ArbitratedResource`, with one upstream queue
-  per device and a configurable scheme — ``fcfs`` (the un-arbitrated
-  baseline), ``rr`` (round-robin) or ``wrr`` (weighted fair service, the
-  knob that lets an operator protect a latency-sensitive victim from a
-  bulk aggressor).
+* A PCIe switch / root-port **arbitration topology**: the root-complex
+  ingress pipeline and the IOMMU page walker are arbitrated through a
+  compiled :class:`~repro.sim.topology.FabricTopology` — a tree of
+  :class:`~repro.sim.engine.ArbitratedResource` nodes (devices → N-port
+  switches → root port, arbitrary depth) where arbitration composes level
+  by level.  Every node applies the configured scheme — ``fcfs`` (the
+  un-arbitrated baseline), ``rr`` (round-robin), ``wrr`` (weighted fair
+  service), ``age`` (weighted aging / deadline-style) or ``sliced``
+  (preemptible wrr quanta that bound how long a victim can wait behind a
+  bulk grant).  The default topology is flat (every device directly on
+  the root port), which compiles to the single arbitration level PR 4
+  hard-wired and reproduces it bit for bit.
+
+* **Per-device DDIO way partitioning** (``FabricConfig.ddio_partition``):
+  instead of one aggregate cache residency that lets a bulk neighbour
+  dilute everyone's hit probability, each device can own a slice of the
+  LLC/DDIO capacity (routed by its address region), so its payload window
+  *and its descriptor rings* keep their solo hit rates no matter what the
+  neighbours do.  In the shared (unpartitioned) regime, multi-device runs
+  model the aggregate payload pressure squeezing the descriptor rings out
+  of the LLC — the eviction effect partitioning removes.
 
 * :class:`FabricSimulator` runs N independent
   :class:`~repro.sim.nicsim.NicDatapathSimulator`-style devices — each
@@ -46,18 +60,25 @@ from typing import Sequence
 from ..core.config import PAPER_DEFAULT_CONFIG, PCIeConfig
 from ..core.nic import NicModel, model_by_name
 from ..errors import ValidationError
-from ..units import KIB, MIB
+from ..units import CACHELINE_BYTES, KIB, MIB
 from ..workloads import Workload, rss_queues
-from .cache import CacheState, StatisticalCache
+from .cache import (
+    CacheState,
+    CacheStats,
+    SetAssociativeCache,
+    StatisticalCache,
+)
 from .engine import (
     ARBITER_SCHEMES,
-    ArbitratedResource,
+    WEIGHTED_SCHEMES,
+    DEFAULT_QUANTUM_NS,
     SerialResource,
     TagPool,
 )
 from .host import HostSystem
 from .nichost import (
     _DESCRIPTOR_SEED_SALT,
+    DEVICE_ADDRESS_STRIDE,
     HostCoupling,
     NicHostConfig,
 )
@@ -72,6 +93,7 @@ from .nicsim import (
 from .profiles import get_profile
 from .rng import DEFAULT_SEED, SimRng
 from .root_complex import RootComplex
+from .topology import CompiledTopology, FabricTopology, compile_topology
 
 
 @dataclass(frozen=True)
@@ -83,11 +105,34 @@ class FabricConfig:
             IOMMU, NUMA and noise calibrations.
         iommu_enabled / iommu_page_size: shared IOMMU settings (all DMAs
             of all devices translate through one IOTLB and one walker).
-        arbiter: upstream arbitration scheme over per-device queues:
-            ``"fcfs"``, ``"rr"`` or ``"wrr"``
+        arbiter: arbitration scheme applied at every fabric node:
+            ``"fcfs"``, ``"rr"``, ``"wrr"``, ``"age"`` or ``"sliced"``
             (see :class:`~repro.sim.engine.ArbitratedResource`).
-        weights: per-device service weights for ``"wrr"`` (defaults to
-            equal weights); ignored by the other schemes.
+        weights: per-device service weights for the weighted schemes
+            (``wrr``/``age``/``sliced``; defaults to equal weights);
+            rejected by the unweighted ones.  Switch ports compete at
+            their parent with their subtree's summed weight.
+        topology: the fabric tree (see
+            :class:`~repro.sim.topology.FabricTopology`; a spec string is
+            parsed).  ``None`` is the flat PR 4 topology: every device
+            directly on the root port.
+        quantum_ns: preemptible service quantum of the ``"sliced"``
+            scheme (defaults to
+            :data:`~repro.sim.engine.DEFAULT_QUANTUM_NS`); rejected by
+            the other schemes.
+        ddio_partition: per-device DDIO/LLC capacity shares.  ``None``
+            keeps the PR 4 behaviour (one shared residency over the
+            aggregate working set); a tuple gives every device a private
+            slice of the cache model, so a bulk neighbour can no longer
+            evict a victim's payload window or descriptor rings.
+        cache_model: ``"statistical"`` (the default, the fast
+            occupancy-probability model every earlier revision used) or
+            ``"faithful"`` — the line-accurate
+            :class:`~repro.sim.cache.SetAssociativeCache`, warmed over
+            each device's real address regions; with ``ddio_partition``
+            this is true per-owner DDIO *way* budgets whose evictions
+            never touch a neighbour's lines.  O(window lines) to warm, so
+            best with windows of a few MiB or less.
     """
 
     system: str = "NFP6000-HSW"
@@ -95,6 +140,10 @@ class FabricConfig:
     iommu_page_size: int = 4 * KIB
     arbiter: str = "fcfs"
     weights: tuple[float, ...] | None = None
+    topology: FabricTopology | str | None = None
+    quantum_ns: float | None = None
+    ddio_partition: tuple[float, ...] | None = None
+    cache_model: str = "statistical"
 
     def __post_init__(self) -> None:
         profile = get_profile(self.system)  # raises on unknown profiles
@@ -105,9 +154,10 @@ class FabricConfig:
                 f"valid: {', '.join(ARBITER_SCHEMES)}"
             )
         if self.weights is not None:
-            if self.arbiter != "wrr":
+            if self.arbiter not in WEIGHTED_SCHEMES:
                 raise ValidationError(
-                    f"arbitration weights require the wrr arbiter; the "
+                    f"arbitration weights require a weighted scheme "
+                    f"({', '.join(WEIGHTED_SCHEMES)}); the "
                     f"{self.arbiter!r} scheme ignores them"
                 )
             weights = tuple(float(weight) for weight in self.weights)
@@ -116,6 +166,36 @@ class FabricConfig:
                     f"arbitration weights must be positive, got {weights}"
                 )
             object.__setattr__(self, "weights", weights)
+        if isinstance(self.topology, str):
+            object.__setattr__(
+                self, "topology", FabricTopology.parse(self.topology)
+            )
+        if self.arbiter == "sliced":
+            quantum = (
+                DEFAULT_QUANTUM_NS if self.quantum_ns is None else float(self.quantum_ns)
+            )
+            if quantum <= 0:
+                raise ValidationError(
+                    f"quantum_ns must be positive, got {quantum}"
+                )
+            object.__setattr__(self, "quantum_ns", quantum)
+        elif self.quantum_ns is not None:
+            raise ValidationError(
+                "quantum_ns only applies to the sliced arbiter, not "
+                f"{self.arbiter!r}"
+            )
+        if self.ddio_partition is not None:
+            shares = tuple(float(share) for share in self.ddio_partition)
+            if any(share <= 0 for share in shares):
+                raise ValidationError(
+                    f"ddio_partition shares must be positive, got {shares}"
+                )
+            object.__setattr__(self, "ddio_partition", shares)
+        if self.cache_model not in ("statistical", "faithful"):
+            raise ValidationError(
+                "cache_model must be 'statistical' or 'faithful', got "
+                f"{self.cache_model!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -212,28 +292,56 @@ class SharedHost:
                 "need one ring depth per device config "
                 f"({len(device_configs)} vs {len(ring_depths)})"
             )
+        partitioned = (
+            fabric.ddio_partition is not None and len(device_configs) > 1
+        )
         states = {config.payload_cache_state for config in device_configs}
-        if len(states) > 1:
+        if (
+            len(states) > 1
+            and not partitioned
+            and fabric.cache_model == "statistical"
+        ):
+            # Only the statistical shared regime folds every device into
+            # one aggregate residency; the faithful model warms each
+            # device's real address region and partitions are per-device
+            # by construction.
             raise ValidationError(
-                "devices sharing a host must share one payload cache "
-                f"preparation state, got {sorted(states)} (per-device DDIO "
-                "partitioning is not modelled yet)"
+                "devices sharing one aggregate cache residency must share "
+                f"one payload cache preparation state, got {sorted(states)}; "
+                "per-device states need ddio_partition or the faithful "
+                "cache model"
+            )
+        if (
+            fabric.ddio_partition is not None
+            and len(fabric.ddio_partition) != len(device_configs)
+        ):
+            raise ValidationError(
+                f"need one ddio_partition share per device "
+                f"({len(device_configs)}), got {len(fabric.ddio_partition)}"
             )
         self.config = fabric
+        self.partitioned = partitioned
         self.host = HostSystem.from_profile(
             fabric.system,
             iommu_enabled=fabric.iommu_enabled,
             iommu_page_size=fabric.iommu_page_size,
             seed=seed,
-            cache_model="statistical",
+            cache_model=fabric.cache_model,
         )
         profile = self.host.profile
         descriptor_rng = SimRng(seed ^ _DESCRIPTOR_SEED_SALT)
-        descriptor_cache = StatisticalCache(
-            profile.llc_bytes,
-            ddio_fraction=profile.ddio_fraction,
-            rng=descriptor_rng,
-        )
+        if fabric.cache_model == "faithful":
+            descriptor_cache: StatisticalCache | SetAssociativeCache = (
+                SetAssociativeCache(
+                    profile.llc_bytes, ddio_fraction=profile.ddio_fraction
+                )
+            )
+        else:
+            descriptor_cache = StatisticalCache(
+                profile.llc_bytes,
+                ddio_fraction=profile.ddio_fraction,
+                rng=descriptor_rng,
+            )
         self.descriptor_rc = RootComplex(
             profile.root_complex_config(),
             cache=descriptor_cache,
@@ -258,19 +366,64 @@ class SharedHost:
         self._prepare()
 
     def _prepare(self) -> None:
-        """Prime the shared cache and IOTLB for the aggregate working set."""
+        """Prime the shared cache and IOTLB for the aggregate working set.
+
+        Two residency regimes exist.  *Shared* (``ddio_partition=None``,
+        the PR 4 behaviour): one aggregate window per cache model — every
+        device's hit probability is diluted by its neighbours' working
+        sets, and (with two or more devices) the descriptor rings compete
+        with the *whole aggregate payload* working set for LLC residency,
+        so a bulk neighbour evicts a victim's rings.  *Partitioned*: every
+        device owns a capacity slice (routed by address region), prepared
+        over that device's own working set alone — rings then compete only
+        with their own device's payload window.  A single device has
+        nothing to partition against and always takes the historical
+        (bit-identical) preparation.
+        """
         payload_lines = sum(
             coupling.payload_buffer.window_cachelines
             for coupling in self.couplings
-        )
-        self.host.root_complex.prepare_cache(
-            self.couplings[0].config.payload_cache_state, payload_lines
         )
         ring_lines = sum(
             2 * coupling.ring_buffers["tx"].window_cachelines
             for coupling in self.couplings
         )
-        self.descriptor_rc.prepare_cache(CacheState.HOST_WARM, ring_lines)
+        if self.config.cache_model == "faithful":
+            self._prepare_faithful()
+        elif self.partitioned:
+            shares = self.config.ddio_partition
+            owner = _line_owner(len(self.couplings))
+            payload_cache = self.host.root_complex.cache
+            descriptor_cache = self.descriptor_rc.cache
+            payload_cache.partition(shares, owner)
+            descriptor_cache.partition(shares, owner)
+            for index, coupling in enumerate(self.couplings):
+                own_payload = coupling.payload_buffer.window_cachelines
+                payload_cache.prepare_partition(
+                    index, coupling.config.payload_cache_state, own_payload
+                )
+                descriptor_cache.prepare_partition(
+                    index,
+                    CacheState.HOST_WARM,
+                    2 * coupling.ring_buffers["tx"].window_cachelines
+                    + own_payload,
+                )
+        else:
+            self.host.root_complex.prepare_cache(
+                self.couplings[0].config.payload_cache_state, payload_lines
+            )
+            descriptor_window = ring_lines
+            if len(self.couplings) > 1:
+                # The rings share the LLC with every device's payload
+                # buffers: aggregate payload pressure squeezes them out.
+                descriptor_window += payload_lines
+            self.descriptor_rc.prepare_cache(
+                CacheState.HOST_WARM, descriptor_window
+            )
+        self._warm_iotlb()
+
+    def _warm_iotlb(self) -> None:
+        """Prime the shared IOTLB over every device's buffer regions."""
         iommu = self.host.iommu
         iommu.invalidate()
         if iommu.enabled:
@@ -298,14 +451,74 @@ class SharedHost:
                     )
         iommu.reset_stats()
 
+    def _prepare_faithful(self) -> None:
+        """Warm the line-accurate caches over each device's real addresses.
+
+        The statistical models are windows of probability; the faithful
+        :class:`~repro.sim.cache.SetAssociativeCache` tracks concrete
+        lines, so warming walks each device's actual payload and ring
+        address regions (the same regions the run's DMAs will touch).
+        With ``ddio_partition`` both caches first split their DDIO ways
+        between the devices, so run-time write allocations evict within
+        the owner's budget only.  Cross-device *descriptor* eviction
+        pressure is a statistical-regime abstraction (two separate cache
+        instances never see each other's traffic); here the rings simply
+        stay warm unless a device's own writes evict them.
+        """
+        payload_cache = self.host.root_complex.cache
+        descriptor_cache = self.descriptor_rc.cache
+        assert isinstance(payload_cache, SetAssociativeCache)
+        assert isinstance(descriptor_cache, SetAssociativeCache)
+        if self.partitioned:
+            owner = _line_owner(len(self.couplings))
+            payload_cache.partition_ddio(self.config.ddio_partition, owner)
+            descriptor_cache.partition_ddio(self.config.ddio_partition, owner)
+        for coupling in self.couplings:
+            buffer = coupling.payload_buffer
+            state = CacheState.from_value(coupling.config.payload_cache_state)
+            if state is CacheState.COLD:
+                continue
+            first = buffer.base_address // CACHELINE_BYTES
+            for line in range(first, first + buffer.window_cachelines):
+                if state is CacheState.HOST_WARM:
+                    payload_cache.host_touch(line)
+                else:  # DEVICE_WARM: allocate through the DDIO ways
+                    payload_cache.write(line)
+        for coupling in self.couplings:
+            for buffer in coupling.ring_buffers.values():
+                first = buffer.base_address // CACHELINE_BYTES
+                for line in range(first, first + buffer.window_cachelines):
+                    descriptor_cache.host_touch(line)
+        # Warming is preparation, not measurement.
+        payload_cache.stats = CacheStats()
+        descriptor_cache.stats = CacheStats()
+
+
+def _line_owner(device_count: int):
+    """Map a cache-line address to the device owning its address region.
+
+    Device regions are offset by :data:`~repro.sim.nichost.
+    DEVICE_ADDRESS_STRIDE`, so the owning device falls straight out of the
+    line address — this is how the partitioned cache models route an
+    access to its owner's capacity slice without threading device ids
+    through the root complex.
+    """
+    region_lines = DEVICE_ADDRESS_STRIDE // CACHELINE_BYTES
+
+    def owner(line_address: int) -> int:
+        return min(device_count - 1, line_address // region_lines)
+
+    return owner
+
 
 class _UpstreamPort:
     """One device's view of the arbitrated ingress and walker resources.
 
-    Bound to a client index so :class:`~repro.sim.nicsim._Datapath` stays
+    Bound to a device index so :class:`~repro.sim.nicsim._Datapath` stays
     device-agnostic; ``claim`` replays the single-device serialisation
     order (ingress first, walker second, per-device stall accounting) but
-    through the fabric's arbitration queues.
+    through the fabric's compiled arbitration topology — a single
+    root-level queue set for the flat topology, a switch tree otherwise.
 
     The walker request chained after an ingress grant matures ``ingress
     occupancy`` nanoseconds in the simulated future; submitting it
@@ -320,8 +533,8 @@ class _UpstreamPort:
 
     def __init__(
         self,
-        ingress: ArbitratedResource,
-        walker: ArbitratedResource,
+        ingress: CompiledTopology,
+        walker: CompiledTopology,
         client: int,
         schedule,
     ) -> None:
@@ -369,12 +582,19 @@ class _UpstreamPort:
 @dataclass(frozen=True)
 class FabricPortStats:
     """Per-device arbitration counters for one shared resource (frozen
-    snapshot of :class:`~repro.sim.engine.ArbiterClientStats`)."""
+    snapshot of :class:`~repro.sim.engine.ArbiterClientStats`).
+
+    For devices behind a switch tree the counters are end-to-end: one
+    request per DMA, busy time counted once, and the wait folds every
+    hop's queueing (and, under the sliced scheme, preemption gaps) beyond
+    the pure store-and-forward service.
+    """
 
     requests: int
     waited: int
     wait_ns_total: float
     busy_ns_total: float
+    wait_ns_max: float = 0.0
 
     @classmethod
     def from_client(cls, stats) -> "FabricPortStats":
@@ -384,6 +604,7 @@ class FabricPortStats:
             waited=stats.waited,
             wait_ns_total=stats.wait_ns_total,
             busy_ns_total=stats.busy_ns_total,
+            wait_ns_max=stats.wait_ns_max,
         )
 
     @property
@@ -398,6 +619,7 @@ class FabricPortStats:
             "waited": self.waited,
             "wait_ns_total": self.wait_ns_total,
             "wait_ns_mean": self.wait_ns_mean,
+            "wait_ns_max": self.wait_ns_max,
             "busy_ns_total": self.busy_ns_total,
         }
 
@@ -409,6 +631,7 @@ class FabricPortStats:
             waited=int(data["waited"]),
             wait_ns_total=float(data["wait_ns_total"]),
             busy_ns_total=float(data["busy_ns_total"]),
+            wait_ns_max=float(data.get("wait_ns_max", 0.0)),
         )
 
 
@@ -453,7 +676,14 @@ class DeviceContentionResult:
 
 @dataclass(frozen=True)
 class ContentionResult:
-    """Everything one shared-host (multi-device) run produced."""
+    """Everything one shared-host (multi-device) run produced.
+
+    ``topology`` is the compact spec of the fabric tree (``None`` means
+    flat: every device on the root port) and ``topology_depth`` the
+    deepest device's hop count; ``quantum_ns`` / ``ddio_partition`` echo
+    the sliced-arbitration and cache-partition settings of the run so
+    analyses can label scenarios without the original parameters.
+    """
 
     system: str
     arbiter: str
@@ -461,6 +691,10 @@ class ContentionResult:
     seed: int
     duration_ns: float
     devices: tuple[DeviceContentionResult, ...] = field(default_factory=tuple)
+    topology: str | None = None
+    topology_depth: int = 1
+    quantum_ns: float | None = None
+    ddio_partition: tuple[float, ...] | None = None
 
     def device(self, name: str) -> DeviceContentionResult:
         """Look one device's record up by name."""
@@ -481,20 +715,36 @@ class ContentionResult:
         }
 
     def as_dict(self) -> dict[str, object]:
-        """Serialisable representation (tagged ``"kind": "CONTENTION"``)."""
-        return {
+        """Serialisable representation (tagged ``"kind": "CONTENTION"``).
+
+        The topology/quantum/partition keys are emitted only when they
+        differ from the flat-fabric defaults, so PR 4-era records
+        round-trip unchanged.
+        """
+        record: dict[str, object] = {
             "kind": "CONTENTION",
             "system": self.system,
             "arbiter": self.arbiter,
             "weights": list(self.weights),
             "seed": self.seed,
             "duration_ns": self.duration_ns,
-            "devices": [record.as_dict() for record in self.devices],
+            "devices": [device.as_dict() for device in self.devices],
         }
+        if self.topology is not None:
+            record["topology"] = self.topology
+            record["topology_depth"] = self.topology_depth
+        if self.quantum_ns is not None:
+            record["quantum_ns"] = self.quantum_ns
+        if self.ddio_partition is not None:
+            record["ddio_partition"] = list(self.ddio_partition)
+        return record
 
     @classmethod
     def from_dict(cls, data: dict) -> "ContentionResult":
         """Rebuild a result from :meth:`as_dict` output."""
+        topology = data.get("topology")
+        quantum = data.get("quantum_ns")
+        partition = data.get("ddio_partition")
         return cls(
             system=str(data["system"]),
             arbiter=str(data["arbiter"]),
@@ -504,6 +754,14 @@ class ContentionResult:
             devices=tuple(
                 DeviceContentionResult.from_dict(record)
                 for record in data["devices"]
+            ),
+            topology=None if topology is None else str(topology),
+            topology_depth=int(data.get("topology_depth", 1)),
+            quantum_ns=None if quantum is None else float(quantum),
+            ddio_partition=(
+                None
+                if partition is None
+                else tuple(float(share) for share in partition)
             ),
         )
 
@@ -539,6 +797,16 @@ class FabricSimulator:
         ]
         if len(set(names)) != len(names):
             raise ValidationError(f"device names must be unique, got {names}")
+        if (
+            self.fabric.ddio_partition is not None
+            and len(self.fabric.ddio_partition) != len(devices)
+        ):
+            raise ValidationError(
+                f"need one ddio_partition share per device ({len(devices)}), "
+                f"got {len(self.fabric.ddio_partition)}"
+            )
+        if self.fabric.topology is not None:
+            self.fabric.topology.validate_devices(names)
         self.devices = tuple(devices)
         self.names = tuple(names)
         self.config = config
@@ -558,19 +826,23 @@ class FabricSimulator:
         multi = count > 1
         weights = fabric.weights or (1.0,) * count
         if multi:
-            ingress_arb = ArbitratedResource(
+            ingress_arb = compile_topology(
                 "fabric.root_complex.ingress",
-                count,
+                fabric.topology,
+                self.names,
                 schedule=loop.at,
                 scheme=fabric.arbiter,
                 weights=weights,
+                quantum_ns=fabric.quantum_ns,
             )
-            walker_arb = ArbitratedResource(
+            walker_arb = compile_topology(
                 "fabric.iommu.walker",
-                count,
+                fabric.topology,
+                self.names,
                 schedule=loop.at,
                 scheme=fabric.arbiter,
                 weights=weights,
+                quantum_ns=fabric.quantum_ns,
             )
             ingress = walker = None
         else:
@@ -713,6 +985,10 @@ class FabricSimulator:
                 )
             )
 
+        topology = fabric.topology
+        # A single device bypasses arbitration entirely (the degenerate
+        # path), so none of the topology/quantum/partition knobs applied:
+        # suppress them rather than label a solo run a fabric scenario.
         return ContentionResult(
             system=fabric.system,
             arbiter=fabric.arbiter,
@@ -720,11 +996,21 @@ class FabricSimulator:
             seed=resolved_seed,
             duration_ns=overall_duration,
             devices=tuple(records),
+            topology=(
+                None
+                if not multi or topology is None or topology.is_flat
+                else topology.spec()
+            ),
+            topology_depth=(
+                1 if not multi or topology is None else topology.depth()
+            ),
+            quantum_ns=fabric.quantum_ns if multi else None,
+            ddio_partition=fabric.ddio_partition if multi else None,
         )
 
 
 def _port_stats(
-    resource: ArbitratedResource, client: int
+    resource: CompiledTopology, client: int
 ) -> FabricPortStats:
-    """Snapshot one client's counters from an arbitrated resource."""
-    return FabricPortStats.from_client(resource.stats[client])
+    """Snapshot one device's counters from a compiled topology."""
+    return FabricPortStats.from_client(resource.client_stats(client))

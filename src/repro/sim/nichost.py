@@ -212,8 +212,10 @@ class HostCoupling:
     shared instance, this device's buffer regions are offset by
     ``device_index * DEVICE_ADDRESS_STRIDE`` so translations never alias
     across devices, and cache/IOTLB preparation is deferred to the shared
-    host (which warms the *aggregate* working set).  Per-device counters
-    work identically in both modes.
+    host — which warms either the *aggregate* working set (the shared
+    regime) or, under per-device DDIO way partitioning, each device's own
+    capacity slice, routed back to this device by the same address-region
+    stride.  Per-device counters work identically in both modes.
     """
 
     def __init__(

@@ -92,6 +92,51 @@ class TestContentionParams:
         with pytest.raises(ValidationError):
             _pair(arbiter="fcfs", weights=(8.0, 1.0))
 
+    def test_weights_accepted_by_age_and_sliced(self):
+        assert _pair(arbiter="age", weights=(8.0, 1.0)).weights == (8.0, 1.0)
+        sliced = _pair(
+            arbiter="sliced", weights=(8.0, 1.0), quantum_ns=16.0
+        )
+        assert sliced.quantum_ns == 16.0
+        assert "quantum=16ns" in sliced.label()
+
+    def test_topology_quantum_partition_round_trip(self):
+        params = _pair(
+            topology="victim=root,aggressor=sw0,sw0=root",
+            ddio_partition=(3.0, 1.0),
+        )
+        rebuilt = ContentionParams.from_dict(params.as_dict())
+        assert rebuilt == params
+        assert rebuilt.topology == "victim=root,aggressor=sw0,sw0=root"
+        assert rebuilt.ddio_partition == (3.0, 1.0)
+        label = params.label()
+        assert "topology=depth2" in label
+        assert "ddio=3:1" in label
+        # Flat-era records carry none of the new keys.
+        assert "topology" not in _pair().as_dict()
+        assert "quantum_ns" not in _pair().as_dict()
+        assert "ddio_partition" not in _pair().as_dict()
+        assert "cache_model" not in _pair().as_dict()
+        faithful = _pair(cache_model="faithful")
+        assert ContentionParams.from_dict(faithful.as_dict()) == faithful
+        assert "cache=faithful" in faithful.label()
+
+    def test_topology_quantum_partition_validation(self):
+        with pytest.raises(ValidationError):
+            _pair(topology="victim=root")  # aggressor missing
+        with pytest.raises(ValidationError):
+            _pair(topology="victim=root,aggressor=nowhere")
+        with pytest.raises(ValidationError):
+            _pair(quantum_ns=16.0)  # rr ignores quanta
+        with pytest.raises(ValidationError):
+            _pair(arbiter="sliced", quantum_ns=-1.0)
+        with pytest.raises(ValidationError):
+            _pair(ddio_partition=(1.0,))
+        with pytest.raises(ValidationError):
+            _pair(ddio_partition=(1.0, -1.0))
+        with pytest.raises(ValidationError):
+            _pair(cache_model="magic")
+
     def test_solo_device_params_couples_to_the_fabric_host(self):
         params = _pair(seed=17)
         solo = solo_device_params(params, 0)
@@ -169,15 +214,28 @@ class TestRunnerDispatch:
 
 
 class TestSuiteSurface:
-    def test_contention_suite_covers_every_scheme(self):
+    def test_contention_suite_covers_every_scheme_and_a_quad(self):
         scenarios = contention_suite_params(packets=100)
-        assert [params.arbiter for params in scenarios] == ["fcfs", "rr", "wrr"]
-        assert all(
-            params.device_names() == ("victim", "aggressor")
+        pairs = [
+            params
             for params in scenarios
+            if params.device_names() == ("victim", "aggressor")
+        ]
+        assert [params.arbiter for params in pairs] == ["fcfs", "rr", "wrr"]
+        assert pairs[-1].weights == (8.0, 1.0)
+        quads = [params for params in scenarios if len(params.devices) == 4]
+        assert len(quads) == 2
+        assert all(
+            params.device_names()
+            == ("victim", "aggressor", "bulk2", "streamer")
+            for params in quads
         )
-        wrr = scenarios[-1]
-        assert wrr.weights == (8.0, 1.0)
+        # One weighted flat fabric, one switch tree with the victim on
+        # its own root port.
+        assert quads[0].arbiter == "wrr"
+        assert quads[0].weights == (8.0, 1.0, 2.0, 2.0)
+        assert quads[1].topology is not None
+        assert "victim=root" in quads[1].topology
 
     def test_full_suite_count_includes_contention_when_asked(self):
         base = full_suite_params()
@@ -192,5 +250,5 @@ class TestSuiteSurface:
                 for params in extended
                 if isinstance(params, ContentionParams)
             )
-            == 3
+            == 5
         )

@@ -34,6 +34,7 @@ class TestRegistry:
             "figure-8-sim",
             "figure-8-knee",
             "figure-10-contention",
+            "figure-11-topology",
             "table-1",
             "table-2",
         ]

@@ -204,3 +204,66 @@ class TestContendCommand:
         captured = capsys.readouterr()
         assert code == 1
         assert "not KEY=VALUE" in captured.err
+
+    def test_contend_rejects_weight_count_mismatch_with_usage_error(
+        self, capsys
+    ):
+        # Three devices, two weights: the CLI must explain the mismatch
+        # in terms of the flags typed, not fail somewhere downstream.
+        code = main(
+            [
+                "contend",
+                "--device", "name=a,load=5,packets=50",
+                "--device", "name=b,workload=imix,packets=100",
+                "--device", "name=c,workload=imix,packets=100",
+                "--arbiter", "wrr", "--weights", "8:1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "--weights names 2 weights" in captured.err
+        assert "3 devices" in captured.err
+        assert "a, b, c" in captured.err
+
+    def test_contend_weight_mismatch_applies_to_the_default_pair(
+        self, capsys
+    ):
+        code = main(["contend", "--arbiter", "wrr", "--weights", "8:1:1"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "--weights names 3 weights" in captured.err
+        assert "2 devices" in captured.err
+
+    def test_contend_topology_quantum_and_partition_flags(self, capsys):
+        code = main(
+            [
+                "contend",
+                "--device", "name=victim,load=5,packets=100,ring-depth=64,"
+                "window=256K",
+                "--device", "name=aggressor,workload=imix,packets=400,"
+                "window=16M",
+                "--iommu",
+                "--arbiter", "sliced", "--quantum", "16", "--weights", "8:1",
+                "--topology", "victim=root,aggressor=sw0,sw0=root",
+                "--ddio-partition",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "topology=depth2" in captured.err
+        assert "quantum=16ns" in captured.err
+        assert "ddio=1:1" in captured.err
+
+    def test_contend_rejects_bad_topology_and_partition(self, capsys):
+        code = main(
+            ["contend", "--topology", "victim=nowhere,aggressor=root"]
+        )
+        assert code == 1
+        assert "undeclared switch" in capsys.readouterr().err
+        code = main(["contend", "--ddio-partition", "1:2:3"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "--ddio-partition names 3 shares" in err
+        code = main(["contend", "--ddio-partition", "bogus"])
+        assert code == 1
+        assert "colon-separated" in capsys.readouterr().err

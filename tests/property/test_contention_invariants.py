@@ -15,8 +15,9 @@ seeds) asserting the laws any multi-device run must obey:
   single-device golden record bit for bit, whatever arbiter is named.
 
 The ``CONTENTION_ARBITER`` environment variable pins the scheme choices
-(e.g. ``CONTENTION_ARBITER=wrr``) so a CI matrix can run the same grid
-once per arbitration scheme.
+(e.g. ``CONTENTION_ARBITER=sliced``) and ``CONTENTION_TOPOLOGY`` the
+fabric shape (``flat`` or ``tree``), so a CI matrix can run the same grid
+once per (scheme, topology) combination.
 """
 
 from __future__ import annotations
@@ -29,6 +30,8 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.bench.nicsim import NicSimParams
+from repro.errors import ValidationError
+from repro.sim.engine import WEIGHTED_SCHEMES
 from repro.sim.fabric import (
     ContentionResult,
     FabricConfig,
@@ -43,13 +46,32 @@ GOLDEN_PATH = Path(__file__).parent.parent / "golden" / "nicsim_seeded.json"
 
 _ARBITER_ENV = os.environ.get("CONTENTION_ARBITER")
 #: Arbitration schemes the grid samples; a CI matrix pins one.
-ARBITER_CHOICES = (_ARBITER_ENV,) if _ARBITER_ENV else ("fcfs", "rr", "wrr")
+ARBITER_CHOICES = (
+    (_ARBITER_ENV,) if _ARBITER_ENV else ("fcfs", "rr", "wrr", "age", "sliced")
+)
+
+_TOPOLOGY_ENV = os.environ.get("CONTENTION_TOPOLOGY")
+#: Fabric shapes the grid samples; a CI matrix pins one.
+TOPOLOGY_CHOICES = (_TOPOLOGY_ENV,) if _TOPOLOGY_ENV else ("flat", "tree")
 
 WORKLOADS = ("fixed", "imix", "bursty")
 
+#: Switch trees per device count: the victim on its own root port, the
+#: bulk devices behind shared switches.
+TREE_SPECS = {
+    2: "victim=root,aggressor=sw0,sw0=root",
+    4: (
+        "victim=root,aggressor=sw0,bulk2=sw0,"
+        "streamer=sw1,sw0=root,sw1=root"
+    ),
+}
+
 
 def _build_devices(
-    victim_workload: str, aggressor_workload: str, packets: int
+    victim_workload: str,
+    aggressor_workload: str,
+    packets: int,
+    device_count: int,
 ) -> list[FabricDevice]:
     victim = FabricDevice(
         workload=build_workload(
@@ -69,23 +91,52 @@ def _build_devices(
         name="aggressor",
         payload_window=16 * MIB,
     )
-    return [victim, aggressor]
+    devices = [victim, aggressor]
+    if device_count == 4:
+        devices.append(
+            FabricDevice(
+                workload=build_workload("imix", load_gbps=None, duplex=True),
+                model="kernel",
+                packets=2 * packets,
+                name="bulk2",
+                payload_window=8 * MIB,
+            )
+        )
+        devices.append(
+            FabricDevice(
+                workload=build_workload(
+                    "fixed", size=1024, load_gbps=4.0, duplex=True
+                ),
+                model="dpdk",
+                packets=packets,
+                name="streamer",
+                payload_window=1 * MIB,
+            )
+        )
+    return devices
 
 
 def _run(
     victim_workload: str,
     aggressor_workload: str,
     arbiter: str,
+    topology: str,
     packets: int,
     seed: int,
+    device_count: int = 2,
 ) -> tuple[list[FabricDevice], ContentionResult]:
-    devices = _build_devices(victim_workload, aggressor_workload, packets)
-    weights = (4.0, 1.0) if arbiter == "wrr" else None
+    devices = _build_devices(
+        victim_workload, aggressor_workload, packets, device_count
+    )
+    weights = None
+    if arbiter in WEIGHTED_SCHEMES:
+        weights = (4.0, 1.0) + (1.0,) * (device_count - 2)
     fabric = FabricConfig(
         system="NFP6000-HSW",
         iommu_enabled=True,
         arbiter=arbiter,
         weights=weights,
+        topology=None if topology == "flat" else TREE_SPECS[device_count],
     )
     return devices, FabricSimulator(devices, fabric).run(seed=seed)
 
@@ -95,17 +146,33 @@ class TestContentionInvariants:
         victim_workload=st.sampled_from(WORKLOADS),
         aggressor_workload=st.sampled_from(WORKLOADS),
         arbiter=st.sampled_from(ARBITER_CHOICES),
+        topology=st.sampled_from(TOPOLOGY_CHOICES),
+        device_count=st.sampled_from((2, 4)),
         packets=st.integers(min_value=80, max_value=200),
         seed=st.integers(min_value=0, max_value=2**31 - 1),
     )
     @settings(max_examples=10, deadline=None)
     def test_per_device_conservation_across_grid(
-        self, victim_workload, aggressor_workload, arbiter, packets, seed
+        self,
+        victim_workload,
+        aggressor_workload,
+        arbiter,
+        topology,
+        device_count,
+        packets,
+        seed,
     ):
         devices, result = _run(
-            victim_workload, aggressor_workload, arbiter, packets, seed
+            victim_workload,
+            aggressor_workload,
+            arbiter,
+            topology,
+            packets,
+            seed,
+            device_count,
         )
         assert result.arbiter == arbiter
+        assert result.topology_depth == (1 if topology == "flat" else 2)
         for device, record in zip(devices, result.devices):
             # Regenerate the offered schedule independently: workloads draw
             # from named RNG sub-streams, so the same seed reproduces the
@@ -134,9 +201,12 @@ class TestContentionInvariants:
                 assert port is not None
                 assert 0 <= port.waited <= port.requests
                 assert port.wait_ns_total >= 0.0
+                assert port.wait_ns_max <= port.wait_ns_total + 1e-9
                 assert port.busy_ns_total >= 0.0
-        # Each shared resource's total busy time is bounded by the run
-        # duration: it is a serial resource, it cannot overcommit.
+        # Each shared resource's root-level busy time is bounded by the
+        # run duration: it is a serial resource, it cannot overcommit.
+        # (Per-device counters charge service once, at the root, so the
+        # bound holds for switch trees too.)
         for attribute in ("ingress", "walker"):
             total_busy = sum(
                 getattr(record, attribute).busy_ns_total
@@ -144,12 +214,15 @@ class TestContentionInvariants:
             )
             assert total_busy <= result.duration_ns + 1e-6
 
-    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        topology=st.sampled_from(TOPOLOGY_CHOICES),
+    )
     @settings(max_examples=4, deadline=None)
-    def test_identical_seeds_reproduce_identical_runs(self, seed):
+    def test_identical_seeds_reproduce_identical_runs(self, seed, topology):
         arbiter = ARBITER_CHOICES[-1]
-        _, first = _run("fixed", "imix", arbiter, 100, seed)
-        _, second = _run("fixed", "imix", arbiter, 100, seed)
+        _, first = _run("fixed", "imix", arbiter, topology, 100, seed)
+        _, second = _run("fixed", "imix", arbiter, topology, 100, seed)
         assert first == second
 
     def test_single_device_fabric_reproduces_golden(self):
@@ -179,7 +252,7 @@ class TestContentionInvariants:
                 iommu_enabled=params.iommu_enabled,
                 iommu_page_size=params.iommu_page_size,
                 arbiter=arbiter,
-                weights=None if arbiter != "wrr" else (1.0,),
+                weights=None if arbiter not in WEIGHTED_SCHEMES else (1.0,),
             )
             result = FabricSimulator([device], fabric).run(seed=params.seed)
             assert result.devices[0].result.as_dict() == golden["result"]

@@ -165,3 +165,117 @@ class TestStatisticalCache:
     def test_invalid_capacity_fraction(self):
         with pytest.raises(ValidationError):
             StatisticalCache(15 * MIB, effective_capacity_fraction=0.0)
+
+
+class TestSetAssociativeDdioPartition:
+    """Per-owner DDIO way budgets (the faithful half of way partitioning)."""
+
+    def make(self, shares=(0.5, 0.5), region=1 << 10):
+        cache = SetAssociativeCache(llc_bytes=64 * KIB, ways=8, ddio_fraction=0.5)
+        cache.partition_ddio(shares, lambda line: min(len(shares) - 1, line // region))
+        return cache, region
+
+    def test_budgets_split_the_ddio_ways(self):
+        cache, _ = self.make()
+        assert sum(cache.ddio_way_split) <= cache.ddio_ways
+        assert all(budget >= 1 for budget in cache.ddio_way_split)
+        assert cache.ddio_way_split == (2, 2)
+
+    def test_uneven_shares_trim_to_fit(self):
+        cache, _ = self.make(shares=(0.7, 0.2, 0.1))
+        assert sum(cache.ddio_way_split) <= cache.ddio_ways
+        assert all(budget >= 1 for budget in cache.ddio_way_split)
+
+    def test_one_owner_cannot_evict_anothers_ddio_lines(self):
+        cache, region = self.make()
+        # Owner 0 allocates its full budget in set 0.
+        victims = [0, cache.sets]  # two same-set lines, owner 0
+        for line in victims:
+            cache.write(line)
+        # Owner 1 blows through its own budget in the same set many
+        # times over; every eviction must come from its own lines.
+        base = region  # owner 1's region
+        base -= base % cache.sets  # align to set 0
+        for index in range(16):
+            cache.write(base + index * cache.sets)
+        for line in victims:
+            assert cache.read(line).hit is True, "victim line was evicted"
+
+    def test_unpartitioned_behaviour_is_unchanged(self):
+        shared = SetAssociativeCache(llc_bytes=64 * KIB, ways=4, ddio_fraction=0.25)
+        assert shared.ddio_way_split == (shared.ddio_ways,)
+        shared.write(0)
+        result = shared.write(shared.sets)  # same set, 1 DDIO way
+        assert result.writeback_required is True
+
+    def test_partition_validation(self):
+        cache = SetAssociativeCache(llc_bytes=64 * KIB, ways=8, ddio_fraction=0.25)
+        with pytest.raises(ValidationError):
+            cache.partition_ddio((1.0,), lambda line: 0)  # one share
+        with pytest.raises(ValidationError):
+            cache.partition_ddio((1.0, 0.0), lambda line: 0)
+        with pytest.raises(ValidationError):
+            # ddio_ways == 2 here; three owners cannot each get a way.
+            cache.partition_ddio((1.0, 1.0, 1.0), lambda line: 0)
+
+
+class TestStatisticalCachePartition:
+    """Per-owner capacity slices (the statistical half of partitioning)."""
+
+    REGION = 1 << 20  # lines per owner region
+
+    def make(self, shares=(0.5, 0.5)):
+        cache = StatisticalCache(15 * MIB, ddio_fraction=0.1, rng=SimRng(1))
+        cache.partition(
+            shares, lambda line: min(len(shares) - 1, line // self.REGION)
+        )
+        return cache
+
+    def test_partitions_have_independent_residency(self):
+        cache = self.make()
+        # Owner 0: small warm window -> every access hits.  Owner 1: a
+        # window far beyond its slice -> most accesses miss.
+        cache.prepare_partition(0, CacheState.HOST_WARM, 128)
+        cache.prepare_partition(1, CacheState.HOST_WARM, 10 * cache.llc_lines)
+        assert all(cache.read(i).hit for i in range(200))
+        misses = sum(
+            not cache.read(self.REGION + i).hit for i in range(1000)
+        )
+        assert misses > 900
+
+    def test_partition_scales_writeback_pressure_to_the_slice(self):
+        cache = self.make()
+        cache.prepare_partition(0, CacheState.COLD, max(1, cache.ddio_lines // 4))
+        cache.prepare_partition(1, CacheState.COLD, cache.ddio_lines)
+        # Owner 0's window fits its half-slice: no write-backs.  Owner 1's
+        # window is double its half-slice: about half its writes evict.
+        assert not any(
+            cache.write(i).writeback_required for i in range(300)
+        )
+        writebacks = sum(
+            cache.write(self.REGION + i).writeback_required
+            for i in range(1000)
+        )
+        assert 350 <= writebacks <= 650
+
+    def test_plain_prepare_reverts_to_the_shared_window(self):
+        cache = self.make()
+        cache.prepare_partition(0, CacheState.HOST_WARM, 128)
+        assert cache.partitions == 2
+        cache.prepare(CacheState.COLD, window_lines=128)
+        assert cache.partitions == 0
+        assert not cache.read(0).hit  # shared cold window, owner ignored
+
+    def test_partition_validation(self):
+        cache = StatisticalCache(15 * MIB, rng=SimRng(1))
+        with pytest.raises(ValidationError):
+            cache.partition((1.0,), lambda line: 0)
+        with pytest.raises(ValidationError):
+            cache.partition((1.0, -1.0), lambda line: 0)
+        with pytest.raises(ValidationError):
+            cache.prepare_partition(0, CacheState.COLD, 128)  # unpartitioned
+        cache.partition((1.0, 1.0), lambda line: 0)
+        with pytest.raises(ValidationError):
+            cache.prepare_partition(5, CacheState.COLD, 128)
+        with pytest.raises(ValidationError):
+            cache.prepare_partition(0, CacheState.COLD, 0)

@@ -207,12 +207,17 @@ class _ManualLoop:
 
 
 class TestArbitratedResource:
-    def _arbiter(self, scheme, clients=2, weights=None):
+    def _arbiter(self, scheme, clients=2, weights=None, quantum_ns=None):
         from repro.sim.engine import ArbitratedResource
 
         loop = _ManualLoop()
         resource = ArbitratedResource(
-            "test", clients, schedule=loop.at, scheme=scheme, weights=weights
+            "test",
+            clients,
+            schedule=loop.at,
+            scheme=scheme,
+            weights=weights,
+            quantum_ns=quantum_ns,
         )
         return loop, resource
 
@@ -310,6 +315,144 @@ class TestArbitratedResource:
             resource.request(0, -1.0, 1.0, lambda t: None)
         with pytest.raises(ValidationError):
             resource.request(0, 0.0, -1.0, lambda t: None)
+
+    # -- edge cases pinned as behaviour ------------------------------------
+
+    def test_zero_weight_wrr_entries_are_rejected(self):
+        # A zero wrr weight would mean "never serve this client" — a
+        # starvation hazard dressed up as configuration.  Pinned: weights
+        # must be strictly positive, zero included in the rejection.
+        from repro.sim.engine import ArbitratedResource
+
+        loop = _ManualLoop()
+        for scheme in ("wrr", "age", "sliced"):
+            with pytest.raises(ValidationError):
+                ArbitratedResource(
+                    "x", 2, schedule=loop.at, scheme=scheme,
+                    weights=(1.0, 0.0),
+                )
+
+    def test_single_queue_degeneracy_for_every_scheme(self):
+        # With one client there is nothing to arbitrate: every scheme
+        # must produce the same grant starts as a plain SerialResource,
+        # and (sliced aside) the same virtual-start arithmetic.
+        bookings = ((0.0, 7.0), (1.0, 3.0), (20.0, 5.0))
+        serial = SerialResource("reference")
+        expected = [serial.occupy(now, duration) for now, duration in bookings]
+        for scheme in ("fcfs", "rr", "wrr", "age"):
+            loop, resource = self._arbiter(scheme, clients=1)
+            starts = []
+            for now, duration in bookings:
+                resource.request(0, now, duration, starts.append)
+            loop.run()
+            assert starts == expected, scheme
+            assert resource.busy_until == serial.free_at, scheme
+
+    def test_fcfs_tie_break_at_equal_grant_times_is_call_order(self):
+        # Two requests maturing at the same instant: the one whose
+        # request() call happened first is served first, mirroring the
+        # SerialResource tie-break contract.
+        loop, resource = self._arbiter("fcfs", clients=3)
+        grants = []
+        resource.request(2, 0.0, 10.0, lambda t: grants.append(("first", t)))
+        # Same asked time, different call order, descending client index
+        # to prove client ids do not override call order.
+        resource.request(1, 5.0, 2.0, lambda t: grants.append(("second", t)))
+        resource.request(0, 5.0, 2.0, lambda t: grants.append(("third", t)))
+        loop.run()
+        assert grants == [("first", 0.0), ("second", 10.0), ("third", 12.0)]
+
+    def test_age_scheme_weights_shorten_the_queueing_deadline(self):
+        # Client 0 weighted 8: once both requests have aged, its younger
+        # request overtakes the older request of the weight-1 client.
+        loop, resource = self._arbiter("age", weights=(8.0, 1.0))
+        grants = []
+        resource.request(1, 0.0, 10.0, lambda t: grants.append(("bulk0", t)))
+        resource.request(1, 1.0, 10.0, lambda t: grants.append(("bulk1", t)))
+        resource.request(0, 5.0, 10.0, lambda t: grants.append(("victim", t)))
+        loop.run()
+        # At t=10: victim age 5 * 8 = 40 beats bulk1 age 9 * 1 = 9.
+        assert grants == [("bulk0", 0.0), ("victim", 10.0), ("bulk1", 20.0)]
+
+    def test_age_equal_weights_serve_oldest_first(self):
+        loop, resource = self._arbiter("age")
+        grants = []
+        resource.request(0, 0.0, 10.0, lambda t: grants.append("a0"))
+        resource.request(1, 1.0, 5.0, lambda t: grants.append("b0"))
+        resource.request(0, 2.0, 5.0, lambda t: grants.append("a1"))
+        loop.run()
+        assert grants == ["a0", "b0", "a1"]
+
+    def test_sliced_grant_backdates_start_to_true_completion(self):
+        # A 50 ns grant sliced into 16 ns quanta with no competition:
+        # the callback fires with start + duration == completion, and the
+        # resource is busy until exactly that completion.
+        loop, resource = self._arbiter(
+            "sliced", quantum_ns=16.0, weights=(1.0, 1.0)
+        )
+        grants = []
+        resource.request(0, 0.0, 50.0, grants.append)
+        loop.run()
+        assert grants == [0.0]  # uncontended: virtual start == asked
+        assert resource.busy_until == 50.0
+        assert resource.stats[0].busy_ns_total == pytest.approx(50.0)
+        assert resource.stats[0].waited == 0
+
+    def test_sliced_bounds_a_victim_wait_to_the_quantum(self):
+        # A bulk 100 ns grant is in flight when a short victim request
+        # arrives: non-preemptive wrr makes the victim wait out the whole
+        # grant; slicing caps the wait at the current quantum's end.
+        for scheme, quantum, expected_wait in (
+            ("wrr", None, 99.0),
+            ("sliced", 16.0, 15.0),
+        ):
+            loop, resource = self._arbiter(
+                scheme, weights=(8.0, 1.0), quantum_ns=quantum
+            )
+            resource.request(1, 0.0, 100.0, lambda t: None)
+            resource.request(0, 1.0, 10.0, lambda t: None)
+            loop.run()
+            stats = resource.stats[0]
+            assert stats.waited == 1, scheme
+            assert stats.wait_ns_total == pytest.approx(expected_wait), scheme
+            assert stats.wait_ns_max == pytest.approx(expected_wait), scheme
+            # The preempted bulk grant still receives its full service.
+            assert resource.stats[1].busy_ns_total == pytest.approx(100.0)
+
+    def test_sliced_preemption_resumes_the_remnant(self):
+        # The bulk grant's completion time reflects the victim's slice in
+        # the middle: 100 ns of service plus 10 ns of preemption.
+        loop, resource = self._arbiter(
+            "sliced", weights=(8.0, 1.0), quantum_ns=16.0
+        )
+        completions = {}
+        resource.request(
+            1, 0.0, 100.0, lambda t: completions.setdefault("bulk", t + 100.0)
+        )
+        resource.request(
+            0, 1.0, 10.0, lambda t: completions.setdefault("victim", t + 10.0)
+        )
+        loop.run()
+        assert completions["victim"] == pytest.approx(26.0)  # 16 + 10
+        assert completions["bulk"] == pytest.approx(110.0)
+
+    def test_quantum_validation(self):
+        from repro.sim.engine import ArbitratedResource
+
+        loop = _ManualLoop()
+        with pytest.raises(ValidationError):
+            ArbitratedResource(
+                "x", 2, schedule=loop.at, scheme="sliced", quantum_ns=0.0
+            )
+        with pytest.raises(ValidationError):
+            ArbitratedResource(
+                "x", 2, schedule=loop.at, scheme="wrr", quantum_ns=16.0
+            )
+        # sliced without an explicit quantum takes the engine default.
+        from repro.sim.engine import DEFAULT_QUANTUM_NS
+
+        sliced = ArbitratedResource("x", 2, schedule=loop.at, scheme="sliced")
+        assert sliced.quantum_ns == DEFAULT_QUANTUM_NS
 
     def test_stats_snapshot_into_fabric_port_stats(self):
         from repro.sim.fabric import FabricPortStats

@@ -231,3 +231,208 @@ class TestValidation:
         assert first.host is second.host
         assert first.payload_rc is second.payload_rc
         assert first.descriptor_rc is second.descriptor_rc
+
+
+class TestTopologyFabric:
+    """Switch-tree topologies, DDIO partitioning and sliced arbitration."""
+
+    def _run(self, *, seed: int = 11, **config):
+        victim = FabricDevice(
+            workload=build_workload("fixed", size=512, load_gbps=5.0, duplex=True),
+            model="dpdk",
+            packets=300,
+            name="victim",
+            ring_depth=64,
+            payload_window=256 * KIB,
+            dma_tags=12,
+        )
+        aggressor = FabricDevice(
+            workload=build_workload("imix", load_gbps=None, duplex=True),
+            model="kernel",
+            packets=2000,
+            name="aggressor",
+            payload_window=64 * MIB,
+        )
+        fabric = FabricConfig(
+            system="NFP6000-HSW", iommu_enabled=True, **config
+        )
+        return FabricSimulator([victim, aggressor], fabric).run(seed=seed)
+
+    def test_explicit_flat_topology_is_bit_identical_to_implicit(self):
+        implicit = self._run(arbiter="fcfs")
+        explicit = self._run(
+            arbiter="fcfs", topology="victim=root,aggressor=root"
+        )
+        assert explicit == implicit
+        assert explicit.topology is None  # flat canonicalises to None
+        assert explicit.topology_depth == 1
+
+    def test_own_root_port_isolates_the_victim_even_under_fcfs(self):
+        shared_switch = self._run(
+            arbiter="fcfs", topology="victim=sw0,aggressor=sw0,sw0=root"
+        )
+        own_port = self._run(
+            arbiter="fcfs", topology="victim=root,aggressor=sw0,sw0=root"
+        )
+        assert shared_switch.topology_depth == 2
+        assert own_port.topology_depth == 2
+        shared_p99 = shared_switch.device("victim").result.tx.latency.p99
+        own_p99 = own_port.device("victim").result.tx.latency.p99
+        # The credit-flow-controlled switch keeps the aggressor's backlog
+        # away from the root: the victim's tail collapses back.
+        assert own_p99 < shared_p99 / 2
+        # Conservation still holds for every device behind any topology.
+        for result in (shared_switch, own_port):
+            for record in result.devices:
+                for path in (record.result.tx, record.result.rx):
+                    assert (
+                        path.delivered_packets + path.drops + path.in_flight
+                        == path.offered_packets
+                    )
+
+    def test_ddio_partition_restores_victim_ring_hit_rate(self):
+        shared = self._run(arbiter="fcfs")
+        partitioned = self._run(arbiter="fcfs", ddio_partition=(1.0, 1.0))
+        shared_hit = shared.device("victim").result.host.descriptor_cache_hit_rate
+        partitioned_hit = (
+            partitioned.device("victim").result.host.descriptor_cache_hit_rate
+        )
+        # Shared regime: the aggressor's 64 MiB window squeezes the
+        # victim's rings out of the LLC.  Partitioned: solo-like hits.
+        assert shared_hit < 0.5
+        assert partitioned_hit > 0.95
+        assert partitioned.ddio_partition == (1.0, 1.0)
+
+    def test_sliced_arbitration_tightens_the_victim_wait_tail(self):
+        wrr = self._run(arbiter="wrr", weights=(8.0, 1.0))
+        sliced = self._run(
+            arbiter="sliced", weights=(8.0, 1.0), quantum_ns=16.0
+        )
+        assert sliced.quantum_ns == 16.0
+        assert (
+            sliced.device("victim").walker.wait_ns_max
+            < wrr.device("victim").walker.wait_ns_max
+        )
+
+    def test_topology_result_round_trips_through_dict(self):
+        result = self._run(
+            arbiter="sliced",
+            weights=(8.0, 1.0),
+            quantum_ns=16.0,
+            topology="victim=root,aggressor=sw0,sw0=root",
+            ddio_partition=(3.0, 1.0),
+        )
+        rebuilt = ContentionResult.from_dict(result.as_dict())
+        assert rebuilt == result
+        assert rebuilt.topology == "victim=root,aggressor=sw0,sw0=root"
+        assert rebuilt.quantum_ns == 16.0
+        assert rebuilt.ddio_partition == (3.0, 1.0)
+
+    def test_partition_allows_mixed_cache_states(self):
+        fabric = FabricConfig(ddio_partition=(1.0, 1.0))
+        configs = [
+            NicHostConfig(system=fabric.system, payload_cache_state="host_warm"),
+            NicHostConfig(system=fabric.system, payload_cache_state="cold"),
+        ]
+        shared = SharedHost(fabric, configs, [512, 512], seed=1)
+        assert shared.partitioned is True
+
+    def test_simulator_validates_topology_and_partition(self):
+        workload = build_workload("fixed", size=512, load_gbps=5.0)
+        devices = [
+            FabricDevice(workload=workload, packets=10, name="a"),
+            FabricDevice(workload=workload, packets=10, name="b"),
+        ]
+        with pytest.raises(ValidationError):
+            FabricSimulator(
+                devices, FabricConfig(topology="a=root")  # b unattached
+            )
+        with pytest.raises(ValidationError):
+            FabricSimulator(
+                devices, FabricConfig(ddio_partition=(1.0, 1.0, 1.0))
+            )
+        with pytest.raises(ValidationError):
+            FabricConfig(quantum_ns=16.0)  # fcfs ignores quanta
+        with pytest.raises(ValidationError):
+            FabricConfig(arbiter="sliced", quantum_ns=-2.0)
+
+
+class TestFaithfulCacheFabric:
+    """The line-accurate cache substrate behind ``cache_model="faithful"``."""
+
+    def _run(self, *, ddio_partition=None, seed: int = 11):
+        victim = FabricDevice(
+            workload=build_workload("fixed", size=512, load_gbps=5.0, duplex=True),
+            model="dpdk",
+            packets=150,
+            name="victim",
+            ring_depth=64,
+            payload_window=256 * KIB,
+        )
+        aggressor = FabricDevice(
+            workload=build_workload("imix", load_gbps=None, duplex=True),
+            model="kernel",
+            packets=600,
+            name="aggressor",
+            payload_window=1 * MIB,
+            payload_cache_state="device_warm",
+        )
+        fabric = FabricConfig(
+            cache_model="faithful",
+            ddio_partition=ddio_partition,
+        )
+        return FabricSimulator([victim, aggressor], fabric).run(seed=seed)
+
+    def test_faithful_fabric_runs_and_conserves(self):
+        result = self._run()
+        for record in result.devices:
+            for path in (record.result.tx, record.result.rx):
+                assert (
+                    path.delivered_packets + path.drops + path.in_flight
+                    == path.offered_packets
+                )
+        # Real-address warming: the victim's host-warm window and rings
+        # are resident, so its reads overwhelmingly hit.
+        victim = result.device("victim").result.host
+        assert victim.descriptor_cache_hit_rate > 0.9
+        assert victim.payload_cache_hit_rate > 0.9
+
+    def test_faithful_partition_uses_per_owner_way_budgets(self):
+        from repro.sim.cache import SetAssociativeCache
+        from repro.sim.fabric import SharedHost
+
+        fabric = FabricConfig(
+            cache_model="faithful", ddio_partition=(1.0, 1.0)
+        )
+        configs = [
+            NicHostConfig(system=fabric.system, payload_window=256 * KIB)
+            for _ in range(2)
+        ]
+        shared = SharedHost(fabric, configs, [64, 64], seed=3)
+        payload_cache = shared.host.root_complex.cache
+        descriptor_cache = shared.descriptor_rc.cache
+        assert isinstance(payload_cache, SetAssociativeCache)
+        assert isinstance(descriptor_cache, SetAssociativeCache)
+        # Both caches split their DDIO ways between the two owners.
+        assert len(payload_cache.ddio_way_split) == 2
+        assert len(descriptor_cache.ddio_way_split) == 2
+        assert sum(payload_cache.ddio_way_split) <= payload_cache.ddio_ways
+        # Warming is preparation, not measurement.
+        assert payload_cache.stats.read_hits == 0
+        assert payload_cache.stats.write_misses == 0
+
+    def test_faithful_partitioned_run_protects_victim_rings(self):
+        shared = self._run()
+        partitioned = self._run(ddio_partition=(1.0, 1.0))
+        # Device-warm aggressor writes allocate through the DDIO ways of
+        # the shared descriptor/payload caches; with partitioning they
+        # can only evict the aggressor's own lines, so the victim's ring
+        # hit rate can only improve.
+        assert (
+            partitioned.device("victim").result.host.descriptor_cache_hit_rate
+            >= shared.device("victim").result.host.descriptor_cache_hit_rate
+        )
+
+    def test_cache_model_validation(self):
+        with pytest.raises(ValidationError):
+            FabricConfig(cache_model="magic")
