@@ -11,6 +11,7 @@ from repro.core.config import PAPER_DEFAULT_CONFIG
 from repro.core.nic import MODERN_NIC_KERNEL
 from repro.sim.dma import DmaEngine
 from repro.sim.host import HostSystem
+from repro.sim.nicsim import simulate_nic
 from repro.units import KIB
 
 
@@ -67,3 +68,32 @@ def test_micro_simulated_bandwidth_run(benchmark):
         warmup_rounds=1,
     )
     assert result.transactions == 1000
+
+
+def test_micro_streaming_mode_memory_is_o1_in_packet_count():
+    """``retain_samples=False`` memory does not grow with the packet count.
+
+    The sketch's bucket occupancy is a function of the latency *dynamic
+    range*, not of how many packets were summarised: quadrupling the run
+    length must leave the number of occupied buckets essentially flat
+    (never the 4x a retained sample store pays).  This is the regression
+    guard for the fleet-scale O(1)-memory contract.
+    """
+    runs = {}
+    for packets in (1_000, 4_000):
+        result = simulate_nic(
+            "dpdk",
+            workload="imix",
+            packets=packets,
+            load_gbps=20.0,
+            retain_samples=False,
+            seed=7,
+        )
+        sketch = result.tx.latency.sketch
+        assert sketch is not None
+        assert sketch.count >= packets // 2
+        runs[packets] = sketch.bucket_count
+    # A generous fixed allowance for newly-touched tail buckets; the 4x
+    # run would need ~4x the buckets if memory scaled with packet count.
+    assert runs[4_000] <= runs[1_000] + 64
+    assert runs[4_000] < runs[1_000] * 2

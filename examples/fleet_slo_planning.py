@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Plan a rack against a latency SLO: spread or pack the noisy tenants?
+
+A capacity planner's question the single-host chapters cannot answer
+alone: given a Zipf-skewed tenant population and a latency SLO on the
+victim's p99, does spreading tenants across every host or packing them
+onto half the rack keep more hosts inside the SLO?  This example sweeps
+rack size x placement policy, runs each fleet with O(1)-memory streaming
+statistics (per-host quantile sketches merged rack-wide), and prints the
+SLO-violation table both policies produce.
+
+Run with::
+
+    python examples/fleet_slo_planning.py
+"""
+
+from repro.analysis import format_fleet_summary, format_table
+from repro.bench import FleetParams, run_fleet_benchmark
+
+#: Latency SLO on each host's victim p99 (ns).
+SLO_NS = 20_000.0
+
+RACK_SIZES = (4, 8)
+POLICIES = ("spread", "pack")
+
+
+def main() -> None:
+    """Rack size x placement grid, scored against the SLO."""
+    rows = []
+    last = None
+    for hosts in RACK_SIZES:
+        for policy in POLICIES:
+            params = FleetParams(
+                hosts=hosts,
+                placement=policy,
+                tenants=2 * hosts,
+                victim_packets=200,
+                aggressor_packets=800,
+                seed=7,
+            )
+            result = run_fleet_benchmark(params)
+            fraction = result.slo_violation_fraction(SLO_NS)
+            rows.append(
+                [
+                    hosts,
+                    policy,
+                    f"{result.fleet_latency.p99:.0f}",
+                    f"{fraction * 100:.0f}%",
+                    ", ".join(result.violating_hosts(SLO_NS)) or "-",
+                ]
+            )
+            last = result
+    print(
+        format_table(
+            [
+                "hosts",
+                "placement",
+                "fleet p99 (ns)",
+                f"violating p99 < {SLO_NS:.0f} ns",
+                "violating hosts",
+            ],
+            rows,
+            title="Placement policy vs the fleet-wide latency SLO",
+        )
+    )
+    print()
+    print("Detail of the last run:")
+    print()
+    assert last is not None
+    print(format_fleet_summary(last.as_dict(), thresholds_ns=(SLO_NS,)))
+
+
+if __name__ == "__main__":
+    main()

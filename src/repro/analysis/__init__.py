@@ -6,6 +6,11 @@ from .contention import (
     format_contention_summary,
     jain_fairness_index,
 )
+from .fleet import (
+    default_slo_thresholds,
+    fleet_slo_fractions,
+    format_fleet_summary,
+)
 from .report import experiments_markdown, summary_line, write_experiments_markdown
 from .table import format_nicsim_summary, format_series_table, format_table
 
@@ -14,6 +19,9 @@ __all__ = [
     "device_slowdowns",
     "format_contention_summary",
     "jain_fairness_index",
+    "default_slo_thresholds",
+    "fleet_slo_fractions",
+    "format_fleet_summary",
     "experiments_markdown",
     "summary_line",
     "write_experiments_markdown",

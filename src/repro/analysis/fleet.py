@@ -1,0 +1,162 @@
+"""SLO analysis for rack-scale fleet runs.
+
+Renders :meth:`repro.bench.fleet.FleetResult.as_dict` records (plain
+dictionaries, so this module stays independent of the simulator) as a
+per-host table plus the fleet's SLO scorecard: for each latency threshold,
+the fraction of hosts whose victim tail latency breaks it — the language a
+capacity planner speaks when comparing placement policies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import AnalysisError
+from .table import format_table
+
+
+def _host_tail(host: dict, metric: str) -> float:
+    latency = host.get("victim_latency") or {}
+    if metric not in latency:
+        raise AnalysisError(
+            f"host {host.get('name')!r} has no {metric!r} latency statistic"
+        )
+    return float(latency[metric])
+
+
+def fleet_slo_fractions(
+    record: dict,
+    thresholds_ns: Sequence[float],
+    *,
+    metric: str = "p99",
+) -> dict[float, float]:
+    """Fraction of hosts violating each SLO threshold.
+
+    Args:
+        record: a ``FleetResult.as_dict()`` output.
+        thresholds_ns: latency thresholds to score.
+        metric: which tail statistic to compare (``"p90"``/``"p99"``/
+            ``"p99.9"`` keys of the serialised latency summary).
+
+    Returns:
+        ``{threshold: violating_fraction}`` in the given threshold order.
+    """
+    hosts = record.get("hosts") or []
+    if not hosts:
+        raise AnalysisError("fleet record has no hosts")
+    fractions = {}
+    for threshold in thresholds_ns:
+        if threshold <= 0.0:
+            raise AnalysisError(
+                f"thresholds must be positive, got {threshold}"
+            )
+        violations = sum(
+            1 for host in hosts if _host_tail(host, metric) > threshold
+        )
+        fractions[float(threshold)] = violations / len(hosts)
+    return fractions
+
+
+def default_slo_thresholds(record: dict) -> tuple[float, ...]:
+    """Data-driven default thresholds spanning the rack's p99 spread.
+
+    Quarter points between the best and worst host p99 (plus the ends),
+    so the scorecard always shows where the violating fraction moves —
+    whatever the latency scale of the scenario.
+    """
+    hosts = record.get("hosts") or []
+    if not hosts:
+        raise AnalysisError("fleet record has no hosts")
+    tails = sorted(_host_tail(host, "p99") for host in hosts)
+    low, high = tails[0], tails[-1]
+    if high <= low:
+        return (low,)
+    return tuple(
+        low + (high - low) * fraction for fraction in (0.0, 0.25, 0.5, 0.75, 1.0)
+    )
+
+
+def format_fleet_summary(
+    record: dict,
+    *,
+    thresholds_ns: Sequence[float] | None = None,
+    metric: str = "p99",
+) -> str:
+    """Text report of one fleet run: per-host table plus the SLO scorecard."""
+    params = record.get("params") or {}
+    hosts = record.get("hosts") or []
+    if not hosts:
+        raise AnalysisError("fleet record has no hosts")
+    fleet_latency = record.get("fleet_latency") or {}
+
+    title = (
+        f"Fleet: {params.get('hosts')} hosts, "
+        f"placement={params.get('placement')}, "
+        f"tenants={params.get('tenants')} (zipf {params.get('tenant_skew')}), "
+        f"profile={params.get('load_profile')}, "
+        f"arbiter={params.get('arbiter')} on {params.get('system')}"
+    )
+    host_rows = []
+    for host in hosts:
+        latency = host.get("victim_latency") or {}
+        load = host.get("aggressor_load_gbps")
+        host_rows.append(
+            [
+                host.get("name"),
+                "-" if load is None else f"{load:.1f}",
+                f"{float(latency.get('median', 0.0)):.0f}",
+                f"{_host_tail(host, 'p99'):.0f}",
+                f"{_host_tail(host, 'p99.9'):.0f}",
+                f"{float(host.get('victim_throughput_gbps', 0.0)):.2f}",
+                host.get("victim_drops"),
+            ]
+        )
+    sections = [
+        format_table(
+            [
+                "host",
+                "aggressor (Gb/s)",
+                "victim median (ns)",
+                "p99 (ns)",
+                "p99.9 (ns)",
+                "delivered (Gb/s)",
+                "drops",
+            ],
+            host_rows,
+            title=title,
+        )
+    ]
+
+    if fleet_latency:
+        sections.append(
+            format_table(
+                ["fleet metric", "ns"],
+                [
+                    [key, f"{float(value):.1f}"]
+                    for key, value in fleet_latency.items()
+                    if key not in ("count", "sketch")
+                ]
+                + [["count", fleet_latency.get("count")]],
+                title="Rack-wide victim latency (merged sketches)",
+            )
+        )
+
+    if thresholds_ns is None:
+        thresholds_ns = default_slo_thresholds(record)
+    fractions = fleet_slo_fractions(record, thresholds_ns, metric=metric)
+    slo_rows = [
+        [
+            f"{threshold:.0f}",
+            f"{fraction * 100.0:.0f}%",
+            f"{round(fraction * len(hosts))}/{len(hosts)}",
+        ]
+        for threshold, fraction in fractions.items()
+    ]
+    sections.append(
+        format_table(
+            [f"SLO: {metric} < (ns)", "violating", "hosts"],
+            slo_rows,
+            title="SLO scorecard",
+        )
+    )
+    return "\n\n".join(sections)

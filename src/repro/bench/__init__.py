@@ -10,6 +10,13 @@ from .contention import (
     run_contention_benchmark,
     solo_device_params,
 )
+from .fleet import (
+    FLEET_KIND,
+    FleetHostResult,
+    FleetParams,
+    FleetResult,
+    run_fleet_benchmark,
+)
 from .latency import lat_rd, lat_wrrd, run_latency_benchmark
 from .nicsim import NICSIM_KIND, NicSimParams, run_nicsim_benchmark
 from .params import (
@@ -43,6 +50,11 @@ __all__ = [
     "NicSimParams",
     "run_nicsim_benchmark",
     "CONTENTION_KIND",
+    "FLEET_KIND",
+    "FleetHostResult",
+    "FleetParams",
+    "FleetResult",
+    "run_fleet_benchmark",
     "FOUR_DEVICE_NAMES",
     "ContentionParams",
     "four_device_mix",

@@ -395,6 +395,7 @@ def _fabric_device(device: NicSimParams, name: str) -> FabricDevice:
         payload_cache_state=device.payload_cache_state,
         payload_placement=device.payload_placement,
         seed=device.seed,
+        retain_samples=device.retain_samples,
     )
 
 

@@ -63,6 +63,9 @@ class NicSimParams:
             ``"zipf"``/``"skewed"``, ``"hot"``); ignored when
             ``num_queues == 1``.
         seed: workload RNG seed (``None`` uses the library default).
+        retain_samples: keep per-packet latency arrays (the default).
+            ``False`` streams latencies through an O(1)-memory quantile
+            sketch instead — the mode fleet-scale runs use.
     """
 
     model: str = "Simple NIC"
@@ -83,6 +86,7 @@ class NicSimParams:
     dma_tags: int | None = None
     rss: str = "uniform"
     seed: int | None = None
+    retain_samples: bool = True
 
     def __post_init__(self) -> None:
         # Normalise aliases ("dpdk") to the canonical model name and fail
@@ -191,6 +195,8 @@ class NicSimParams:
             parts.append(f"rss={self.rss}")
         if self.dma_tags is not None:
             parts.append(f"tags={self.dma_tags}")
+        if not self.retain_samples:
+            parts.append("streaming")
         if not self.duplex:
             parts.append("tx-only")
         if self.system is not None:
@@ -236,6 +242,8 @@ class NicSimParams:
             record["rss"] = self.rss
         if self.dma_tags is not None:
             record["dma_tags"] = self.dma_tags
+        if not self.retain_samples:
+            record["retain_samples"] = False
         return record
 
     @classmethod
@@ -261,5 +269,6 @@ def run_nicsim_benchmark(params: NicSimParams) -> NicSimResult:
         num_queues=params.num_queues,
         dma_tags=params.dma_tags,
         rss=params.rss,
+        retain_samples=params.retain_samples,
         seed=params.seed,
     )

@@ -20,6 +20,7 @@ import numpy as np
 from ..errors import AnalysisError, ValidationError
 from ..sim.fabric import ContentionResult
 from ..sim.nicsim import NicSimResult
+from .fleet import FleetResult
 from .params import BenchmarkParams
 from .stats import LatencyStats
 
@@ -122,12 +123,14 @@ def _optional_float(value: object) -> float | None:
 
 
 def save_results_json(
-    results: Sequence["BenchmarkResult | NicSimResult | ContentionResult"],
+    results: Sequence[
+        "BenchmarkResult | NicSimResult | ContentionResult | FleetResult"
+    ],
     path: str | Path,
     *,
     include_samples: bool = False,
 ) -> None:
-    """Write results to a JSON file (micro-benchmark, simulation, contention)."""
+    """Write results to a JSON file (micro-benchmark, simulation, contention, fleet)."""
     records = [
         result.as_dict(include_samples=include_samples)
         if isinstance(result, BenchmarkResult)
@@ -139,7 +142,7 @@ def save_results_json(
 
 def load_results_json(
     path: str | Path,
-) -> list["BenchmarkResult | NicSimResult | ContentionResult"]:
+) -> list["BenchmarkResult | NicSimResult | ContentionResult | FleetResult"]:
     """Read results back from saved JSON.
 
     Handles both plain micro-benchmark files and mixed files written by
@@ -147,18 +150,23 @@ def load_results_json(
     ``"kind": "NICSIM"`` are rebuilt as
     :class:`~repro.sim.nicsim.NicSimResult`, records tagged
     ``"kind": "CONTENTION"`` as
-    :class:`~repro.sim.fabric.ContentionResult`.
+    :class:`~repro.sim.fabric.ContentionResult`, and records tagged
+    ``"kind": "FLEET"`` as :class:`~repro.bench.fleet.FleetResult`.
     """
     text = Path(path).read_text()
     records = json.loads(text)
     if not isinstance(records, list):
         raise AnalysisError(f"expected a list of results in {path}")
-    rebuilt: list["BenchmarkResult | NicSimResult | ContentionResult"] = []
+    rebuilt: list[
+        "BenchmarkResult | NicSimResult | ContentionResult | FleetResult"
+    ] = []
     for record in records:
         if record.get("kind") == "NICSIM":
             rebuilt.append(NicSimResult.from_dict(record))
         elif record.get("kind") == "CONTENTION":
             rebuilt.append(ContentionResult.from_dict(record))
+        elif record.get("kind") == "FLEET":
+            rebuilt.append(FleetResult.from_dict(record))
         else:
             rebuilt.append(BenchmarkResult.from_dict(record))
     return rebuilt

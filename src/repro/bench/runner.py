@@ -29,15 +29,16 @@ from .contention import (
     noisy_neighbour_pair,
     run_contention_benchmark,
 )
+from .fleet import FleetParams, FleetResult, run_fleet_benchmark
 from .latency import run_latency_benchmark
 from .nicsim import NicSimParams, run_nicsim_benchmark
 from .params import BenchmarkKind, BenchmarkParams, WINDOW_SWEEP
 from .results import BenchmarkResult, save_results_csv, save_results_json
 
 #: Anything the runner can execute.
-RunnableParams = BenchmarkParams | NicSimParams | ContentionParams
+RunnableParams = BenchmarkParams | NicSimParams | ContentionParams | FleetParams
 #: Anything the runner can produce.
-RunnerResult = BenchmarkResult | NicSimResult | ContentionResult
+RunnerResult = BenchmarkResult | NicSimResult | ContentionResult | FleetResult
 
 
 @dataclass
@@ -79,6 +80,8 @@ class BenchmarkRunner:
 
     def run(self, params: RunnableParams) -> RunnerResult:
         """Run a single benchmark (micro-benchmark, simulation or contention)."""
+        if isinstance(params, FleetParams):
+            return run_fleet_benchmark(params)
         if isinstance(params, ContentionParams):
             return run_contention_benchmark(params)
         if isinstance(params, NicSimParams):
@@ -187,7 +190,7 @@ class BenchmarkRunner:
             save_results_json(results, path)
         elif fmt == "csv":
             if any(
-                isinstance(result, (NicSimResult, ContentionResult))
+                isinstance(result, (NicSimResult, ContentionResult, FleetResult))
                 for result in results
             ):
                 raise BenchmarkError(
@@ -215,6 +218,10 @@ def _run_isolated(keep_samples: bool, params: RunnableParams) -> RunnerResult:
     Because nothing is shared between runs, serial and parallel execution
     of ``run_all`` produce identical results by construction.
     """
+    if isinstance(params, FleetParams):
+        # A fleet nested inside run_all executes its hosts serially in
+        # this worker; its result is order-reduced and jobs-invariant.
+        return run_fleet_benchmark(params)
     if isinstance(params, ContentionParams):
         return run_contention_benchmark(params)
     if isinstance(params, NicSimParams):

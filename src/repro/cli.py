@@ -37,6 +37,7 @@ from typing import Sequence
 
 from .analysis.ascii_plot import ascii_plot
 from .analysis.contention import format_contention_summary
+from .analysis.fleet import format_fleet_summary
 from .analysis.report import summary_line, write_experiments_markdown
 from .analysis.table import format_nicsim_summary, format_series_table, format_table
 from .bench.contention import (
@@ -45,9 +46,12 @@ from .bench.contention import (
     run_contention_benchmark,
     solo_device_params,
 )
+from .bench.fleet import FleetParams, run_fleet_benchmark
 from .bench.nicsim import NicSimParams, run_nicsim_benchmark
 from .bench.params import BenchmarkKind, BenchmarkParams
+from .bench.results import save_results_json
 from .bench.runner import BenchmarkRunner, full_suite_params
+from .fleet import LOAD_PROFILES, PLACEMENT_POLICIES
 from .core.model import PCIeModel
 from .core.nic import FIGURE1_MODELS, model_by_name
 from .errors import ReproError, UsageError, ValidationError
@@ -230,6 +234,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally print the full per-device datapath tables",
     )
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="rack-scale fleet run: N shared hosts, streamed O(1)-memory "
+        "statistics, SLO scorecard",
+    )
+    fleet.add_argument(
+        "--hosts", type=int, default=8, help="number of shared hosts in the rack"
+    )
+    fleet.add_argument(
+        "--placement", default="spread", choices=list(PLACEMENT_POLICIES),
+        help="tenant placement: spread round-robin, or pack onto half the rack",
+    )
+    fleet.add_argument(
+        "--tenants", type=int, default=16, help="tenant population size"
+    )
+    fleet.add_argument(
+        "--skew", type=float, default=1.2,
+        help="Zipf exponent of the tenant demand distribution (0 = uniform)",
+    )
+    fleet.add_argument(
+        "--profile", default="flat", choices=list(LOAD_PROFILES),
+        help="fleet load curve: flat steady state, diurnal cycle, or a "
+        "flash crowd on the most popular tenant's host",
+    )
+    fleet.add_argument(
+        "--rack-load", type=float, default=240.0,
+        help="nominal aggressor load of the whole rack in Gb/s, split by "
+        "tenant demand share",
+    )
+    fleet.add_argument(
+        "--system", default="NFP6000-HSW", choices=profile_names(),
+        help="Table 1 profile every host runs",
+    )
+    fleet.add_argument(
+        "--arbiter", default="fcfs", choices=list(ARBITER_SCHEMES),
+        help="arbitration scheme at every host's fabric nodes",
+    )
+    fleet.add_argument(
+        "--victim-packets", type=int, default=400,
+        help="packets per direction for each host's victim device",
+    )
+    fleet.add_argument(
+        "--aggressor-packets", type=int, default=2400,
+        help="packets per direction for each aggressor device",
+    )
+    fleet.add_argument(
+        "--jobs", type=int, default=None,
+        help="shard hosts over N worker processes (results bit-identical "
+        "to serial)",
+    )
+    fleet.add_argument(
+        "--threshold", type=float, action="append", default=None,
+        metavar="NS",
+        help="SLO threshold in ns for the scorecard (repeatable; default: "
+        "thresholds spanning the rack's p99 spread)",
+    )
+    fleet.add_argument(
+        "--output", default=None, help="write the JSON fleet record to this path"
+    )
+    fleet.add_argument("--seed", type=int, default=None)
+
     experiment = sub.add_parser("experiment", help="run one figure/table experiment")
     experiment.add_argument("id", choices=experiment_ids())
     experiment.add_argument("--full", action="store_true", help="use full sample counts")
@@ -275,6 +340,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_nicsim(args)
     if args.command == "contend":
         return _cmd_contend(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "suite":
@@ -534,6 +601,31 @@ def _cmd_contend(args: argparse.Namespace) -> int:
                     title=f"Device detail: {device.name}",
                 )
             )
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    params = FleetParams(
+        hosts=args.hosts,
+        placement=args.placement,
+        tenants=args.tenants,
+        tenant_skew=args.skew,
+        load_profile=args.profile,
+        rack_load_gbps=args.rack_load,
+        system=args.system,
+        arbiter=args.arbiter,
+        victim_packets=args.victim_packets,
+        aggressor_packets=args.aggressor_packets,
+        seed=args.seed,
+    )
+    print(params.label(), file=sys.stderr)
+    result = run_fleet_benchmark(params, jobs=args.jobs)
+    print(
+        format_fleet_summary(result.as_dict(), thresholds_ns=args.threshold)
+    )
+    if args.output:
+        save_results_json([result], args.output)
+        print(f"fleet record written to {args.output}", file=sys.stderr)
     return 0
 
 

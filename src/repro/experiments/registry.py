@@ -27,6 +27,7 @@ from . import (
     fig9_iommu,
     fig10_contention,
     fig11_topology,
+    fig12_fleet,
     table1_systems,
     table2_findings,
 )
@@ -49,6 +50,7 @@ _MODULES: tuple[ModuleType, ...] = (
     fig8_knee,
     fig10_contention,
     fig11_topology,
+    fig12_fleet,
     table1_systems,
     table2_findings,
 )

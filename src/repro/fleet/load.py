@@ -1,0 +1,78 @@
+"""Fleet-level load curves: diurnal cycles and flash crowds.
+
+The per-host aggressor demand of a rack is the product of three factors:
+the host's tenant demand share (:mod:`repro.fleet.tenants`), the rack's
+nominal per-host load, and a *load profile* factor modelling when in the
+demand cycle the measurement window falls:
+
+* ``"flat"`` — every host at its nominal demand (the steady state);
+* ``"diurnal"`` — a cosine day/night cycle across the rack: hosts serve
+  time-zone-sheared populations, so host ``h`` of ``n`` sits at phase
+  ``2*pi*h/n`` of the cycle, between :data:`DIURNAL_TROUGH` and 1.0 of
+  nominal;
+* ``"flash"`` — steady state plus a flash crowd: the host carrying the
+  most popular tenant sees :data:`FLASH_FACTOR` times its nominal demand
+  while the rest of the rack stays flat.
+
+All profiles are deterministic functions of (profile, host count, flash
+host), so the same fleet description always yields the same factors.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ValidationError
+
+#: Load profiles understood by :func:`load_profile_factors`.
+LOAD_PROFILES = ("flat", "diurnal", "flash")
+
+#: Night-time floor of the diurnal cycle (fraction of nominal demand).
+DIURNAL_TROUGH = 0.35
+
+#: Demand multiplier a flash crowd puts on its target host.
+FLASH_FACTOR = 3.0
+
+
+def canonical_load_profile(profile: str) -> str:
+    """Normalise and validate a load-profile name."""
+    key = str(profile).strip().lower()
+    if key not in LOAD_PROFILES:
+        raise ValidationError(
+            f"unknown load profile {profile!r}; known: "
+            + ", ".join(LOAD_PROFILES)
+        )
+    return key
+
+
+def load_profile_factors(
+    profile: str, hosts: int, *, flash_host: int = 0
+) -> tuple[float, ...]:
+    """Per-host demand multipliers for a load profile.
+
+    Args:
+        profile: one of :data:`LOAD_PROFILES`.
+        hosts: rack size.
+        flash_host: index of the host the flash crowd lands on (only
+            meaningful for the ``"flash"`` profile; callers pass the host
+            that carries the most popular tenant).
+    """
+    if hosts < 1:
+        raise ValidationError(f"hosts must be positive, got {hosts}")
+    key = canonical_load_profile(profile)
+    if key == "flat":
+        return (1.0,) * hosts
+    if key == "diurnal":
+        swing = 1.0 - DIURNAL_TROUGH
+        return tuple(
+            DIURNAL_TROUGH
+            + swing * 0.5 * (1.0 + math.cos(2.0 * math.pi * host / hosts))
+            for host in range(hosts)
+        )
+    if not 0 <= flash_host < hosts:
+        raise ValidationError(
+            f"flash_host must be within [0, {hosts}), got {flash_host}"
+        )
+    return tuple(
+        FLASH_FACTOR if host == flash_host else 1.0 for host in range(hosts)
+    )

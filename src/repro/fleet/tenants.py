@@ -1,0 +1,99 @@
+"""Tenant populations and their placement onto rack hosts.
+
+A rack serves a population of tenants whose traffic demand follows the
+heavy-tailed popularity the measurement literature keeps finding: a few
+tenants dominate the offered load.  :func:`zipf_tenant_weights` builds that
+population as a normalised Zipf weight vector, and :func:`place_tenants`
+maps it onto hosts under one of two placement policies:
+
+* ``"spread"`` deals tenants round-robin across every host (weight rank
+  order), the balanced default of a bin-packing scheduler;
+* ``"pack"`` fills the first half of the rack block by block and leaves
+  the remaining hosts tenant-free — consolidation for power or locality,
+  at the price of concentrating the aggressor load.
+
+Both policies are pure functions of their arguments (no RNG), so a fleet
+description alone pins which host carries which tenants.
+"""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+
+#: Placement policies understood by :func:`place_tenants`.
+PLACEMENT_POLICIES = ("spread", "pack")
+
+
+def canonical_placement(policy: str) -> str:
+    """Normalise and validate a placement policy name."""
+    key = str(policy).strip().lower()
+    if key not in PLACEMENT_POLICIES:
+        raise ValidationError(
+            f"unknown placement policy {policy!r}; known: "
+            + ", ".join(PLACEMENT_POLICIES)
+        )
+    return key
+
+
+def zipf_tenant_weights(tenants: int, skew: float = 1.2) -> tuple[float, ...]:
+    """Normalised Zipf demand weights for a tenant population.
+
+    Tenant ``i`` (zero-based popularity rank) gets weight proportional to
+    ``1 / (i + 1) ** skew``; the vector sums to 1.  ``skew=0`` degenerates
+    to a uniform population.
+    """
+    if tenants < 1:
+        raise ValidationError(f"tenants must be positive, got {tenants}")
+    if skew < 0.0:
+        raise ValidationError(f"tenant skew must be non-negative, got {skew}")
+    raw = [1.0 / float(rank + 1) ** skew for rank in range(tenants)]
+    total = sum(raw)
+    return tuple(weight / total for weight in raw)
+
+
+def place_tenants(
+    tenants: int, hosts: int, policy: str
+) -> tuple[tuple[int, ...], ...]:
+    """Assign tenant indices (popularity rank order) to hosts.
+
+    Returns one tuple of tenant indices per host.  ``"spread"`` deals
+    tenant ``i`` to host ``i % hosts``; ``"pack"`` fills the first
+    ``max(1, hosts // 2)`` hosts in contiguous blocks, leaving the tail
+    of the rack tenant-free.
+    """
+    if hosts < 1:
+        raise ValidationError(f"hosts must be positive, got {hosts}")
+    if tenants < 1:
+        raise ValidationError(f"tenants must be positive, got {tenants}")
+    key = canonical_placement(policy)
+    assignment: list[list[int]] = [[] for _ in range(hosts)]
+    if key == "spread":
+        for tenant in range(tenants):
+            assignment[tenant % hosts].append(tenant)
+    else:
+        packed_hosts = max(1, hosts // 2)
+        block = -(-tenants // packed_hosts)  # ceil division
+        for tenant in range(tenants):
+            assignment[min(tenant // block, packed_hosts - 1)].append(tenant)
+    return tuple(tuple(host) for host in assignment)
+
+
+def host_demand_shares(
+    weights: tuple[float, ...] | list[float],
+    placement: tuple[tuple[int, ...], ...],
+) -> tuple[float, ...]:
+    """Per-host share of the population's demand under a placement.
+
+    Sums the Zipf weight of every tenant placed on each host; the shares
+    sum to 1 across the rack (hosts without tenants get 0).
+    """
+    shares = []
+    for tenant_indices in placement:
+        for tenant in tenant_indices:
+            if not 0 <= tenant < len(weights):
+                raise ValidationError(
+                    f"placement names tenant {tenant} but the population "
+                    f"has {len(weights)} tenants"
+                )
+        shares.append(sum(weights[tenant] for tenant in tenant_indices))
+    return tuple(shares)

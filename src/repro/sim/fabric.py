@@ -89,6 +89,8 @@ from .nicsim import (
     _Datapath,
     _direction_result,
     _EventLoop,
+    _streaming_warmup_threshold,
+    _WarmupGate,
 )
 from .profiles import get_profile
 from .rng import DEFAULT_SEED, SimRng
@@ -218,6 +220,10 @@ class FabricDevice:
             device's buffer working set on the shared host.
         seed: workload/RSS seed for this device; ``None`` inherits the
             fabric run seed.
+        retain_samples: per-packet sample retention
+            (:attr:`~repro.sim.nicsim.NicSimConfig.retain_samples`);
+            fleet runs set this false so per-device latency streams
+            through an O(1)-memory sketch.
     """
 
     workload: Workload
@@ -232,6 +238,7 @@ class FabricDevice:
     payload_cache_state: str = "host_warm"
     payload_placement: str = "local"
     seed: int | None = None
+    retain_samples: bool = True
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -261,6 +268,7 @@ class FabricDevice:
             host=self.host_config(fabric),
             num_queues=self.num_queues,
             dma_tags=self.dma_tags,
+            retain_samples=self.retain_samples,
         )
 
 
@@ -880,6 +888,17 @@ class FabricSimulator:
             workload = device.workload
             directions: list[tuple[str, list[_Datapath]]] = []
             for direction in ("tx", "rx") if workload.duplex else ("tx",):
+                warmup_gate = (
+                    None
+                    if device.retain_samples
+                    else _WarmupGate(
+                        _streaming_warmup_threshold(
+                            device.packets,
+                            warmup_fraction=sim_config.warmup_fraction,
+                            ring_depth=device.ring_depth,
+                        )
+                    )
+                )
                 queues = [
                     _Datapath(
                         direction,
@@ -896,6 +915,7 @@ class FabricSimulator:
                         queue_index=queue_index,
                         num_queues=device.num_queues,
                         host_port=port,
+                        warmup_gate=warmup_gate,
                     )
                     for queue_index in range(device.num_queues)
                 ]
@@ -942,10 +962,9 @@ class FabricSimulator:
             duration = max(
                 [0.0]
                 + [
-                    max(path.notifies)
+                    path.max_notify
                     for _, queues in directions
                     for path in queues
-                    if path.notifies
                 ]
             )
             overall_duration = max(overall_duration, duration)

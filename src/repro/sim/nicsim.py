@@ -79,6 +79,7 @@ from ..core.config import PAPER_DEFAULT_CONFIG, PCIeConfig
 from ..core.nic import FIGURE1_MODELS, NicModel, model_by_name
 from ..core.transactions import OpKind
 from ..errors import SimulationError, ValidationError
+from ..stats import QuantileSketch
 from ..units import bytes_over_time_to_gbps, ns_to_s
 from ..workloads import Workload, build_flow_model, build_workload, rss_queues
 from .engine import SerialResource, TagPool
@@ -120,6 +121,17 @@ class NicSimConfig:
             outstanding.  ``None`` (default) models an infinitely deep
             pool — the historical behaviour, where host latency can only
             stretch the latency distribution, never cap throughput.
+        retain_samples: when true (default) per-packet event times are
+            kept in full, exactly as before — O(packets) memory, exact
+            percentiles, ``last_traces`` populated.  When false, latency
+            samples stream through a mergeable
+            :class:`~repro.stats.QuantileSketch` instead (O(1) memory
+            w.r.t. packet count, percentiles within the sketch's 0.5%
+            documented relative error) and warmup is applied as an
+            a-priori packet-count cutoff rather than the retained-mode
+            sort-by-completion rule — statistically equivalent, not
+            bit-identical.  Fleet-scale runs (:mod:`repro.fleet`) use
+            this mode so results survive 10^8-packet sweeps.
     """
 
     ring_depth: int = 512
@@ -130,6 +142,7 @@ class NicSimConfig:
     host: NicHostConfig | None = None
     num_queues: int = 1
     dma_tags: int | None = None
+    retain_samples: bool = True
 
     def __post_init__(self) -> None:
         if self.ring_depth <= 0:
@@ -248,7 +261,17 @@ class DmaTagStats:
 
 @dataclass(frozen=True)
 class LatencySummary:
-    """Per-packet latency percentiles in nanoseconds."""
+    """Per-packet latency percentiles in nanoseconds.
+
+    Built either from raw samples (:meth:`from_samples`, exact numpy
+    percentiles) or from a streaming :class:`~repro.stats.QuantileSketch`
+    (:meth:`from_sketch`, percentiles within the sketch's documented
+    relative-error bound; the sketch itself rides along on ``sketch`` so
+    downstream consumers — the fleet reduce step — can keep merging).
+    A summary with ``count == 0`` is the explicit empty representation
+    (a fleet host whose device saw no traffic in a window): every
+    statistic is zero and no consumer needs to special-case an exception.
+    """
 
     count: int
     mean: float
@@ -258,13 +281,28 @@ class LatencySummary:
     p999: float
     minimum: float
     maximum: float
+    sketch: QuantileSketch | None = None
+
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        """The summary of zero samples (all statistics zero)."""
+        return cls(
+            count=0,
+            mean=0.0,
+            median=0.0,
+            p90=0.0,
+            p99=0.0,
+            p999=0.0,
+            minimum=0.0,
+            maximum=0.0,
+        )
 
     @classmethod
     def from_samples(cls, samples_ns: np.ndarray) -> "LatencySummary":
-        """Compute the summary from raw samples."""
+        """Compute the summary from raw samples (empty input → :meth:`empty`)."""
         samples = np.asarray(samples_ns, dtype=np.float64)
         if samples.size == 0:
-            raise SimulationError("cannot summarise zero latency samples")
+            return cls.empty()
         return cls(
             count=int(samples.size),
             mean=float(np.mean(samples)),
@@ -276,9 +314,31 @@ class LatencySummary:
             maximum=float(np.max(samples)),
         )
 
-    def as_dict(self) -> dict[str, float]:
+    @classmethod
+    def from_sketch(cls, sketch: QuantileSketch) -> "LatencySummary":
+        """Summarise a quantile sketch (the O(1)-memory streaming path).
+
+        Count, mean, min and max are exact; the percentiles carry the
+        sketch's relative-error bound (0.5% at the default accuracy).
+        The sketch is attached so shard summaries stay mergeable.
+        """
+        if sketch.count == 0:
+            return cls.empty()
+        return cls(
+            count=sketch.count,
+            mean=sketch.mean,
+            median=sketch.quantile(0.5),
+            p90=sketch.quantile(0.90),
+            p99=sketch.quantile(0.99),
+            p999=sketch.quantile(0.999),
+            minimum=sketch.minimum,
+            maximum=sketch.maximum,
+            sketch=sketch,
+        )
+
+    def as_dict(self) -> dict[str, object]:
         """Serialisable representation."""
-        return {
+        record: dict[str, object] = {
             "count": self.count,
             "mean": self.mean,
             "median": self.median,
@@ -288,10 +348,14 @@ class LatencySummary:
             "min": self.minimum,
             "max": self.maximum,
         }
+        if self.sketch is not None:
+            record["sketch"] = self.sketch.as_dict()
+        return record
 
     @classmethod
     def from_dict(cls, data: dict) -> "LatencySummary":
         """Rebuild a latency summary from :meth:`as_dict` output."""
+        sketch = data.get("sketch")
         return cls(
             count=int(data["count"]),
             mean=float(data["mean"]),
@@ -301,6 +365,7 @@ class LatencySummary:
             p999=float(data["p99.9"]),
             minimum=float(data["min"]),
             maximum=float(data["max"]),
+            sketch=QuantileSketch.from_dict(sketch) if sketch else None,
         )
 
 
@@ -613,6 +678,104 @@ def _ignore(_now: float) -> None:
     """Completion sink for transactions nothing waits on."""
 
 
+def _streaming_warmup_threshold(
+    packets: int, *, warmup_fraction: float, ring_depth: int
+) -> int:
+    """A-priori warmup cutoff for streaming (``retain_samples=False``) runs.
+
+    Mirrors the retained-mode rule in :func:`_path_statistics`, with the
+    *offered* packet count standing in for the delivered count — which a
+    streaming run cannot know until it ends, and by then the early samples
+    would already have polluted the sketch.
+    """
+    return max(
+        int(packets * warmup_fraction),
+        min(ring_depth, packets // 2),
+    )
+
+
+class _WarmupGate:
+    """Shared per-direction warmup counter for streaming-mode statistics.
+
+    All queues of one direction report their deliveries through one gate,
+    so the first ``threshold`` packets of the *direction* (in completion-
+    report order, the order ``_flush`` observes) are excluded — the
+    streaming analogue of retained mode's sort-by-completion warmup cut.
+    """
+
+    __slots__ = ("threshold", "seen")
+
+    def __init__(self, threshold: int) -> None:
+        self.threshold = threshold
+        self.seen = 0
+
+    def admit(self) -> bool:
+        """True when the packet falls past the warmup cutoff (measure it)."""
+        measured = self.seen >= self.threshold
+        self.seen += 1
+        return measured
+
+
+class _StreamStats:
+    """O(1)-memory measurement accumulator for one queue (streaming mode).
+
+    Holds what :func:`_path_statistics` would have recomputed from the
+    retained arrays: a latency sketch over the post-warmup samples plus
+    the measurement window (first/last completion, byte and packet
+    totals) that throughput and packet rate derive from.  ``merge`` folds
+    queues into their direction aggregate.
+    """
+
+    __slots__ = ("sketch", "count", "payload_bytes", "first_done", "first_size", "last_done")
+
+    def __init__(self) -> None:
+        self.sketch = QuantileSketch()
+        self.count = 0
+        self.payload_bytes = 0
+        self.first_done = float("inf")
+        self.first_size = 0
+        self.last_done = float("-inf")
+
+    def record(self, latency_ns: float, done: float, size: int) -> None:
+        self.sketch.add(latency_ns)
+        self.count += 1
+        self.payload_bytes += size
+        if done < self.first_done:
+            self.first_done = done
+            self.first_size = size
+        if done > self.last_done:
+            self.last_done = done
+
+    def merge(self, other: "_StreamStats") -> "_StreamStats":
+        self.sketch.merge(other.sketch)
+        self.count += other.count
+        self.payload_bytes += other.payload_bytes
+        if other.first_done < self.first_done:
+            self.first_done = other.first_done
+            self.first_size = other.first_size
+        self.last_done = max(self.last_done, other.last_done)
+        return self
+
+    def statistics(self) -> tuple[float, float, LatencySummary | None]:
+        """Throughput (Gb/s), packet rate (pps) and latency summary.
+
+        Matches the retained-mode measurement rules: the first measured
+        packet marks t0 (its own bytes precede the window) and fewer than
+        two measured packets yield no statistics.
+        """
+        if self.count < 2:
+            return 0.0, 0.0, None
+        throughput = 0.0
+        rate = 0.0
+        elapsed = self.last_done - self.first_done
+        if elapsed > 0.0:
+            throughput = bytes_over_time_to_gbps(
+                self.payload_bytes - self.first_size, elapsed
+            )
+            rate = (self.count - 1) / ns_to_s(elapsed)
+        return throughput, rate, LatencySummary.from_sketch(self.sketch)
+
+
 class _Datapath:
     """One queue of one direction (TX or RX) of the simulated NIC datapath.
 
@@ -639,6 +802,7 @@ class _Datapath:
         queue_index: int = 0,
         num_queues: int = 1,
         host_port: "object | None" = None,
+        warmup_gate: _WarmupGate | None = None,
     ) -> None:
         self.direction = direction
         self.queue_index = queue_index
@@ -697,6 +861,21 @@ class _Datapath:
         self.offered = 0
         self.offered_bytes = 0
         self.dropped_bytes = 0
+        self.delivered = 0
+        self.delivered_bytes = 0
+        #: Latest completion-report time seen (the run duration source in
+        #: both modes — streaming runs have no notify list to max over).
+        self.max_notify = 0.0
+        #: Streaming-mode accumulator; ``None`` in retained mode, where
+        #: the per-packet lists above are kept instead.
+        self.stream: _StreamStats | None = None
+        self._warmup_gate = warmup_gate
+        if not sim_config.retain_samples:
+            self.stream = _StreamStats()
+            if self._warmup_gate is None:
+                # Direct construction without a shared gate: measure from
+                # the first packet (the runners always pass a gate).
+                self._warmup_gate = _WarmupGate(0)
 
     # -- sequence compilation ---------------------------------------------------
 
@@ -1006,11 +1185,7 @@ class _Datapath:
         """The driver learned about a batch: free ring entries, sample stats."""
         self.ring.release(report, len(batch))
         for arrival, done, size in batch:
-            notify = max(done, report)
-            self.arrivals.append(arrival)
-            self.dones.append(done)
-            self.notifies.append(notify)
-            self.delivered_sizes.append(size)
+            self._record(arrival, done, max(done, report), size)
 
     def finish(self) -> None:
         """Account packets whose completion report never fired (end of run).
@@ -1023,30 +1198,44 @@ class _Datapath:
         """
         batch, self._pending = self._pending, []
         for arrival, done, size in batch:
+            self._record(arrival, done, done, size)
+
+    def _record(self, arrival: float, done: float, notify: float, size: int) -> None:
+        """One delivered packet: retained mode appends, streaming sketches."""
+        self.delivered += 1
+        self.delivered_bytes += size
+        if notify > self.max_notify:
+            self.max_notify = notify
+        if self.stream is None:
             self.arrivals.append(arrival)
             self.dones.append(done)
-            self.notifies.append(done)
+            self.notifies.append(notify)
             self.delivered_sizes.append(size)
+        elif self._warmup_gate.admit():
+            self.stream.record(notify - arrival, done, size)
 
     # -- statistics -------------------------------------------------------------
 
     def result(self) -> PathResult:
         """Summarise this queue (or the whole direction, single-queue)."""
-        throughput, rate, latency = _path_statistics(
-            self.arrivals,
-            self.dones,
-            self.notifies,
-            self.delivered_sizes,
-            warmup_fraction=self._sim_config.warmup_fraction,
-            ring_depth=self._sim_config.ring_depth,
-        )
+        if self.stream is None:
+            throughput, rate, latency = _path_statistics(
+                self.arrivals,
+                self.dones,
+                self.notifies,
+                self.delivered_sizes,
+                warmup_fraction=self._sim_config.warmup_fraction,
+                ring_depth=self._sim_config.ring_depth,
+            )
+        else:
+            throughput, rate, latency = self.stream.statistics()
         return PathResult(
             direction=self.label,
             offered_packets=self.offered,
-            delivered_packets=len(self.dones),
+            delivered_packets=self.delivered,
             drops=self.ring.drops,
             in_flight=self.ring.waiting,
-            payload_bytes=int(sum(self.delivered_sizes)),
+            payload_bytes=self.delivered_bytes,
             offered_bytes=self.offered_bytes,
             dropped_bytes=self.dropped_bytes,
             throughput_gbps=throughput,
@@ -1115,18 +1304,27 @@ def _direction_result(
     if len(queues) == 1:
         return queues[0].result()
     per_queue = tuple(queue.result() for queue in queues)
-    arrivals = [time for queue in queues for time in queue.arrivals]
-    dones = [time for queue in queues for time in queue.dones]
-    notifies = [time for queue in queues for time in queue.notifies]
-    sizes = [size for queue in queues for size in queue.delivered_sizes]
-    throughput, rate, latency = _path_statistics(
-        arrivals,
-        dones,
-        notifies,
-        sizes,
-        warmup_fraction=sim_config.warmup_fraction,
-        ring_depth=sim_config.ring_depth,
-    )
+    if queues[0].stream is not None:
+        # Streaming mode: fold the per-queue sketches/windows in queue
+        # order — integer bucket counts make the merged quantiles exact
+        # under any order, fixed order keeps the float sums bit-stable.
+        merged = _StreamStats()
+        for queue in queues:
+            merged.merge(queue.stream)
+        throughput, rate, latency = merged.statistics()
+    else:
+        arrivals = [time for queue in queues for time in queue.arrivals]
+        dones = [time for queue in queues for time in queue.dones]
+        notifies = [time for queue in queues for time in queue.notifies]
+        sizes = [size for queue in queues for size in queue.delivered_sizes]
+        throughput, rate, latency = _path_statistics(
+            arrivals,
+            dones,
+            notifies,
+            sizes,
+            warmup_fraction=sim_config.warmup_fraction,
+            ring_depth=sim_config.ring_depth,
+        )
     ring = RingStats(
         depth=sim_config.ring_depth,
         posts=sum(result.ring.posts for result in per_queue),
@@ -1237,6 +1435,17 @@ class NicDatapathSimulator:
         )
         directions: list[tuple[str, list[_Datapath]]] = []
         for direction in ("tx", "rx") if workload.duplex else ("tx",):
+            warmup_gate = (
+                None
+                if self.sim_config.retain_samples
+                else _WarmupGate(
+                    _streaming_warmup_threshold(
+                        packets,
+                        warmup_fraction=self.sim_config.warmup_fraction,
+                        ring_depth=self.sim_config.ring_depth,
+                    )
+                )
+            )
             queues = [
                 _Datapath(
                     direction,
@@ -1252,6 +1461,7 @@ class NicDatapathSimulator:
                     tags=tags,
                     queue_index=index,
                     num_queues=num_queues,
+                    warmup_gate=warmup_gate,
                 )
                 for index in range(num_queues)
             ]
@@ -1284,6 +1494,8 @@ class NicDatapathSimulator:
             for path in queues:
                 path.finish()
 
+        # Streaming runs keep no per-packet arrays, so there is no trace
+        # to publish; retained runs expose the full trace as before.
         self.last_traces = {
             direction: PathTrace(
                 direction=direction,
@@ -1306,14 +1518,13 @@ class NicDatapathSimulator:
                 ),
             )
             for direction, queues in directions
-        }
+        } if self.sim_config.retain_samples else {}
         duration = max(
             [0.0]
             + [
-                max(path.notifies)
+                path.max_notify
                 for _, queues in directions
                 for path in queues
-                if path.notifies
             ]
         )
         results = [
@@ -1355,6 +1566,7 @@ def simulate_nic(
     dma_tags: int | None = None,
     rss: str = "uniform",
     flow_count: int = 64,
+    retain_samples: bool = True,
     seed: int | None = None,
     config: PCIeConfig = PAPER_DEFAULT_CONFIG,
 ) -> NicSimResult:
@@ -1372,6 +1584,9 @@ def simulate_nic(
     by flow; if the workload carries no flow model one is attached from
     the ``rss`` scenario name (``"uniform"``, ``"zipf"``/``"skewed"``,
     ``"hot"``) with ``flow_count`` distinct flows.
+
+    ``retain_samples=False`` selects the O(1)-memory streaming-statistics
+    mode (see :class:`NicSimConfig`).
     """
     if isinstance(workload, str):
         workload = build_workload(
@@ -1392,6 +1607,7 @@ def simulate_nic(
             host=host,
             num_queues=num_queues,
             dma_tags=dma_tags,
+            retain_samples=retain_samples,
         ),
     )
     return simulator.run(workload, packets, seed=seed)

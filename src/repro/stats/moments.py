@@ -1,0 +1,164 @@
+"""Streaming mean/variance via Welford's algorithm with Chan's merge.
+
+:class:`StreamingMoments` keeps count, mean and the centred second moment
+(M2) in O(1) memory.  ``push`` is the classic numerically stable Welford
+update; ``merge`` is Chan et al.'s pairwise combination, so shards can
+compute moments independently and combine them.  Unlike the integer
+bucket counts of :class:`~repro.stats.sketch.QuantileSketch`, the float
+accumulators here are only bit-stable for a *fixed* merge order — the
+fleet reduce merges shards in host-index order for exactly that reason.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+from ..errors import ValidationError
+
+
+class StreamingMoments:
+    """O(1)-memory count / mean / variance / min / max accumulator."""
+
+    __slots__ = ("_count", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # -- ingest ----------------------------------------------------------------
+
+    def push(self, value: float) -> None:
+        """Fold one value into the running moments (Welford update)."""
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValidationError(f"moment values must be finite, got {value}")
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def push_many(self, values: Iterable[float]) -> None:
+        """Fold values one at a time (bit-identical to repeated :meth:`push`)."""
+        for value in values:
+            self.push(value)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ValidationError("cannot query statistics of empty moments")
+        return self._mean
+
+    @property
+    def minimum(self) -> float:
+        if self._count == 0:
+            raise ValidationError("cannot query statistics of empty moments")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._count == 0:
+            raise ValidationError("cannot query statistics of empty moments")
+        return self._max
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the values pushed so far."""
+        if self._count == 0:
+            raise ValidationError("cannot query statistics of empty moments")
+        return self._m2 / self._count
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    # -- merge -----------------------------------------------------------------
+
+    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+        """Fold ``other`` into this accumulator in place (Chan's formula)."""
+        if not isinstance(other, StreamingMoments):
+            raise ValidationError(
+                f"can only merge StreamingMoments, got {type(other).__name__}"
+            )
+        if other._count == 0:
+            return self
+        if self._count == 0:
+            self._count = other._count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            return self
+        total = self._count + other._count
+        delta = other._mean - self._mean
+        self._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * self._count * other._count / total
+        )
+        self._mean += delta * other._count / total
+        self._count = total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        return self
+
+    def copy(self) -> "StreamingMoments":
+        clone = StreamingMoments()
+        clone._count = self._count
+        clone._mean = self._mean
+        clone._m2 = self._m2
+        clone._min = self._min
+        clone._max = self._max
+        return clone
+
+    # -- serialisation ---------------------------------------------------------
+
+    def as_dict(self) -> dict[str, object]:
+        record: dict[str, object] = {
+            "count": self._count,
+            "mean": self._mean,
+            "m2": self._m2,
+        }
+        if self._count:
+            record["min"] = self._min
+            record["max"] = self._max
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, object]) -> "StreamingMoments":
+        moments = cls()
+        moments._count = int(record.get("count", 0))
+        moments._mean = float(record.get("mean", 0.0))
+        moments._m2 = float(record.get("m2", 0.0))
+        if moments._count:
+            moments._min = float(record["min"])  # type: ignore[index]
+            moments._max = float(record["max"])  # type: ignore[index]
+        return moments
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StreamingMoments):
+            return NotImplemented
+        return (
+            self._count == other._count
+            and self._mean == other._mean
+            and self._m2 == other._m2
+            and self._min == other._min
+            and self._max == other._max
+        )
+
+    def __repr__(self) -> str:
+        return f"StreamingMoments(count={self._count})"

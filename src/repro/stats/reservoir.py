@@ -1,0 +1,169 @@
+"""Seeded, mergeable reservoir sampling by hashed priority.
+
+A classic reservoir sampler draws a random number per item, which makes
+the kept sample depend on arrival order and on how the stream was split
+across shards.  :class:`ReservoirSample` instead assigns every item a
+deterministic 64-bit priority — a splitmix64 hash of ``(seed, tag)``
+where ``tag`` is the item's position in its shard's stream — and keeps
+the ``capacity`` items with the *smallest* priorities (bottom-k).
+
+Because the priority is a pure function of ``(seed, tag)``:
+
+* the same seed and the same stream always keep the same sample
+  (seeded determinism);
+* ``merge`` (union, then keep the k smallest priorities again) is
+  associative and commutative, so shard samples combine into exactly the
+  set a single sampler over the concatenated streams would have kept —
+  provided shards use distinct seeds or disjoint tag ranges, which the
+  fleet guarantees by seeding each host's reservoir from its own RNG
+  substream.
+
+The kept items are returned in priority order (:meth:`values`), giving a
+stable, uniformly random subset of the stream for trace capture.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import ValidationError
+
+_MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+def _splitmix64(value: int) -> int:
+    """The splitmix64 finaliser: a high-quality 64-bit integer hash."""
+    value = (value + 0x9E37_79B9_7F4A_7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58_476D_1CE4_E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D0_49BB_1331_11EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+class ReservoirSample:
+    """Bottom-k reservoir of floats with deterministic hashed priorities."""
+
+    __slots__ = ("capacity", "seed", "_next_tag", "_offered", "_items")
+
+    def __init__(self, capacity: int, seed: int) -> None:
+        if capacity <= 0:
+            raise ValidationError(f"capacity must be positive, got {capacity}")
+        if not isinstance(seed, int):
+            raise ValidationError(f"seed must be an integer, got {seed!r}")
+        self.capacity = int(capacity)
+        self.seed = int(seed) & _MASK64
+        self._next_tag = 0
+        self._offered = 0
+        # (priority, seed, tag, value) tuples; the seed/tag fields break
+        # priority ties deterministically across merged shards.
+        self._items: list[tuple[int, int, int, float]] = []
+
+    # -- ingest ----------------------------------------------------------------
+
+    def add(self, value: float) -> None:
+        """Offer one value to the reservoir."""
+        tag = self._next_tag
+        self._next_tag += 1
+        self._offered += 1
+        priority = _splitmix64(_splitmix64(self.seed) ^ tag)
+        self._offer((priority, self.seed, tag, float(value)))
+
+    def add_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def _offer(self, item: tuple[int, int, int, float]) -> None:
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            self._items.sort()
+            return
+        if item[:3] < self._items[-1][:3]:
+            self._items[-1] = item
+            self._items.sort()
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Total values offered (not kept) across all merged shards.
+
+        Assumes merged shards sampled *disjoint* streams (distinct seeds
+        or tag ranges) — the fleet's per-host substreams guarantee this.
+        """
+        return self._offered
+
+    def values(self) -> list[float]:
+        """The kept sample, in priority order (stable across runs)."""
+        return [item[3] for item in self._items]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    # -- merge -----------------------------------------------------------------
+
+    def merge(self, other: "ReservoirSample") -> "ReservoirSample":
+        """Fold ``other``'s kept items into this reservoir in place.
+
+        Associative and commutative: the result keeps the ``capacity``
+        smallest priorities of the union, regardless of merge order.
+        """
+        if not isinstance(other, ReservoirSample):
+            raise ValidationError(
+                f"can only merge ReservoirSample, got {type(other).__name__}"
+            )
+        if other.capacity != self.capacity:
+            raise ValidationError(
+                "cannot merge reservoirs with different capacities "
+                f"({self.capacity} != {other.capacity})"
+            )
+        merged = sorted(self._items + other._items)
+        self._items = merged[: self.capacity]
+        self._next_tag = max(self._next_tag, other._next_tag)
+        self._offered += other._offered
+        return self
+
+    def copy(self) -> "ReservoirSample":
+        clone = ReservoirSample(self.capacity, self.seed)
+        clone._next_tag = self._next_tag
+        clone._offered = self._offered
+        clone._items = list(self._items)
+        return clone
+
+    # -- serialisation ---------------------------------------------------------
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "capacity": self.capacity,
+            "seed": self.seed,
+            "offered": self._offered,
+            "next_tag": self._next_tag,
+            "items": [list(item) for item in self._items],
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, object]) -> "ReservoirSample":
+        reservoir = cls(int(record["capacity"]), int(record["seed"]))  # type: ignore[index]
+        reservoir._offered = int(record.get("offered", 0))
+        reservoir._next_tag = int(record.get("next_tag", reservoir._offered))
+        items = record.get("items", [])
+        if not isinstance(items, Sequence):
+            raise ValidationError("reservoir record field 'items' must be a list")
+        reservoir._items = [
+            (int(item[0]), int(item[1]), int(item[2]), float(item[3]))
+            for item in items
+        ]
+        reservoir._items.sort()
+        return reservoir
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ReservoirSample):
+            return NotImplemented
+        return (
+            self.capacity == other.capacity
+            and self._items == other._items
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ReservoirSample(capacity={self.capacity}, kept={len(self._items)}, "
+            f"offered={self._offered})"
+        )

@@ -1,0 +1,134 @@
+"""Tests for the fleet SLO analysis helpers (repro.analysis.fleet)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    default_slo_thresholds,
+    fleet_slo_fractions,
+    format_fleet_summary,
+)
+from repro.errors import AnalysisError
+
+
+def _latency(p99: float) -> dict:
+    return {
+        "count": 100,
+        "mean": p99 / 2.0,
+        "median": p99 / 3.0,
+        "p90": p99 * 0.8,
+        "p99": p99,
+        "p99.9": p99 * 1.2,
+        "min": 100.0,
+        "max": p99 * 1.5,
+    }
+
+
+def _record() -> dict:
+    return {
+        "kind": "FLEET",
+        "params": {
+            "hosts": 3,
+            "placement": "pack",
+            "tenants": 6,
+            "tenant_skew": 1.2,
+            "load_profile": "flat",
+            "system": "NFP6000-HSW",
+            "arbiter": "fcfs",
+        },
+        "hosts": [
+            {
+                "name": "host0",
+                "aggressor_load_gbps": 40.0,
+                "victim_latency": _latency(30_000.0),
+                "victim_throughput_gbps": 4.2,
+                "victim_drops": 3,
+            },
+            {
+                "name": "host1",
+                "aggressor_load_gbps": 20.0,
+                "victim_latency": _latency(20_000.0),
+                "victim_throughput_gbps": 4.8,
+                "victim_drops": 0,
+            },
+            {
+                "name": "host2",
+                "aggressor_load_gbps": None,
+                "victim_latency": _latency(6_000.0),
+                "victim_throughput_gbps": 5.0,
+                "victim_drops": 0,
+            },
+        ],
+        "fleet_latency": _latency(25_000.0),
+    }
+
+
+class TestSloFractions:
+    def test_fractions_follow_the_thresholds(self):
+        fractions = fleet_slo_fractions(
+            _record(), (5_000.0, 10_000.0, 25_000.0, 50_000.0)
+        )
+        assert fractions == {
+            5_000.0: 1.0,
+            10_000.0: 2 / 3,
+            25_000.0: 1 / 3,
+            50_000.0: 0.0,
+        }
+
+    def test_alternate_metric(self):
+        fractions = fleet_slo_fractions(
+            _record(), (30_000.0,), metric="p99.9"
+        )
+        # p99.9 = 1.2 * p99: hosts at 36k and 24k straddle the threshold.
+        assert fractions[30_000.0] == 1 / 3
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(AnalysisError):
+            fleet_slo_fractions({"hosts": []}, (1.0,))
+        with pytest.raises(AnalysisError):
+            fleet_slo_fractions(_record(), (0.0,))
+        with pytest.raises(AnalysisError):
+            fleet_slo_fractions(_record(), (1.0,), metric="p12")
+
+
+class TestDefaultThresholds:
+    def test_quarter_points_span_the_p99_spread(self):
+        thresholds = default_slo_thresholds(_record())
+        assert thresholds[0] == pytest.approx(6_000.0)
+        assert thresholds[-1] == pytest.approx(30_000.0)
+        assert len(thresholds) == 5
+        assert list(thresholds) == sorted(thresholds)
+
+    def test_degenerate_rack_gets_a_single_threshold(self):
+        record = _record()
+        for host in record["hosts"]:
+            host["victim_latency"] = _latency(10_000.0)
+        assert default_slo_thresholds(record) == (10_000.0,)
+
+    def test_empty_record_is_an_error(self):
+        with pytest.raises(AnalysisError):
+            default_slo_thresholds({})
+
+
+class TestFormatFleetSummary:
+    def test_summary_contains_all_three_sections(self):
+        text = format_fleet_summary(_record())
+        assert "Fleet: 3 hosts" in text
+        assert "placement=pack" in text
+        assert "host0" in text and "host2" in text
+        # The aggressor-free host renders a dash, not a load.
+        assert "-" in text
+        assert "Rack-wide victim latency (merged sketches)" in text
+        assert "SLO scorecard" in text
+
+    def test_explicit_thresholds_drive_the_scorecard(self):
+        text = format_fleet_summary(_record(), thresholds_ns=(10_000.0,))
+        assert "10000" in text
+        assert "2/3" in text
+
+    def test_missing_latency_metric_is_an_error(self):
+        record = _record()
+        del record["hosts"][0]["victim_latency"]["p99"]
+        with pytest.raises(AnalysisError):
+            format_fleet_summary(record)

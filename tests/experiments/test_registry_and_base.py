@@ -35,6 +35,7 @@ class TestRegistry:
             "figure-8-knee",
             "figure-10-contention",
             "figure-11-topology",
+            "figure-12-fleet",
             "table-1",
             "table-2",
         ]

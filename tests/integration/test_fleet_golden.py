@@ -1,0 +1,115 @@
+"""Golden-output and sharding-identity tests for the fleet subsystem.
+
+``fleet_seeded.json`` pins a seeded 3-host packed rack: the serialised
+parameters must reproduce the serialised result bit for bit (within float
+tolerance), any change to the per-host seeding, the streaming sketches or
+the host-order reduce is caught explicitly.  The sharding tests pin the
+fleet determinism contract itself: ``jobs=1`` and ``jobs=2`` must produce
+identical serialised records, sketches included.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.fleet import FleetParams, FleetResult, run_fleet_benchmark
+from repro.bench.results import load_results_json, save_results_json
+from repro.cli import main
+from repro.experiments.registry import run_experiment
+
+from test_nicsim_golden import assert_deep_close
+
+GOLDEN_PATH = Path(__file__).parent.parent / "golden" / "fleet_seeded.json"
+
+
+class TestSeededFleetGolden:
+    def test_seeded_fleet_matches_checked_in_record(self):
+        # To regenerate after an intentional behaviour change:
+        #   params = FleetParams.from_dict(golden["params"])
+        #   json.dump({"params": params.as_dict(),
+        #              "result": run_fleet_benchmark(params).as_dict()}, ...)
+        golden = json.loads(GOLDEN_PATH.read_text())
+        params = FleetParams.from_dict(golden["params"])
+        assert params.as_dict() == golden["params"]
+        result = run_fleet_benchmark(params)
+        assert_deep_close(result.as_dict(), golden["result"])
+
+    def test_golden_record_round_trips_through_dict(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        restored = FleetResult.from_dict(golden["result"])
+        assert_deep_close(restored.as_dict(), golden["result"])
+        assert FleetResult.from_dict(restored.as_dict()) == restored
+
+    def test_golden_hosts_stream_their_latencies(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        for host in golden["result"]["hosts"]:
+            assert "sketch" in host["victim_latency"]
+        assert "sketch" in golden["result"]["fleet_latency"]
+
+
+class TestShardingIdentity:
+    def test_serial_and_sharded_fleet_records_are_bit_identical(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        params = FleetParams.from_dict(golden["params"])
+        serial = run_fleet_benchmark(params)
+        sharded = run_fleet_benchmark(params, jobs=2)
+        assert serial == sharded
+        assert json.dumps(serial.as_dict()) == json.dumps(sharded.as_dict())
+
+
+class TestFleetResultsFile:
+    def test_fleet_records_survive_the_results_file(self, tmp_path):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        result = FleetResult.from_dict(golden["result"])
+        path = tmp_path / "fleet.json"
+        save_results_json([result], path)
+        loaded = load_results_json(path)
+        assert len(loaded) == 1
+        assert isinstance(loaded[0], FleetResult)
+        assert loaded[0] == result
+
+
+class TestFleetCli:
+    def test_fleet_cli_prints_the_scorecard(self, capsys, tmp_path):
+        output = tmp_path / "fleet.json"
+        code = main(
+            [
+                "fleet", "--hosts", "2", "--tenants", "4",
+                "--placement", "pack", "--victim-packets", "100",
+                "--aggressor-packets", "200", "--rack-load", "40",
+                "--seed", "7", "--threshold", "20000",
+                "--output", str(output),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Fleet: 2 hosts" in captured.out
+        assert "Rack-wide victim latency (merged sketches)" in captured.out
+        assert "SLO scorecard" in captured.out
+        assert "FLEET" in captured.err
+        loaded = load_results_json(output)
+        assert len(loaded) == 1 and isinstance(loaded[0], FleetResult)
+
+    def test_fleet_cli_rejects_bad_placement(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--hosts", "2", "--placement", "optimal"])
+        captured = capsys.readouterr()
+        assert "invalid choice" in captured.err
+
+
+class TestFleetExperiment:
+    def test_figure_12_fleet_structure_and_checks(self):
+        result = run_experiment("figure-12-fleet", quick=True)
+        assert result.experiment_id == "figure-12-fleet"
+        assert sorted(result.series) == ["pack", "spread"]
+        assert result.table_headers[0] == "policy, host"
+        assert len(result.checks) == 5
+        assert result.passed, [
+            check.description for check in result.checks if not check.passed
+        ]
+        text = result.to_text()
+        assert "figure-12-fleet" in text
+        assert "tail-SLO" in text

@@ -1,0 +1,150 @@
+"""Property tests for the streaming estimators (repro.stats).
+
+Three contracts the fleet layer depends on:
+
+* sketch quantiles stay within the documented relative-error bound of the
+  exact order statistic (``np.percentile(..., method="lower")``, the
+  nearest-rank definition the sketch targets) — checked across the named
+  workload grid and across arbitrary hypothesis-generated samples;
+* ``merge`` is associative and commutative: quantiles depend only on
+  integer bucket counts, so any grouping of the same shards answers the
+  same quantiles *exactly*;
+* reservoir sampling is a pure function of (seed, stream): the same seed
+  and stream keep the same sample, and shard merges are order-invariant.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.rng import SimRng
+from repro.stats import QuantileSketch, ReservoirSample, StreamingMoments
+from repro.stats.sketch import MIN_TRACKED_VALUE
+from repro.workloads import build_workload, workload_names
+
+QUANTILES = (0.5, 0.9, 0.99, 0.999)
+
+positive_samples = st.lists(
+    st.floats(min_value=1e-3, max_value=1e12, allow_nan=False, allow_infinity=False),
+    min_size=2,
+    max_size=400,
+)
+
+
+def assert_within_bound(sketch: QuantileSketch, samples: np.ndarray) -> None:
+    """Every tracked quantile within ``relative_accuracy`` of nearest rank."""
+    for q in QUANTILES:
+        exact = float(np.percentile(samples, q * 100.0, method="lower"))
+        estimate = sketch.quantile(q)
+        if exact <= MIN_TRACKED_VALUE:
+            assert estimate <= MIN_TRACKED_VALUE
+        else:
+            assert abs(estimate - exact) <= sketch.relative_accuracy * exact + 1e-12
+
+
+class TestSketchAccuracy:
+    @pytest.mark.parametrize("workload_name", workload_names())
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_quantiles_within_bound_across_workload_grid(self, workload_name, seed):
+        """Sketching a workload's realised gap/size stream stays in bound."""
+        workload = build_workload(workload_name, load_gbps=20.0)
+        schedule = workload.generate(1500, SimRng(seed))
+        gaps = np.diff(schedule.arrival_times_ns)
+        for samples in (gaps, schedule.sizes.astype(np.float64)):
+            sketch = QuantileSketch()
+            sketch.add_many(samples)
+            assert_within_bound(sketch, samples)
+            assert sketch.count == samples.size
+            assert sketch.minimum == float(samples.min())
+            assert sketch.maximum == float(samples.max())
+
+    @given(values=positive_samples)
+    @settings(max_examples=50, deadline=None)
+    def test_quantiles_within_bound_for_arbitrary_samples(self, values):
+        samples = np.asarray(values)
+        sketch = QuantileSketch()
+        sketch.add_many(samples)
+        assert_within_bound(sketch, samples)
+
+
+class TestMergeAlgebra:
+    @given(
+        values=positive_samples,
+        split=st.tuples(st.integers(0, 400), st.integers(0, 400)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_associative_and_commutative_on_quantiles(self, values, split):
+        samples = np.asarray(values)
+        lo, hi = sorted((split[0] % samples.size, split[1] % samples.size))
+        parts = [samples[:lo], samples[lo:hi], samples[hi:]]
+        sketches = []
+        for part in parts:
+            sketch = QuantileSketch()
+            sketch.add_many(part)
+            sketches.append(sketch)
+        a, b, c = sketches
+        left = a.copy().merge(b.copy()).merge(c.copy())
+        right = a.copy().merge(b.copy().merge(c.copy()))
+        swapped = c.copy().merge(b.copy()).merge(a.copy())
+        whole = QuantileSketch()
+        whole.add_many(samples)
+        assert left.count == right.count == swapped.count == whole.count
+        for q in QUANTILES:
+            # Integer bucket counts: any grouping or order answers the same
+            # quantiles exactly, and exactly what a single pass answers.
+            assert left.quantile(q) == right.quantile(q)
+            assert left.quantile(q) == swapped.quantile(q)
+            assert left.quantile(q) == whole.quantile(q)
+        # Pairwise merge is fully commutative, floats included.
+        assert a.copy().merge(b.copy()) == b.copy().merge(a.copy())
+
+    @given(values=positive_samples, cut=st.integers(0, 400))
+    @settings(max_examples=25, deadline=None)
+    def test_moments_merge_matches_single_pass(self, values, cut):
+        samples = np.asarray(values)
+        cut %= samples.size
+        whole = StreamingMoments()
+        whole.push_many(samples)
+        left, right = StreamingMoments(), StreamingMoments()
+        left.push_many(samples[:cut])
+        right.push_many(samples[cut:])
+        merged = left.merge(right)
+        assert merged.count == whole.count
+        assert merged.minimum == whole.minimum
+        assert merged.maximum == whole.maximum
+        assert merged.mean == pytest.approx(whole.mean, rel=1e-9, abs=1e-9)
+
+
+class TestReservoirDeterminism:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        count=st.integers(min_value=1, max_value=300),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_same_seed_same_stream_same_sample(self, seed, count):
+        stream = [float(i) * 3.25 for i in range(count)]
+        first = ReservoirSample(16, seed=seed)
+        second = ReservoirSample(16, seed=seed)
+        first.add_many(stream)
+        second.add_many(stream)
+        assert first.values() == second.values()
+        assert len(first) == min(16, count)
+        assert set(first.values()) <= set(stream)
+
+    @given(seeds=st.lists(st.integers(0, 2**32 - 1), min_size=2, max_size=4, unique=True))
+    @settings(max_examples=25, deadline=None)
+    def test_shard_merge_is_order_invariant(self, seeds):
+        shards = []
+        for index, seed in enumerate(seeds):
+            shard = ReservoirSample(8, seed=seed)
+            shard.add_many([float(index * 100 + i) for i in range(40)])
+            shards.append(shard)
+        forward = shards[0].copy()
+        for shard in shards[1:]:
+            forward.merge(shard.copy())
+        backward = shards[-1].copy()
+        for shard in reversed(shards[:-1]):
+            backward.merge(shard.copy())
+        assert forward.values() == backward.values()
+        assert forward.count == backward.count == 40 * len(seeds)
