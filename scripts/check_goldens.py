@@ -1,0 +1,77 @@
+"""Exact (bit-for-bit) golden reproduction check for the event-core refactor.
+
+The golden *tests* compare within a 1e-6 relative tolerance; this script
+holds the simulator to the stricter standard the refactor promises: the
+serialised result records must be **exactly** equal to the committed golden
+files, value for value.  Run it after any change to the event core:
+
+    PYTHONPATH=src python scripts/check_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "golden"
+
+
+def _diff(path: str, old: object, new: object, out: list[str]) -> None:
+    if isinstance(old, dict) and isinstance(new, dict):
+        for key in sorted(set(old) | set(new)):
+            if key not in old:
+                out.append(f"{path}.{key}: only in new")
+            elif key not in new:
+                out.append(f"{path}.{key}: only in golden")
+            else:
+                _diff(f"{path}.{key}", old[key], new[key], out)
+    elif isinstance(old, list) and isinstance(new, list):
+        if len(old) != len(new):
+            out.append(f"{path}: length {len(old)} != {len(new)}")
+        for index, (a, b) in enumerate(zip(old, new)):
+            _diff(f"{path}[{index}]", a, b, out)
+    elif old != new:
+        out.append(f"{path}: golden {old!r} != new {new!r}")
+
+
+def check(name: str, produce) -> bool:
+    golden = json.loads((GOLDEN_DIR / name).read_text())
+    fresh = produce(golden)
+    # Round-trip through JSON so float repr and int/float typing match the
+    # serialised form exactly, as a regenerated file would.
+    fresh = json.loads(json.dumps(fresh))
+    problems: list[str] = []
+    _diff("$", golden["result"], fresh, problems)
+    status = "OK (bit-identical)" if not problems else "MISMATCH"
+    print(f"{name}: {status}")
+    for line in problems[:20]:
+        print(f"  {line}")
+    if len(problems) > 20:
+        print(f"  ... and {len(problems) - 20} more")
+    return not problems
+
+
+def main() -> int:
+    from repro.bench.fleet import FleetParams, run_fleet_benchmark
+    from repro.bench.nicsim import NicSimParams, run_nicsim_benchmark
+
+    ok = True
+    for name in ("nicsim_seeded.json", "nicsim_multiqueue_seeded.json"):
+        ok &= check(
+            name,
+            lambda g: run_nicsim_benchmark(
+                NicSimParams.from_dict(g["params"])
+            ).as_dict(),
+        )
+    ok &= check(
+        "fleet_seeded.json",
+        lambda g: run_fleet_benchmark(
+            FleetParams.from_dict(g["params"])
+        ).as_dict(),
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -399,13 +399,21 @@ def _fabric_device(device: NicSimParams, name: str) -> FabricDevice:
     )
 
 
-def run_contention_benchmark(params: ContentionParams) -> ContentionResult:
+def run_contention_benchmark(
+    params: ContentionParams,
+    *,
+    profile_sink: list | None = None,
+) -> ContentionResult:
     """Run one shared-host contention benchmark as described by ``params``.
 
     A one-device run whose device overrides the seed resolves the run
     seed to that override: a plain ``NICSIM`` run seeds host and workload
     together, so this is what keeps the degenerate case bit-identical to
     :func:`solo_device_params` even under per-device seeding.
+
+    ``profile_sink`` (a caller-owned list) collects the run's
+    :class:`~repro.sim.engine.EngineProfile` when provided — the hook
+    behind the ``pcie-bench contend --profile`` flag.
     """
     seed = params.seed
     if len(params.devices) == 1 and params.devices[0].seed is not None:
@@ -416,4 +424,7 @@ def run_contention_benchmark(params: ContentionParams) -> ContentionResult:
         for device, name in zip(params.devices, params.device_names())
     ]
     simulator = FabricSimulator(devices, fabric)
-    return simulator.run(seed=seed)
+    result = simulator.run(seed=seed)
+    if profile_sink is not None and simulator.last_profile is not None:
+        profile_sink.append(simulator.last_profile)
+    return result

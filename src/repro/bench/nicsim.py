@@ -254,8 +254,17 @@ class NicSimParams:
         return cls(**kwargs)  # type: ignore[arg-type]
 
 
-def run_nicsim_benchmark(params: NicSimParams) -> NicSimResult:
-    """Run one NIC datapath simulation as described by ``params``."""
+def run_nicsim_benchmark(
+    params: NicSimParams,
+    *,
+    profile_sink: list | None = None,
+) -> NicSimResult:
+    """Run one NIC datapath simulation as described by ``params``.
+
+    ``profile_sink`` (a caller-owned list) collects the run's
+    :class:`~repro.sim.engine.EngineProfile` when provided — the hook the
+    ``pcie-bench nicsim --profile`` flag uses.
+    """
     return simulate_nic(
         params.model,
         params.workload,
@@ -271,4 +280,5 @@ def run_nicsim_benchmark(params: NicSimParams) -> NicSimResult:
         rss=params.rss,
         retain_samples=params.retain_samples,
         seed=params.seed,
+        profile_sink=profile_sink,
     )

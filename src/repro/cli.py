@@ -158,6 +158,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="also cross-validate against the analytic NIC model "
         "(fixed-size workloads)",
     )
+    nicsim.add_argument(
+        "--profile", action="store_true",
+        help="report engine throughput (events/s) and per-phase wall "
+        "time (build / events / stats) for every run",
+    )
 
     contend = sub.add_parser(
         "contend",
@@ -232,6 +237,11 @@ def build_parser() -> argparse.ArgumentParser:
     contend.add_argument(
         "--detail", action="store_true",
         help="additionally print the full per-device datapath tables",
+    )
+    contend.add_argument(
+        "--profile", action="store_true",
+        help="report engine throughput (events/s) and per-phase wall "
+        "time (build / events / stats) for every run",
     )
 
     fleet = sub.add_parser(
@@ -434,7 +444,13 @@ def _cmd_nicsim(args: argparse.Namespace) -> int:
         )
         host_config = params.host_config()
         print(params.label(), file=sys.stderr)
-        records.append(run_nicsim_benchmark(params).as_dict())
+        profiles: list = [] if args.profile else None  # type: ignore[assignment]
+        records.append(
+            run_nicsim_benchmark(params, profile_sink=profiles).as_dict()
+        )
+        if profiles:
+            for profile in profiles:
+                print(profile.format(), file=sys.stderr)
     print(format_nicsim_summary(records, title="NIC datapath simulation"))
     if args.compare_analytic:
         rows = []
@@ -582,7 +598,11 @@ def _cmd_contend(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     print(params.label(), file=sys.stderr)
-    result = run_contention_benchmark(params)
+    profiles: list = [] if args.profile else None  # type: ignore[assignment]
+    result = run_contention_benchmark(params, profile_sink=profiles)
+    if profiles:
+        for profile in profiles:
+            print(profile.format(), file=sys.stderr)
     solo = None
     if args.solo_baseline:
         solo = {}
@@ -605,6 +625,11 @@ def _cmd_contend(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
+    if args.jobs is not None and args.jobs < 1:
+        raise UsageError(
+            f"--jobs must be at least 1, got {args.jobs} "
+            "(omit the flag to run serially)"
+        )
     params = FleetParams(
         hosts=args.hosts,
         placement=args.placement,
@@ -646,6 +671,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
+    if args.jobs is not None and args.jobs < 1:
+        raise UsageError(
+            f"--jobs must be at least 1, got {args.jobs} "
+            "(omit the flag to run serially)"
+        )
     params_list = full_suite_params(
         system=args.system, include_contention=args.contention
     )

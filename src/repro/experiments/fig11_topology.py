@@ -30,9 +30,6 @@ topology spec reproduces the implicit flat fabric bit for bit.
 
 from __future__ import annotations
 
-import heapq
-from typing import Callable
-
 from ..bench.contention import (
     ContentionParams,
     noisy_neighbour_pair,
@@ -40,7 +37,7 @@ from ..bench.contention import (
     solo_device_params,
 )
 from ..bench.nicsim import NicSimParams, run_nicsim_benchmark
-from ..sim.engine import ArbitratedResource
+from ..sim.engine import ArbitratedResource, EventLoop
 from ..sim.fabric import ContentionResult
 from .base import Check, ExperimentResult
 
@@ -95,29 +92,23 @@ def _worst_victim_wait(scheme: str, quantum_ns: float | None) -> float:
     under non-preemptive schemes it approaches the full bulk service
     time, under ``sliced`` it is bounded by about two quanta.
     """
-    pending: list[tuple[float, int, Callable[[float], None]]] = []
-    sequence = 0
-
-    def at(time: float, fn: Callable[[float], None]) -> None:
-        nonlocal sequence
-        heapq.heappush(pending, (time, sequence, fn))
-        sequence += 1
-
+    loop = EventLoop()
     resource = ArbitratedResource(
         "fig11.microbench",
         2,
-        schedule=at,
+        schedule=loop.at,
         scheme=scheme,
         weights=WEIGHTS,
         quantum_ns=quantum_ns,
     )
+    resource.attach_loop(loop)
     bulk_service = 100.0
     horizon = 20_000.0
 
     def bulk(start: float) -> None:
         completion = start + bulk_service
         if completion < horizon:
-            at(
+            loop.at(
                 completion,
                 lambda now: resource.request(1, now, bulk_service, bulk),
             )
@@ -127,13 +118,11 @@ def _worst_victim_wait(scheme: str, quantum_ns: float | None) -> float:
     # grant would have started — the worst phase for a non-preemptive
     # scheme.
     for arrival in range(40):
-        at(
+        loop.at(
             float(arrival) * 500.0 + 1.0,
             lambda now: resource.request(0, now, 10.0, lambda start: None),
         )
-    while pending:
-        time, _, fn = heapq.heappop(pending)
-        fn(time)
+    loop.run()
     return resource.stats[0].wait_ns_max
 
 

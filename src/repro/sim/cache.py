@@ -78,7 +78,7 @@ class CacheState(enum.Enum):
             raise ValidationError(f"unknown cache state {value!r}") from exc
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CacheAccessResult:
     """Outcome of one cache access initiated by a DMA."""
 

@@ -22,10 +22,411 @@ per-port arbiters into switch trees.
 from __future__ import annotations
 
 import heapq
+import math
 from collections import deque
+from dataclasses import dataclass
+from operator import itemgetter
 from typing import Callable
 
 from ..errors import SimulationError, ValidationError
+
+
+@dataclass(frozen=True, slots=True)
+class EngineProfile:
+    """Wall-clock phase breakdown of one event-driven simulation run.
+
+    Filled by the simulators' ``--profile`` hook: ``build_s`` covers
+    workload generation and datapath construction, ``events_s`` is the
+    event loop drain (the phase the event-wheel work targets), and
+    ``stats_s`` the statistics summarisation.  ``events`` is the number
+    of events the loop dispatched, so ``events / events_s`` is the
+    engine's raw events-per-second throughput.
+    """
+
+    label: str
+    build_s: float
+    events_s: float
+    stats_s: float
+    events: int
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end wall time of the run."""
+        return self.build_s + self.events_s + self.stats_s
+
+    @property
+    def events_per_sec(self) -> float:
+        """Events dispatched per wall-second of the event phase."""
+        return self.events / self.events_s if self.events_s > 0 else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """Serialisable representation (the perf-smoke record shape)."""
+        return {
+            "label": self.label,
+            "build_s": self.build_s,
+            "events_s": self.events_s,
+            "stats_s": self.stats_s,
+            "total_s": self.total_s,
+            "events": self.events,
+            "events_per_sec": self.events_per_sec,
+        }
+
+    def format(self) -> str:
+        """Human-readable one-block summary for the CLI."""
+        return (
+            f"[profile] {self.label}: {self.events} events in "
+            f"{self.events_s * 1e3:.1f} ms "
+            f"({self.events_per_sec:,.0f} events/s); "
+            f"build {self.build_s * 1e3:.1f} ms, "
+            f"stats {self.stats_s * 1e3:.1f} ms, "
+            f"total {self.total_s * 1e3:.1f} ms"
+        )
+
+
+class HeapEventLoop:
+    """The reference discrete-event scheduler: one binary heap.
+
+    Events are ``(time, sequence, fn)`` records popped in time order with
+    FIFO tie-break on the insertion sequence — the determinism contract
+    every simulator in this package (and every seeded golden) rests on.
+    :class:`EventLoop` is the production scheduler; this class keeps the
+    obviously-correct heap implementation alive as the executable
+    specification the property tests compare the event wheel against,
+    and as a drop-in fallback.
+    """
+
+    __slots__ = (
+        "_heap",
+        "_sequence",
+        "_stream",
+        "_stream_pos",
+        "processed",
+        "running",
+    )
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[float], None]]] = []
+        self._sequence = 0
+        self._stream: list[tuple[float, Callable[[float, object], None], object]] = []
+        self._stream_pos = 0
+        #: Events dispatched so far (the profiling hook's events counter).
+        self.processed = 0
+        #: True while :meth:`run` is draining (see ``EventLoop.running``).
+        self.running = False
+
+    def at(self, time: float, fn: Callable[[float], None]) -> None:
+        """Schedule ``fn(time)``; same-time events run in call order."""
+        heapq.heappush(self._heap, (time, self._sequence, fn))
+        self._sequence += 1
+
+    def reserve(self) -> int:
+        """Claim the next insertion sequence without scheduling anything.
+
+        Pairs with :meth:`at_sequenced`: a caller that *may* schedule an
+        event later — after running code that schedules its own events —
+        can reserve its tie-break position up front, so the eventual event
+        sorts exactly as if it had been scheduled at reservation time.
+        """
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        return sequence
+
+    def at_sequenced(
+        self, time: float, sequence: int, fn: Callable[[float], None]
+    ) -> None:
+        """Schedule ``fn(time)`` under a sequence from :meth:`reserve`."""
+        heapq.heappush(self._heap, (time, sequence, fn))
+
+    def feed(self, time: float, fn: Callable[[float, object], None], arg: object) -> None:
+        """Pre-load one externally generated event (see :meth:`EventLoop.feed`)."""
+        self._stream.append((time, fn, arg))
+
+    def feed_many(self, entries) -> None:
+        """Pre-load ``(time, fn, arg)`` tuples in bulk (see :meth:`feed`)."""
+        self._stream.extend(entries)
+
+    def peek_time(self) -> float:
+        """Earliest pending event time (``inf`` when idle)."""
+        head = self._heap[0][0] if self._heap else math.inf
+        if self._stream_pos < len(self._stream):
+            stream_time = self._stream[self._stream_pos][0]
+            if stream_time < head:
+                head = stream_time
+        return head
+
+    def run(self) -> None:
+        """Dispatch events until none remain."""
+        self._stream.sort(key=itemgetter(0))
+        stream = self._stream
+        stream_len = len(stream)
+        heap = self._heap
+        self.running = True
+        try:
+            while True:
+                pos = self._stream_pos
+                if pos < stream_len:
+                    entry = stream[pos]
+                    # Fed events precede any dynamic event at the same time:
+                    # they were all scheduled before the loop started.
+                    if not heap or entry[0] <= heap[0][0]:
+                        self._stream_pos = pos + 1
+                        self.processed += 1
+                        entry[1](entry[0], entry[2])
+                        continue
+                if not heap:
+                    break
+                time, _, fn = heapq.heappop(heap)
+                self.processed += 1
+                fn(time)
+        finally:
+            self.running = False
+
+
+#: Default calendar-queue geometry: 64 ns buckets are of the order of one
+#: small-DMA link serialisation, so in steady state each bucket holds only
+#: a handful of events; 1024 buckets give a 65 µs rotating window, wider
+#: than any causal delay (host round trips are hundreds of ns), so dynamic
+#: events essentially never overflow to the fallback heap.
+DEFAULT_BUCKET_NS = 64.0
+DEFAULT_NUM_BUCKETS = 1024
+
+
+class EventLoop:
+    """The shared discrete-event scheduler: a bucketed calendar queue.
+
+    Drop-in replacement for :class:`HeapEventLoop` with identical pop
+    order (time-ordered, FIFO on same-time ties — pinned by the
+    wheel-vs-heap property test).  Three ingestion paths, by event shape:
+
+    * :meth:`at` — dynamic events scheduled while the loop runs.  These
+      land in a rotating array of time buckets (width ``bucket_ns``);
+      since simulators schedule into the causal near future, insertion
+      and removal touch a bucket of O(1) occupancy instead of a heap of
+      every pending event.
+    * the **fallback heap** — events beyond the wheel's rotating window
+      (sparse horizons: retry timers, a closed-loop source's next cycle).
+      They migrate into the wheel as the cursor advances.
+    * :meth:`feed` — the pre-generated workload arrivals.  A run begins
+      with every arrival already known and nearly sorted; keeping them
+      out of the wheel entirely (one stable sort, then a pointer walk)
+      beats paying per-event scheduling for half of all events.
+
+    ``peek_time`` exposes the earliest pending event so resources can
+    service back-to-back grants without a scheduler round trip per grant
+    (see :meth:`ArbitratedResource.attach_loop`).
+    """
+
+    __slots__ = (
+        "_buckets",
+        "_bucket_ns",
+        "_num_buckets",
+        "_cursor",
+        "_cursor_time",
+        "_wheel_end",
+        "_wheel_count",
+        "_overflow",
+        "_sequence",
+        "_stream",
+        "_stream_pos",
+        "processed",
+        "running",
+    )
+
+    def __init__(
+        self,
+        *,
+        bucket_ns: float = DEFAULT_BUCKET_NS,
+        num_buckets: int = DEFAULT_NUM_BUCKETS,
+    ) -> None:
+        if bucket_ns <= 0:
+            raise ValidationError(f"bucket_ns must be positive, got {bucket_ns}")
+        if num_buckets <= 0:
+            raise ValidationError(
+                f"num_buckets must be positive, got {num_buckets}"
+            )
+        self._bucket_ns = float(bucket_ns)
+        self._num_buckets = num_buckets
+        self._buckets: list[list[tuple[float, int, Callable[[float], None]]]] = [
+            [] for _ in range(num_buckets)
+        ]
+        self._cursor = 0
+        self._cursor_time = 0.0
+        self._wheel_end = self._bucket_ns * num_buckets
+        self._wheel_count = 0
+        self._overflow: list[tuple[float, int, Callable[[float], None]]] = []
+        self._sequence = 0
+        self._stream: list[tuple[float, Callable[[float, object], None], object]] = []
+        self._stream_pos = 0
+        #: Events dispatched so far (the profiling hook's events counter).
+        self.processed = 0
+        #: True while :meth:`run` is draining.  Batch-granting resources
+        #: check this: outside the loop, a ``peek_time``-based "nothing
+        #: happens before t" conclusion would be unsound, because the
+        #: driver may still schedule arbitrary events before calling run.
+        self.running = False
+
+    def at(self, time: float, fn: Callable[[float], None]) -> None:
+        """Schedule ``fn(time)``; same-time events run in call order."""
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        # _insert, open-coded: this is the hottest scheduling entry point.
+        if time >= self._wheel_end:
+            heapq.heappush(self._overflow, (time, sequence, fn))
+            return
+        if time < self._cursor_time:
+            bucket = self._buckets[self._cursor]
+        else:
+            bucket = self._buckets[
+                int(time / self._bucket_ns) % self._num_buckets
+            ]
+        heapq.heappush(bucket, (time, sequence, fn))
+        self._wheel_count += 1
+
+    def reserve(self) -> int:
+        """Claim the next insertion sequence without scheduling anything.
+
+        Pairs with :meth:`at_sequenced` (see :meth:`HeapEventLoop.reserve`
+        for the contract): lets :class:`ArbitratedResource` hold its
+        wake-up's tie-break position while the grant callback runs, then
+        either schedule under it or batch the next grant inline.
+        """
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        return sequence
+
+    def at_sequenced(
+        self, time: float, sequence: int, fn: Callable[[float], None]
+    ) -> None:
+        """Schedule ``fn(time)`` under a sequence from :meth:`reserve`."""
+        self._insert(time, sequence, fn)
+
+    def _insert(
+        self, time: float, sequence: int, fn: Callable[[float], None]
+    ) -> None:
+        if time >= self._wheel_end:
+            heapq.heappush(self._overflow, (time, sequence, fn))
+            return
+        if time < self._cursor_time:
+            # An event at (or before) the current instant: the cursor's
+            # bucket heap sorts it first, exactly where the heap would.
+            bucket = self._buckets[self._cursor]
+        else:
+            bucket = self._buckets[
+                int(time / self._bucket_ns) % self._num_buckets
+            ]
+        heapq.heappush(bucket, (time, sequence, fn))
+        self._wheel_count += 1
+
+    def feed(self, time: float, fn: Callable[[float, object], None], arg: object) -> None:
+        """Pre-load one externally generated event, dispatched ``fn(time, arg)``.
+
+        Must be called before :meth:`run`.  Fed events are sorted once
+        (stably, so same-time entries keep feed order) and precede any
+        dynamic event at the same timestamp — the exact order a heap
+        gives arrivals scheduled before the loop starts.
+        """
+        self._stream.append((time, fn, arg))
+
+    def feed_many(self, entries) -> None:
+        """Pre-load ``(time, fn, arg)`` tuples in bulk (see :meth:`feed`).
+
+        One ``list.extend`` replaces a method call per arrival — with the
+        workload pre-converted via ``ndarray.tolist()``, feeding a run's
+        whole arrival schedule costs a few C-level calls total.
+        """
+        self._stream.extend(entries)
+
+    def _seek(self) -> bool:
+        """Advance the cursor to the next non-empty bucket.
+
+        Returns False when wheel and overflow are both empty.  Advancing
+        migrates matured overflow events into the bucket they map to; an
+        empty wheel jumps straight to the overflow's window instead of
+        scanning idle buckets.
+        """
+        buckets = self._buckets
+        num = self._num_buckets
+        width = self._bucket_ns
+        overflow = self._overflow
+        while self._wheel_count:
+            if buckets[self._cursor]:
+                return True
+            self._cursor = (self._cursor + 1) % num
+            self._cursor_time += width
+            end = self._wheel_end + width
+            self._wheel_end = end
+            while overflow and overflow[0][0] < end:
+                entry = heapq.heappop(overflow)
+                heapq.heappush(buckets[int(entry[0] / width) % num], entry)
+                self._wheel_count += 1
+        if overflow:
+            lap = int(overflow[0][0] / width)
+            self._cursor = lap % num
+            self._cursor_time = lap * width
+            end = self._cursor_time + num * width
+            self._wheel_end = end
+            while overflow and overflow[0][0] < end:
+                entry = heapq.heappop(overflow)
+                heapq.heappush(buckets[int(entry[0] / width) % num], entry)
+                self._wheel_count += 1
+            return True
+        return False
+
+    def peek_time(self) -> float:
+        """Earliest pending event time (``inf`` when idle)."""
+        head = math.inf
+        if self._wheel_count or self._overflow:
+            self._seek()
+            head = self._buckets[self._cursor][0][0]
+        if self._stream_pos < len(self._stream):
+            stream_time = self._stream[self._stream_pos][0]
+            if stream_time < head:
+                head = stream_time
+        return head
+
+    def run(self) -> None:
+        """Dispatch events until none remain."""
+        self._stream.sort(key=itemgetter(0))
+        stream = self._stream
+        stream_len = len(stream)
+        buckets = self._buckets
+        heappop = heapq.heappop
+        processed = self.processed
+        self.running = True
+        try:
+            while True:
+                if self._wheel_count:
+                    # Fast path: the cursor bucket is usually non-empty in
+                    # steady state, so skip the _seek call entirely.
+                    bucket = buckets[self._cursor]
+                    if not bucket:
+                        self._seek()
+                        bucket = buckets[self._cursor]
+                    head = bucket[0][0]
+                elif self._overflow:
+                    self._seek()
+                    bucket = buckets[self._cursor]
+                    head = bucket[0][0]
+                else:
+                    bucket = None
+                    head = None
+                pos = self._stream_pos
+                if pos < stream_len:
+                    entry = stream[pos]
+                    if head is None or entry[0] <= head:
+                        self._stream_pos = pos + 1
+                        processed += 1
+                        entry[1](entry[0], entry[2])
+                        continue
+                if bucket is None:
+                    break
+                time, _, fn = heappop(bucket)
+                self._wheel_count -= 1
+                processed += 1
+                fn(time)
+        finally:
+            self.processed = processed
+            self.running = False
 
 
 class SerialResource:
@@ -48,6 +449,8 @@ class SerialResource:
     contract is pinned by ``tests/sim/test_engine_primitives.py``.
     """
 
+    __slots__ = ("name", "_free_at", "busy_time", "served")
+
     def __init__(self, name: str, *, free_at: float = 0.0) -> None:
         if free_at < 0:
             raise ValidationError(f"free_at must be non-negative, got {free_at}")
@@ -69,7 +472,9 @@ class SerialResource:
             raise ValidationError(
                 f"earliest_start must be non-negative, got {earliest_start}"
             )
-        start = max(earliest_start, self._free_at)
+        start = self._free_at
+        if earliest_start > start:
+            start = earliest_start
         self._free_at = start + duration
         self.busy_time += duration
         self.served += 1
@@ -94,7 +499,20 @@ class WorkerPool:
     ``acquire(now)`` returns the earliest time a slot is available (which may
     be later than ``now`` if all slots are busy); the caller then reports the
     slot busy until ``release_at`` via ``commit``.
+
+    **Interleaving contract.**  Each ``acquire`` must be followed by its
+    ``commit`` before the next ``acquire``.  ``acquire`` quotes the
+    earliest-freeing slot and ``commit`` replaces exactly that slot; two
+    acquires before any commit would both be quoted the *same* slot, and
+    the second commit would silently replace whichever slot the first
+    commit made earliest — corrupting the pool's timeline.  ``commit``
+    detects the observable symptom (a release time before the slot it
+    replaces frees) and raises :class:`SimulationError` instead of
+    corrupting state; the contract is pinned by
+    ``tests/sim/test_engine_primitives.py``.
     """
+
+    __slots__ = ("slots", "_busy_until")
 
     def __init__(self, slots: int) -> None:
         if slots <= 0:
@@ -122,7 +540,18 @@ class WorkerPool:
             return
         if not self._busy_until:  # pragma: no cover - guarded by slots > 0
             raise SimulationError("worker pool has no slots to replace")
-        # Replace the earliest-finishing slot (the one acquire() handed out).
+        # Replace the earliest-finishing slot (the one acquire() handed
+        # out).  A release before that slot even frees means the caller
+        # committed against a *different* acquire — the interleaving
+        # contract above was broken and a blind replace would corrupt the
+        # pool's timeline.
+        if release_at < self._busy_until[0]:
+            raise SimulationError(
+                "worker pool commit out of order: slot releasing at "
+                f"{release_at} predates the earliest busy slot "
+                f"({self._busy_until[0]}); each acquire must be committed "
+                "before the next acquire"
+            )
         heapq.heapreplace(self._busy_until, release_at)
 
     @property
@@ -157,6 +586,17 @@ class TagPool:
     peak concurrency, how many grants had to wait and for how long.
     """
 
+    __slots__ = (
+        "name",
+        "capacity",
+        "_held",
+        "_waiters",
+        "acquires",
+        "max_in_flight",
+        "waited",
+        "wait_ns_total",
+    )
+
     def __init__(self, name: str, capacity: int) -> None:
         if capacity <= 0:
             raise ValidationError(f"capacity must be positive, got {capacity}")
@@ -184,9 +624,11 @@ class TagPool:
         if now < 0:
             raise ValidationError(f"now must be non-negative, got {now}")
         if self._held < self.capacity:
-            self._held += 1
+            held = self._held + 1
+            self._held = held
             self.acquires += 1
-            self.max_in_flight = max(self.max_in_flight, self._held)
+            if held > self.max_in_flight:
+                self.max_in_flight = held
             grant(now)
         else:
             self._waiters.append((now, grant))
@@ -197,7 +639,8 @@ class TagPool:
             asked, grant = self._waiters.popleft()
             self.acquires += 1
             self.waited += 1
-            self.wait_ns_total += max(0.0, now - asked)
+            if now > asked:
+                self.wait_ns_total += now - asked
             grant(now)
         else:
             if self._held <= 0:
@@ -301,7 +744,33 @@ class ArbitratedResource:
     Determinism: grant order is a pure function of (request times, call
     order, scheme, weights, quantum); same-time dispatch decisions use
     client index as the final tie-break, so runs reproduce bit for bit.
+
+    **Batched grants.**  With :meth:`attach_loop`, back-to-back grants
+    skip the scheduler round trip: when the loop's next pending event is
+    strictly *after* this grant's service end, nothing can change the
+    queues before the resource frees, so the next grant is dispatched
+    inline instead of through a wake-up event.  The wake-up's tie-break
+    sequence is reserved up front (:meth:`EventLoop.reserve`), so when
+    batching is *not* possible the scheduled wake-up sorts exactly where
+    the unbatched code would have put it — pop order, and therefore every
+    seeded golden, is bit-identical either way.
     """
+
+    __slots__ = (
+        "name",
+        "clients",
+        "scheme",
+        "weights",
+        "quantum_ns",
+        "_schedule",
+        "_loop",
+        "_queues",
+        "_sequence",
+        "_busy_until",
+        "_dispatch_pending",
+        "_last_granted",
+        "stats",
+    )
 
     def __init__(
         self,
@@ -345,6 +814,7 @@ class ArbitratedResource:
         self.weights = tuple(float(weight) for weight in weights)
         self.quantum_ns = None if quantum_ns is None else float(quantum_ns)
         self._schedule = schedule
+        self._loop: "EventLoop | HeapEventLoop | None" = None
         # Queue entries are (asked, sequence, remaining, grant, total):
         # remaining == total except for a preempted slice remnant.
         self._queues: tuple[
@@ -427,60 +897,101 @@ class ArbitratedResource:
             ),
         )
 
+    def attach_loop(self, loop: "EventLoop | HeapEventLoop") -> None:
+        """Enable batched grants against ``loop``.
+
+        ``loop`` must be the event loop behind the ``schedule`` hook this
+        resource was constructed with; batching consults its
+        ``peek_time``/``running`` state to prove the inline dispatch is
+        indistinguishable from a scheduled wake-up.
+        """
+        self._loop = loop
+
     def _dispatch(self, now: float) -> None:
-        if now < self._busy_until:  # pragma: no cover - defensive guard
-            return
-        backlog = [
-            index for index in range(self.clients) if self._queues[index]
-        ]
-        if not backlog:
-            return
-        eligible = [
-            index for index in backlog if self._queues[index][0][0] <= now
-        ]
-        if not eligible:
-            # Every queued request is in the caller's future (only possible
-            # when the resource is driven outside an event loop); sleep
-            # until the earliest one arrives.
-            wake = min(self._queues[index][0][0] for index in backlog)
-            self._dispatch_pending = True
-            self._schedule(wake, self._on_free)
-            return
-        client = self._pick(eligible, now)
-        asked, sequence, remaining, grant, total = self._queues[client].popleft()
-        stats = self.stats[client]
-        if (
-            self.scheme == "sliced"
-            and self.quantum_ns is not None
-            and remaining > self.quantum_ns
-        ):
-            # Serve one quantum and put the remnant back at the head of the
-            # client's queue (same asked time and sequence, so fcfs-style
-            # ordering facts about the original request survive slicing).
-            served = self.quantum_ns
-            self._queues[client].appendleft(
-                (asked, sequence, remaining - served, grant, total)
+        loop = self._loop
+        queues = self._queues
+        while True:
+            if now < self._busy_until:  # pragma: no cover - defensive guard
+                return
+            backlog = [
+                index for index in range(self.clients) if queues[index]
+            ]
+            if not backlog:
+                return
+            eligible = [
+                index for index in backlog if queues[index][0][0] <= now
+            ]
+            if not eligible:
+                # Every queued request is in the caller's future (only
+                # possible when the resource is driven outside an event
+                # loop); sleep until the earliest one arrives.
+                wake = min(queues[index][0][0] for index in backlog)
+                self._dispatch_pending = True
+                self._schedule(wake, self._on_free)
+                return
+            client = self._pick(eligible, now)
+            asked, sequence, remaining, grant, total = queues[client].popleft()
+            stats = self.stats[client]
+            sliced_remnant = (
+                self.scheme == "sliced"
+                and self.quantum_ns is not None
+                and remaining > self.quantum_ns
             )
+            if sliced_remnant:
+                # Serve one quantum and put the remnant back at the head
+                # of the client's queue (same asked time and sequence, so
+                # fcfs-style ordering facts about the original request
+                # survive slicing).
+                served = self.quantum_ns
+                queues[client].appendleft(
+                    (asked, sequence, remaining - served, grant, total)
+                )
+            else:
+                served = remaining
             stats.busy_ns_total += served
-            self._busy_until = now + served
+            end = now + served
+            self._busy_until = end
             self._last_granted = client
             self._dispatch_pending = True
-            self._schedule(self._busy_until, self._on_free)
+            if loop is None or not loop.running:
+                # Legacy path: wake up through the scheduler.  The wake-up
+                # is scheduled *before* the grant callback runs, so it
+                # sorts ahead of any same-time event the grant schedules.
+                self._schedule(end, self._on_free)
+                if not sliced_remnant:
+                    self._grant(stats, grant, end - total, asked)
+                return
+            # Batched path: hold the wake-up's tie-break position while
+            # the grant callback runs, then either dispatch the next grant
+            # inline (nothing pending before the service end, so the loop
+            # state at ``end`` is already final) or schedule the wake-up
+            # under the reserved sequence — same pop order either way.
+            wake_sequence = loop.reserve()
+            if not sliced_remnant:
+                self._grant(stats, grant, end - total, asked)
+            if loop.peek_time() > end:
+                self._dispatch_pending = False
+                now = end
+                continue
+            loop.at_sequenced(end, wake_sequence, self._on_free)
             return
-        stats.busy_ns_total += remaining
-        self._busy_until = now + remaining
-        self._last_granted = client
-        self._dispatch_pending = True
-        self._schedule(self._busy_until, self._on_free)
+
+    def _grant(
+        self,
+        stats: ArbiterClientStats,
+        grant: Callable[[float], None],
+        start: float,
+        asked: float,
+    ) -> None:
         # The virtual start backdates a sliced grant so that
         # start + total == the true completion time; for unsliced grants
-        # (remaining == total) it is exactly ``now``.
-        start = now + remaining - total
+        # (remaining == total) it is exactly the dispatch time.
         if start > asked:
             wait = start - asked
             stats.waited += 1
             stats.wait_ns_total += wait
-            stats.wait_ns_max = max(stats.wait_ns_max, wait)
+            if wait > stats.wait_ns_max:
+                stats.wait_ns_max = wait
         grant(start)
 
     def _on_free(self, now: float) -> None:

@@ -68,9 +68,9 @@ Two device-side resource limits complete the picture:
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable
 
 import numpy as np
@@ -82,7 +82,7 @@ from ..errors import SimulationError, ValidationError
 from ..stats import QuantileSketch
 from ..units import bytes_over_time_to_gbps, ns_to_s
 from ..workloads import Workload, build_flow_model, build_workload, rss_queues
-from .engine import SerialResource, TagPool
+from .engine import EngineProfile, EventLoop, SerialResource, TagPool
 from .nichost import HostCoupling, HostSideStats, NicHostConfig
 from .rng import DEFAULT_SEED, SimRng
 
@@ -529,22 +529,11 @@ class NicSimResult:
 # Event-loop machinery
 # ---------------------------------------------------------------------------
 
-
-class _EventLoop:
-    """A minimal discrete-event scheduler (time-ordered, FIFO on ties)."""
-
-    def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Callable[[float], None]]] = []
-        self._sequence = 0
-
-    def at(self, time: float, fn: Callable[[float], None]) -> None:
-        heapq.heappush(self._heap, (time, self._sequence, fn))
-        self._sequence += 1
-
-    def run(self) -> None:
-        while self._heap:
-            time, _, fn = heapq.heappop(self._heap)
-            fn(time)
+#: The scheduler this simulator runs on now lives in :mod:`repro.sim.engine`
+#: (a calendar-queue event wheel with a heap fallback, pop-order-identical
+#: to the heap loop this module used to define); the old private name is
+#: kept as an alias for anything that imported it.
+_EventLoop = EventLoop
 
 
 class _Signal:
@@ -563,13 +552,14 @@ class _Signal:
             fn(now)
 
     def wait(self, now: float, fn: Callable[[float], None]) -> None:
-        if self.time is not None:
-            fn(max(now, self.time))
+        time = self.time
+        if time is not None:
+            fn(time if time > now else now)
         else:
             self._waiters.append(fn)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _CompiledOp:
     """One transaction of a sequence with its serialisation times resolved."""
 
@@ -579,6 +569,9 @@ class _CompiledOp:
     up_ns: float
     down_ns: float
     label: str
+    #: Whether the transaction is a DMA (holds a tag when the pool is
+    #: bounded) — precomputed so the issue path skips the kind test.
+    dma: bool
 
 
 class _Ring:
@@ -591,6 +584,19 @@ class _Ring:
     ring backpressures the sender; a full RX ring drops the packet, since
     the wire does not wait.
     """
+
+    __slots__ = (
+        "name",
+        "depth",
+        "_used",
+        "_waiters",
+        "posts",
+        "drops",
+        "max_occupancy",
+        "_occupancy_integral",
+        "_first_event",
+        "_last_event",
+    )
 
     def __init__(self, name: str, depth: int) -> None:
         self.name = name
@@ -619,9 +625,11 @@ class _Ring:
     def _advance(self, now: float) -> None:
         if self._first_event is None:
             self._first_event = now
+            if now > self._last_event:
+                self._last_event = now
         elif now > self._last_event:
             self._occupancy_integral += self._used * (now - self._last_event)
-        self._last_event = max(self._last_event, now)
+            self._last_event = now
 
     def admit(
         self,
@@ -634,9 +642,11 @@ class _Ring:
         """Claim an entry at ``now``; posts now, later (TX), or drops (RX)."""
         self._advance(now)
         if self._used < self.depth:
-            self._used += 1
+            used = self._used + 1
+            self._used = used
             self.posts += 1
-            self.max_occupancy = max(self.max_occupancy, self._used)
+            if used > self.max_occupancy:
+                self.max_occupancy = used
             on_post(now)
         elif wait:
             self._waiters.append(on_post)
@@ -786,13 +796,50 @@ class _Datapath:
     coupling and the device-wide DMA tag pool.
     """
 
+    __slots__ = (
+        "direction",
+        "queue_index",
+        "label",
+        "_model",
+        "_config",
+        "_sim_config",
+        "_loop",
+        "_link_up",
+        "_link_down",
+        "_coupling",
+        "_ingress",
+        "_walker",
+        "_tags",
+        "_host_port",
+        "ring",
+        "_compiled",
+        "_payload_idx",
+        "_notify_idx",
+        "_credits",
+        "_signals",
+        "_pending",
+        "_wait_on_full",
+        "arrivals",
+        "dones",
+        "notifies",
+        "delivered_sizes",
+        "offered",
+        "offered_bytes",
+        "dropped_bytes",
+        "delivered",
+        "delivered_bytes",
+        "max_notify",
+        "stream",
+        "_warmup_gate",
+    )
+
     def __init__(
         self,
         direction: str,
         model: NicModel,
         config: PCIeConfig,
         sim_config: NicSimConfig,
-        loop: _EventLoop,
+        loop: EventLoop,
         link_up: SerialResource,
         link_down: SerialResource,
         coupling: HostCoupling | None = None,
@@ -824,6 +871,9 @@ class _Datapath:
         #: replaces the direct ingress/walker serialisation below.
         self._host_port = host_port
         self.ring = _Ring(f"{self.label}_ring", sim_config.ring_depth)
+        #: A full ring queues the packet (TX backpressure / RX with
+        #: backpressure on) or drops it (default RX) — fixed per run.
+        self._wait_on_full = direction == "tx" or sim_config.rx_backpressure
         self._compiled: dict[int, list[_CompiledOp]] = {}
 
         reference = self._ops_for(_REFERENCE_PACKET)
@@ -899,6 +949,8 @@ class _Datapath:
                         up_ns=link.serialisation_time_ns(wire.device_to_host),
                         down_ns=link.serialisation_time_ns(wire.host_to_device),
                         label=transaction.label,
+                        dma=transaction.kind
+                        in (OpKind.DMA_READ, OpKind.DMA_WRITE),
                     )
                 )
             self._compiled[size] = ops
@@ -953,7 +1005,8 @@ class _Datapath:
                 + access.ingress_occupancy_ns
             )
         if access.walker_occupancy_ns > 0.0:
-            self._coupling.note_walker_stall(max(0.0, self._walker.free_at - ready))
+            stall = self._walker.free_at - ready
+            self._coupling.note_walker_stall(stall if stall > 0.0 else 0.0)
             ready = (
                 self._walker.occupy(ready, access.walker_occupancy_ns)
                 + access.walker_occupancy_ns
@@ -992,10 +1045,7 @@ class _Datapath:
         concurrency that turns host latency into a throughput cap.  MMIO
         transactions are device register traffic and bypass the pool.
         """
-        if self._tags is None or op.kind not in (
-            OpKind.DMA_READ,
-            OpKind.DMA_WRITE,
-        ):
+        if self._tags is None or not op.dma:
             self._execute(op, now, on_done, payload=payload, tagged=False)
         else:
             self._tags.acquire(
@@ -1044,15 +1094,19 @@ class _Datapath:
         if op.kind is OpKind.DMA_READ:
             if tagged:
                 on_done = self._release_then(on_done)
-            start = self._link_up.occupy(now, op.up_ns)
+            up_ns = op.up_ns
+            down_ns = op.down_ns
+            loop_at = self._loop.at
+            link_down = self._link_down
+            start = self._link_up.occupy(now, up_ns)
 
             def completion(time: float) -> None:
-                completion_start = self._link_down.occupy(time, op.down_ns)
-                self._loop.at(completion_start + op.down_ns, on_done)
+                completion_start = link_down.occupy(time, down_ns)
+                loop_at(completion_start + down_ns, on_done)
 
             if self._coupling is None:
-                at_host = start + op.up_ns + self._sim_config.host_read_latency_ns
-                self._loop.at(at_host, completion)
+                at_host = start + up_ns + self._sim_config.host_read_latency_ns
+                loop_at(at_host, completion)
             else:
 
                 def at_root_complex(time: float) -> None:
@@ -1065,12 +1119,12 @@ class _Datapath:
                     self._visit_host(
                         time,
                         access,
-                        lambda ready: self._loop.at(
+                        lambda ready: loop_at(
                             ready + access.latency_ns, completion
                         ),
                     )
 
-                self._loop.at(start + op.up_ns, at_root_complex)
+                loop_at(start + up_ns, at_root_complex)
         elif op.kind is OpKind.DMA_WRITE:
             start = self._link_up.occupy(now, op.up_ns)
             if self._coupling is None:
@@ -1121,15 +1175,35 @@ class _Datapath:
         """A packet reaches the datapath (driver for TX, wire for RX)."""
         self.offered += 1
         self.offered_bytes += size
-        self.ring.admit(
-            now,
-            lambda post: self._step(self._ops_for(size), 0, post, now, size),
-            wait=self.direction == "tx" or self._sim_config.rx_backpressure,
-            on_drop=lambda: self._on_drop(size),
-        )
-
-    def _on_drop(self, size: int) -> None:
-        self.dropped_bytes += size
+        # The ring admit fast path, open-coded: an entry is usually free,
+        # and going through `_Ring.admit` would allocate two closures per
+        # packet on the hottest call chain of the whole simulator.
+        ring = self.ring
+        # _Ring._advance, open-coded for the same reason.
+        if ring._first_event is None:
+            ring._first_event = now
+            if now > ring._last_event:
+                ring._last_event = now
+        elif now > ring._last_event:
+            ring._occupancy_integral += ring._used * (now - ring._last_event)
+            ring._last_event = now
+        if ring._used < ring.depth:
+            used = ring._used + 1
+            ring._used = used
+            ring.posts += 1
+            if used > ring.max_occupancy:
+                ring.max_occupancy = used
+            ops = self._compiled.get(size)
+            if ops is None:
+                ops = self._ops_for(size)
+            self._step(ops, 0, now, now, size)
+        elif self._wait_on_full:
+            ring._waiters.append(
+                lambda post: self._step(self._ops_for(size), 0, post, now, size)
+            )
+        else:
+            ring.drops += 1
+            self.dropped_bytes += size
 
     def _step(
         self,
@@ -1139,35 +1213,54 @@ class _Datapath:
         arrival: float,
         size: int,
     ) -> None:
-        """Walk the gating transactions in causal order, then the payload."""
-        if index == self._payload_idx:
-            self._issue(
-                ops[index],
-                now,
-                lambda done: self._on_payload(arrival, done, size),
-                payload=True,
-            )
-            return
-        op = ops[index]
-        if self._credits[index] >= op.per_packets:
-            self._credits[index] -= op.per_packets
-            signal = _Signal()
-            self._signals[index] = signal
-            self._issue(op, now, signal.fire)
-        self._credits[index] += 1.0
-        self._signals[index].wait(
-            now, lambda time: self._step(ops, index + 1, time, arrival, size)
+        """Walk the gating transactions in causal order, then the payload.
+
+        Iterative over the already-fired gates (the steady-state case:
+        every wait on an already-fired signal continues synchronously), so
+        one packet costs one ``_step`` frame instead of one per gate.
+        """
+        payload_idx = self._payload_idx
+        credits = self._credits
+        signals = self._signals
+        while index != payload_idx:
+            op = ops[index]
+            if credits[index] >= op.per_packets:
+                credits[index] -= op.per_packets
+                signal = _Signal()
+                signals[index] = signal
+                self._issue(op, now, signal.fire)
+            credits[index] += 1.0
+            signal = signals[index]
+            time = signal.time
+            if time is None:
+                signal._waiters.append(
+                    lambda time, index=index: self._step(
+                        ops, index + 1, time, arrival, size
+                    )
+                )
+                return
+            if time > now:
+                now = time
+            index += 1
+        self._issue(
+            ops[index],
+            now,
+            lambda done: self._on_payload(arrival, done, size),
+            payload=True,
         )
 
     def _on_payload(self, arrival: float, done: float, size: int) -> None:
         """Payload DMA finished: account trailing (report-side) transactions."""
         self._pending.append((arrival, done, size))
-        ops = self._ops_for(size)
+        ops = self._compiled.get(size)
+        if ops is None:
+            ops = self._ops_for(size)
+        credits = self._credits
         for index in range(self._payload_idx + 1, len(ops)):
             op = ops[index]
-            self._credits[index] += 1.0
-            while self._credits[index] >= op.per_packets:
-                self._credits[index] -= op.per_packets
+            credits[index] += 1.0
+            while credits[index] >= op.per_packets:
+                credits[index] -= op.per_packets
                 if index == self._notify_idx:
                     batch, self._pending = self._pending, []
                     self._issue(
@@ -1185,7 +1278,9 @@ class _Datapath:
         """The driver learned about a batch: free ring entries, sample stats."""
         self.ring.release(report, len(batch))
         for arrival, done, size in batch:
-            self._record(arrival, done, max(done, report), size)
+            self._record(
+                arrival, done, done if done > report else report, size
+            )
 
     def finish(self) -> None:
         """Account packets whose completion report never fired (end of run).
@@ -1393,6 +1488,8 @@ class NicDatapathSimulator:
         self.sim_config = sim_config or NicSimConfig()
         #: Per-direction :class:`PathTrace` of the most recent ``run``.
         self.last_traces: dict[str, PathTrace] = {}
+        #: Phase timing of the most recent ``run`` (the ``--profile`` hook).
+        self.last_profile: EngineProfile | None = None
 
     def run(
         self,
@@ -1411,9 +1508,10 @@ class NicDatapathSimulator:
         """
         if packets <= 0:
             raise ValidationError(f"packets must be positive, got {packets}")
+        wall_start = perf_counter()
         resolved_seed = DEFAULT_SEED if seed is None else seed
         rng = SimRng(resolved_seed)
-        loop = _EventLoop()
+        loop = EventLoop()
         link_up = SerialResource("nicsim.device_to_host")
         link_down = SerialResource("nicsim.host_to_device")
         coupling = None
@@ -1480,16 +1578,26 @@ class NicDatapathSimulator:
                 targets = rss_queues(
                     schedule.flows, num_queues, seed=resolved_seed
                 )
-            for index in range(schedule.count):
-                time = float(schedule.arrival_times_ns[index])
-                size = int(schedule.sizes[index])
-                path = queues[0] if targets is None else queues[int(targets[index])]
-                loop.at(
-                    time,
-                    lambda now, path=path, size=size: path.on_arrival(now, size),
+            # Arrivals are pre-generated and nearly sorted: feed them to
+            # the loop's stream (one stable sort + pointer walk) instead
+            # of paying per-event scheduling and a closure per packet.
+            arrival_times = schedule.arrival_times_ns.tolist()
+            sizes = schedule.sizes.tolist()
+            if targets is None:
+                on_arrival = queues[0].on_arrival
+                loop.feed_many(
+                    (time, on_arrival, size)
+                    for time, size in zip(arrival_times, sizes)
+                )
+            else:
+                loop.feed_many(
+                    (arrival_times[index], queues[target].on_arrival, sizes[index])
+                    for index, target in enumerate(targets.tolist())
                 )
             directions.append((direction, queues))
+        events_start = perf_counter()
         loop.run()
+        stats_start = perf_counter()
         for _, queues in directions:
             for path in queues:
                 path.finish()
@@ -1533,6 +1641,13 @@ class NicDatapathSimulator:
         ]
         tx = results[0]
         rx = results[1] if len(results) > 1 else None
+        self.last_profile = EngineProfile(
+            label=f"nicsim {self.model.name} {workload.name}",
+            build_s=events_start - wall_start,
+            events_s=stats_start - events_start,
+            stats_s=perf_counter() - stats_start,
+            events=loop.processed,
+        )
         return NicSimResult(
             model=self.model.name,
             workload=workload.name,
@@ -1569,6 +1684,7 @@ def simulate_nic(
     retain_samples: bool = True,
     seed: int | None = None,
     config: PCIeConfig = PAPER_DEFAULT_CONFIG,
+    profile_sink: list[EngineProfile] | None = None,
 ) -> NicSimResult:
     """One-call convenience wrapper around :class:`NicDatapathSimulator`.
 
@@ -1587,6 +1703,10 @@ def simulate_nic(
 
     ``retain_samples=False`` selects the O(1)-memory streaming-statistics
     mode (see :class:`NicSimConfig`).
+
+    ``profile_sink`` (a caller-owned list) receives the run's
+    :class:`~repro.sim.engine.EngineProfile` — per-phase wall time and
+    event throughput — when provided.
     """
     if isinstance(workload, str):
         workload = build_workload(
@@ -1610,7 +1730,10 @@ def simulate_nic(
             retain_samples=retain_samples,
         ),
     )
-    return simulator.run(workload, packets, seed=seed)
+    result = simulator.run(workload, packets, seed=seed)
+    if profile_sink is not None and simulator.last_profile is not None:
+        profile_sink.append(simulator.last_profile)
+    return result
 
 
 # ---------------------------------------------------------------------------

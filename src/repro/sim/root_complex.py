@@ -43,7 +43,7 @@ from .numa import NumaTopology
 from .rng import SimRng
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HostAccess:
     """Host-side outcome of one DMA transaction (no link serialisation).
 

@@ -223,7 +223,8 @@ class _DeviceAccounting:
         if wait > 0.0:
             stats.waited += 1
             stats.wait_ns_total += wait
-            stats.wait_ns_max = max(stats.wait_ns_max, wait)
+            if wait > stats.wait_ns_max:
+                stats.wait_ns_max = wait
 
 
 class CompiledTopology:
@@ -325,6 +326,16 @@ class CompiledTopology:
             raise ValidationError(
                 f"no node {node!r} in topology {self.name}"
             ) from None
+
+    def attach_loop(self, loop) -> None:
+        """Enable batched grants on every arbiter in the tree.
+
+        ``loop`` must be the event loop behind the ``schedule`` hook this
+        topology was compiled with (see
+        :meth:`~repro.sim.engine.ArbitratedResource.attach_loop`).
+        """
+        for arbiter in self._arbiters.values():
+            arbiter.attach_loop(loop)
 
     def request(
         self,

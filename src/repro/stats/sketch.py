@@ -152,7 +152,11 @@ class QuantileSketch:
             return self._max
         rank = math.floor(q * (self._count - 1))
         if rank < self._zero_count:
-            return 0.0
+            # The zero bucket holds every value in [0, MIN_TRACKED_VALUE],
+            # not just exact zeros — clamp into [min, max] like the
+            # log-bucket path, so e.g. a sketch fed only 1e-6 reports 1e-6
+            # rather than a flat 0.0 (a 100% relative error).
+            return min(max(0.0, self._min), self._max)
         cumulative = self._zero_count
         for index in sorted(self._buckets):
             cumulative += self._buckets[index]

@@ -41,6 +41,11 @@ class TestParser:
         args = build_parser().parse_args(["suite", "--contention"])
         assert args.contention is True
 
+    def test_nicsim_and_contend_accept_profile_flag(self):
+        assert build_parser().parse_args(["nicsim", "--profile"]).profile
+        assert build_parser().parse_args(["contend", "--profile"]).profile
+        assert not build_parser().parse_args(["nicsim"]).profile
+
     def test_contend_defaults(self):
         args = build_parser().parse_args(["contend"])
         assert args.device is None
@@ -141,6 +146,37 @@ class TestCommands:
         assert code == 1
         assert "fixed-size" in capsys.readouterr().err
 
+    def test_nicsim_profile_reports_engine_throughput(self, capsys):
+        code = main(
+            [
+                "nicsim", "--model", "dpdk", "--size", "512",
+                "--packets", "400", "--profile",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "[profile]" in captured.err
+        assert "events/s" in captured.err
+        assert "build" in captured.err and "stats" in captured.err
+
+    def test_suite_rejects_zero_and_negative_jobs(self, capsys):
+        # --jobs 0 used to slip past the flag layer and fail deep inside
+        # the runner; the CLI now rejects it as a usage error up front.
+        code = main(["suite", "--jobs", "0"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "--jobs must be at least 1, got 0" in captured.err
+        code = main(["suite", "--jobs", "-3"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "--jobs must be at least 1, got -3" in captured.err
+
+    def test_fleet_rejects_zero_jobs(self, capsys):
+        code = main(["fleet", "--jobs", "0"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "--jobs must be at least 1, got 0" in captured.err
+
 
 class TestContendCommand:
     def test_contend_with_explicit_devices(self, capsys):
@@ -178,6 +214,20 @@ class TestContendCommand:
         assert "Jain fairness index" in captured.out
         assert "weights 8:1" in captured.out
         assert "solo baseline: victim" in captured.err
+
+    def test_contend_profile_reports_engine_throughput(self, capsys):
+        code = main(
+            [
+                "contend",
+                "--device", "name=a,load=5,packets=80",
+                "--device", "name=b,workload=imix,packets=200",
+                "--profile",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "[profile] contend a+b" in captured.err
+        assert "events/s" in captured.err
 
     def test_contend_detail_prints_per_device_tables(self, capsys):
         code = main(

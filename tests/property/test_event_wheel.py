@@ -1,0 +1,230 @@
+"""Property tests: the calendar-queue event wheel is a drop-in heap.
+
+Every golden file in this repository rests on one determinism contract:
+events dispatch in (time, schedule-order) order, with FIFO tie-break at
+equal timestamps, and pre-fed workload arrivals dispatch *before* any
+dynamically scheduled event at the same timestamp.  The heap scheduler
+(:class:`HeapEventLoop`) defines that contract; the bucketed wheel
+(:class:`EventLoop`) merely has to reproduce it faster.  These tests run
+both loops over identical schedules — including adversarial ones that
+cross bucket boundaries, wrap the wheel, land in the overflow horizon,
+tie exactly, and interleave dynamic scheduling with the arrival stream —
+and assert the observed dispatch order is identical event for event.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import (
+    DEFAULT_BUCKET_NS,
+    DEFAULT_NUM_BUCKETS,
+    EngineProfile,
+    EventLoop,
+    HeapEventLoop,
+)
+
+#: Schedules span [0, 3 wheel windows) so events land in the live window,
+#: wrap the cursor, and overflow the horizon in the same run.
+HORIZON = 3 * DEFAULT_BUCKET_NS * DEFAULT_NUM_BUCKETS
+
+times = st.floats(min_value=0.0, max_value=HORIZON, allow_nan=False)
+#: Coarse times quantised to half a bucket: forces many exact ties and
+#: exact bucket-boundary hits, where FIFO tie-break bugs would live.
+coarse_times = st.integers(min_value=0, max_value=200).map(
+    lambda i: i * (DEFAULT_BUCKET_NS / 2.0)
+)
+
+
+def run_schedule(loop, schedule, stream=()):
+    """Drive ``loop`` over ``schedule`` and return the dispatch order.
+
+    ``schedule`` is a list of times scheduled up front with ``at``;
+    ``stream`` is fed as pre-sorted workload arrivals via ``feed_many``.
+    Each dispatched event records ``(kind, label, now)``.
+    """
+    order = []
+    for label, time in enumerate(schedule):
+        loop.at(time, lambda now, label=label: order.append(("at", label, now)))
+    loop.feed_many(
+        (time, lambda now, arg: order.append(("feed", arg, now)), label)
+        for label, time in enumerate(stream)
+    )
+    loop.run()
+    return order
+
+
+class TestWheelMatchesHeap:
+    @given(schedule=st.lists(times, min_size=0, max_size=150))
+    @settings(max_examples=100, deadline=None)
+    def test_identical_pop_order_for_arbitrary_times(self, schedule):
+        assert run_schedule(EventLoop(), schedule) == run_schedule(
+            HeapEventLoop(), schedule
+        )
+
+    @given(schedule=st.lists(coarse_times, min_size=2, max_size=150))
+    @settings(max_examples=100, deadline=None)
+    def test_equal_timestamps_dispatch_in_schedule_order(self, schedule):
+        wheel = run_schedule(EventLoop(), schedule)
+        heap = run_schedule(HeapEventLoop(), schedule)
+        assert wheel == heap
+        # The tie-break is FIFO: among events at the same time, labels
+        # (schedule order) appear in increasing order.
+        by_time: dict[float, list[int]] = {}
+        for _, label, now in wheel:
+            by_time.setdefault(now, []).append(label)
+        for labels in by_time.values():
+            assert labels == sorted(labels)
+
+    @given(
+        schedule=st.lists(times, min_size=0, max_size=80),
+        stream=st.lists(coarse_times, min_size=0, max_size=80),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_arrival_stream_interleaves_identically(self, schedule, stream):
+        stream = sorted(stream)
+        assert run_schedule(EventLoop(), schedule, stream) == run_schedule(
+            HeapEventLoop(), schedule, stream
+        )
+
+    @given(
+        first=st.lists(times, min_size=1, max_size=40),
+        offsets=st.lists(
+            st.floats(min_value=0.0, max_value=2_000.0, allow_nan=False),
+            min_size=1,
+            max_size=10,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_dynamic_rescheduling_from_inside_events(self, first, offsets):
+        """Events that schedule follow-ups mid-run (the simulator's actual
+        shape: DMA completions chain host events) dispatch identically."""
+
+        def run(loop):
+            order = []
+
+            def chain(now, depth=0):
+                order.append((round(now, 6), depth))
+                if depth < len(offsets):
+                    loop.at(
+                        now + offsets[depth],
+                        lambda t, depth=depth: chain(t, depth + 1),
+                    )
+
+            for time in first:
+                loop.at(time, chain)
+            loop.run()
+            return order
+
+        assert run(EventLoop()) == run(HeapEventLoop())
+
+    def test_same_time_feed_precedes_dynamic_event(self):
+        # A fed arrival and an at() event at the same timestamp: the
+        # arrival dispatches first on both loops (the `entry[0] <= head`
+        # contract the nicsim packet stream depends on).
+        for loop in (EventLoop(), HeapEventLoop()):
+            order = run_schedule(loop, [100.0], [100.0])
+            assert order == [("feed", 0, 100.0), ("at", 0, 100.0)]
+
+    def test_overflow_horizon_events_migrate_in_order(self):
+        # Events far beyond the wheel window (> num_buckets * bucket_ns)
+        # take the overflow path and must still interleave correctly with
+        # near events scheduled later.
+        window = DEFAULT_BUCKET_NS * DEFAULT_NUM_BUCKETS
+        schedule = [window * 2.5, 10.0, window * 2.5, window + 1.0, 10.0]
+        assert run_schedule(EventLoop(), schedule) == run_schedule(
+            HeapEventLoop(), schedule
+        )
+
+    def test_processed_counts_agree(self):
+        schedule = [50.0, 50.0, 4096.0, 0.0]
+        stream = [0.0, 25.0, 50.0]
+        wheel, heap = EventLoop(), HeapEventLoop()
+        assert run_schedule(wheel, schedule, stream) == run_schedule(
+            heap, schedule, stream
+        )
+        assert wheel.processed == heap.processed == len(schedule) + len(stream)
+
+    @given(schedule=st.lists(times, min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_tiny_wheel_forced_to_wrap_still_matches(self, schedule):
+        # An 8-bucket wheel wraps every 8 * bucket_ns: every schedule of
+        # any length exercises cursor wrap-around and overflow migration.
+        wheel = EventLoop(bucket_ns=DEFAULT_BUCKET_NS, num_buckets=8)
+        assert run_schedule(wheel, schedule) == run_schedule(
+            HeapEventLoop(), schedule
+        )
+
+
+class TestPeekAndFeed:
+    @pytest.mark.parametrize("make_loop", [EventLoop, HeapEventLoop])
+    def test_peek_time_sees_both_stream_and_scheduled_events(self, make_loop):
+        loop = make_loop()
+        assert loop.peek_time() == math.inf
+        loop.at(200.0, lambda now: None)
+        assert loop.peek_time() == 200.0
+        loop.feed(50.0, lambda now, arg: None, None)
+        assert loop.peek_time() == 50.0
+
+    @pytest.mark.parametrize("make_loop", [EventLoop, HeapEventLoop])
+    def test_single_feed_matches_feed_many(self, make_loop):
+        order = []
+        loop = make_loop()
+        loop.feed(20.0, lambda now, arg: order.append(arg), "b")
+        loop.feed(10.0, lambda now, arg: order.append(arg), "a")
+        loop.run()
+        assert order == ["a", "b"]
+        assert loop.processed == 2
+
+
+class TestEngineProfile:
+    def test_derived_metrics_and_serialisation(self):
+        profile = EngineProfile(
+            label="test", build_s=0.5, events_s=2.0, stats_s=0.5, events=1000
+        )
+        assert profile.total_s == 3.0
+        assert profile.events_per_sec == 500.0
+        record = profile.as_dict()
+        assert record["label"] == "test"
+        assert record["total_s"] == 3.0
+        assert record["events_per_sec"] == 500.0
+        text = profile.format()
+        assert "test" in text and "events/s" in text
+
+    def test_zero_duration_run_reports_zero_throughput(self):
+        profile = EngineProfile(
+            label="empty", build_s=0.0, events_s=0.0, stats_s=0.0, events=0
+        )
+        assert profile.events_per_sec == 0.0
+        assert "0" in profile.format()
+
+
+class TestReservedSequences:
+    """The reserve()/at_sequenced() pair batched grants rely on."""
+
+    @pytest.mark.parametrize("make_loop", [EventLoop, HeapEventLoop])
+    def test_reserved_sequence_keeps_pre_reservation_order(self, make_loop):
+        # reserve() claims a tie-break slot *now*; an event scheduled with
+        # it later still dispatches before same-time events scheduled in
+        # between — exactly how a batched grant keeps its wake-up's place.
+        loop = make_loop()
+        order = []
+        loop.at(10.0, lambda now: order.append("early"))
+        seq = loop.reserve()
+        loop.at(10.0, lambda now: order.append("later"))
+        loop.at_sequenced(10.0, seq, lambda now: order.append("reserved"))
+        loop.run()
+        assert order == ["early", "reserved", "later"]
+
+    @pytest.mark.parametrize("make_loop", [EventLoop, HeapEventLoop])
+    def test_unused_reservation_is_invisible(self, make_loop):
+        # A batched grant skips its wake-up: the claimed-but-unused
+        # sequence must leave no hole in dispatch order.
+        loop = make_loop()
+        order = []
+        loop.at(5.0, lambda now: order.append("a"))
+        loop.reserve()
+        loop.at(5.0, lambda now: order.append("b"))
+        loop.run()
+        assert order == ["a", "b"]

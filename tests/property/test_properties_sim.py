@@ -122,17 +122,20 @@ class TestEngineProperties:
         assert resource.served == len(durations)
 
     @given(
-        completions=st.lists(
+        durations=st.lists(
             st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=100
         ),
         slots=st.integers(min_value=1, max_value=16),
     )
     @settings(max_examples=100)
-    def test_worker_pool_in_flight_bounded_by_slots(self, completions, slots):
+    def test_worker_pool_in_flight_bounded_by_slots(self, durations, slots):
+        # Alternating acquire/commit pairs, with each release derived from
+        # the quoted start (the contract real callers follow: a slot's
+        # release is its acquired start plus a non-negative service time).
         pool = WorkerPool(slots)
-        for completion in completions:
-            pool.acquire(0.0)
-            pool.commit(completion)
+        for duration in durations:
+            start = pool.acquire(0.0)
+            pool.commit(start + duration)
             assert pool.in_flight <= slots
 
 

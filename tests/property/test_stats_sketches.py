@@ -68,6 +68,49 @@ class TestSketchAccuracy:
         assert_within_bound(sketch, samples)
 
 
+class TestZeroBucketClamp:
+    """Regression: zero-bucket quantiles clamp into [min, max].
+
+    The zero bucket holds every value in ``[0, MIN_TRACKED_VALUE]``, not
+    just exact zeros.  A sketch fed only ``MIN_TRACKED_VALUE`` used to
+    answer a flat ``0.0`` for every interior quantile — a 100% relative
+    error against an exact order statistic of ``MIN_TRACKED_VALUE``.
+    """
+
+    def test_sub_threshold_samples_report_their_own_value(self):
+        sketch = QuantileSketch()
+        sketch.add_many([MIN_TRACKED_VALUE] * 50)
+        for q in QUANTILES:
+            # Fails on the unclamped sketch, which returned 0.0 here.
+            assert sketch.quantile(q) == MIN_TRACKED_VALUE
+
+    def test_genuine_zeros_still_report_zero(self):
+        sketch = QuantileSketch()
+        sketch.add_many([0.0] * 50 + [1000.0] * 10)
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.minimum == 0.0
+
+    @given(
+        sub=st.floats(min_value=1e-9, max_value=MIN_TRACKED_VALUE),
+        count=st.integers(min_value=2, max_value=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_zero_bucket_estimates_stay_within_min_max(self, sub, count):
+        sketch = QuantileSketch()
+        sketch.add_many([sub] * count)
+        for q in QUANTILES:
+            estimate = sketch.quantile(q)
+            assert sketch.minimum <= estimate <= sketch.maximum
+
+    def test_mixed_sub_threshold_and_tracked_values(self):
+        sketch = QuantileSketch()
+        sketch.add_many([5e-7] * 90 + [100.0] * 10)
+        # Rank 49 of 99 lands in the zero bucket: the answer must be the
+        # sub-threshold sample itself, never a fabricated 0.0 below min.
+        assert sketch.quantile(0.5) == 5e-7
+        assert sketch.quantile(0.999) == pytest.approx(100.0, rel=0.005)
+
+
 class TestMergeAlgebra:
     @given(
         values=positive_samples,

@@ -56,6 +56,44 @@ class TestWorkerPoolInterleaving:
         assert pool.in_flight == 0
         assert pool.acquire(0.0) == 0.0
 
+    def test_two_acquires_before_any_commit_are_rejected(self):
+        """Regression: a full pool quotes the *same* slot to back-to-back
+        acquires; the second commit used to blind-``heapreplace`` whichever
+        slot the first commit made earliest, silently corrupting the
+        timeline.  The symptom — a release predating the slot it replaces —
+        now raises instead."""
+        pool = WorkerPool(1)
+        pool.commit(100.0)
+        # Both acquires are quoted the same (only) slot, freeing at 100.
+        first = pool.acquire(0.0)
+        second = pool.acquire(0.0)
+        assert first == second == 100.0
+        pool.commit(150.0)
+        # The second caller commits a release computed from the *first*
+        # quote (service starting at 100, not 150): out of order.
+        with pytest.raises(SimulationError, match="out of order"):
+            pool.commit(120.0)
+        # The pool's timeline was not corrupted by the rejected commit.
+        assert pool.in_flight == 1
+        assert pool.acquire(0.0) == 150.0
+
+    def test_commit_at_exactly_the_earliest_release_is_allowed(self):
+        # A zero-duration occupancy releases exactly when its slot freed;
+        # that is a legal alternation, not a broken interleaving.
+        pool = WorkerPool(1)
+        pool.commit(100.0)
+        assert pool.acquire(0.0) == 100.0
+        pool.commit(100.0)
+        assert pool.in_flight == 1
+        assert pool.acquire(0.0) == 100.0
+
+    def test_rejected_commit_names_both_times(self):
+        pool = WorkerPool(2)
+        pool.commit(40.0)
+        pool.commit(60.0)
+        with pytest.raises(SimulationError, match=r"10.*predates.*40"):
+            pool.commit(10.0)
+
 
 class TestSerialResourceFifoTieBreak:
     """The release-ordering contract multi-queue reproducibility rests on.
