@@ -6,6 +6,7 @@ from .contention import (
     format_contention_summary,
     jain_fairness_index,
 )
+from .control import format_control_summary
 from .fleet import (
     default_slo_thresholds,
     fleet_slo_fractions,
@@ -18,6 +19,7 @@ __all__ = [
     "ascii_plot",
     "device_slowdowns",
     "format_contention_summary",
+    "format_control_summary",
     "jain_fairness_index",
     "default_slo_thresholds",
     "fleet_slo_fractions",

@@ -1,0 +1,75 @@
+"""Rendering the control plane's audit trail.
+
+A controlled contention run carries its policy name, window and the full
+:class:`~repro.control.actions.ControlAction` log on its serialised
+record; this module renders that log as a human-readable table — which
+knob moved, when, from what to what, and the trigger that moved it.
+Like the rest of :mod:`repro.analysis` it consumes plain dictionaries,
+staying independent of the simulator.
+"""
+
+from __future__ import annotations
+
+from ..errors import AnalysisError
+from .table import format_table
+
+
+def _format_vector(values: object) -> str:
+    """Compact rendering of a knob value (weights, shares, or a table)."""
+    if not isinstance(values, (list, tuple)):
+        return str(values)
+    if len(values) > 8:
+        # RSS indirection tables are long; summarise as a histogram of
+        # buckets per queue instead of printing 64 entries.
+        counts: dict[int, int] = {}
+        for entry in values:
+            counts[int(entry)] = counts.get(int(entry), 0) + 1
+        return (
+            "{"
+            + ", ".join(
+                f"q{queue}:{count}" for queue, count in sorted(counts.items())
+            )
+            + "}"
+        )
+    return ":".join(f"{float(value):g}" for value in values)
+
+
+def format_control_summary(record: dict, *, title: str | None = None) -> str:
+    """Render one controlled run's action log as a text table.
+
+    ``record`` is :meth:`~repro.sim.fabric.ContentionResult.as_dict`
+    output.  Static runs (no controller) have nothing to summarise and
+    are rejected; a controlled run that never actuated renders a header
+    saying so.
+    """
+    controller = record.get("controller", "static")
+    if controller == "static":
+        raise AnalysisError(
+            "no control plane in this record (controller='static'); "
+            "nothing to summarise"
+        )
+    window = record.get("control_window_ns")
+    actions = record.get("control_actions") or []
+    header = (
+        f"controller {controller}, window "
+        f"{float(window) / 1000.0:g} us, {len(actions)} action(s)"
+    )
+    if not actions:
+        return f"Control plane: {header} — no knob was retuned"
+    rows = []
+    for action in actions:
+        rows.append(
+            [
+                f"{float(action['time_ns']) / 1000.0:.0f}",
+                action["device"],
+                action["actuator"],
+                _format_vector(action["before"]),
+                _format_vector(action["after"]),
+                action["reason"],
+            ]
+        )
+    return format_table(
+        ["t (us)", "device", "actuator", "before", "after", "reason"],
+        rows,
+        title=title or f"Control plane: {header}",
+    )

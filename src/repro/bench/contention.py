@@ -141,6 +141,12 @@ class ContentionParams:
             line-accurate set-associative cache, warmed over each
             device's real address regions (per-owner DDIO *way* budgets
             when combined with ``ddio_partition``; O(window) to warm).
+        controller: closed-loop control policy retuning the run's QoS
+            knobs mid-run (``static`` — no control plane, the default —
+            ``threshold`` or ``aimd``; see :mod:`repro.control`).
+        control_window_ns: the controller's observation window in
+            simulated nanoseconds (``None`` uses the control-plane
+            default; only valid with a non-static controller).
         seed: run seed (``None`` uses the library default).
     """
 
@@ -155,6 +161,8 @@ class ContentionParams:
     quantum_ns: float | None = None
     ddio_partition: tuple[float, ...] | None = None
     cache_model: str = "statistical"
+    controller: str = "static"
+    control_window_ns: float | None = None
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -216,6 +224,10 @@ class ContentionParams:
                     f"({len(self.devices)}), got {len(fabric.ddio_partition)}"
                 )
             object.__setattr__(self, "ddio_partition", fabric.ddio_partition)
+        if fabric.control_window_ns is not None:
+            object.__setattr__(
+                self, "control_window_ns", fabric.control_window_ns
+            )
 
     def _fabric_config(self) -> FabricConfig:
         """The runtime fabric these parameters describe (also validates)."""
@@ -229,6 +241,8 @@ class ContentionParams:
             quantum_ns=self.quantum_ns,
             ddio_partition=self.ddio_partition,
             cache_model=self.cache_model,
+            controller=self.controller,
+            control_window_ns=self.control_window_ns,
         )
 
     @property
@@ -270,6 +284,10 @@ class ContentionParams:
             )
         if self.cache_model != "statistical":
             parts.append(f"cache={self.cache_model}")
+        if self.controller != "static":
+            parts.append(f"controller={self.controller}")
+            if self.control_window_ns is not None:
+                parts.append(f"window={self.control_window_ns:g}ns")
         if self.iommu_enabled:
             parts.append(f"iommu({format_size(self.iommu_page_size)} pages)")
         for name, device in zip(self.device_names(), self.devices):
@@ -308,6 +326,10 @@ class ContentionParams:
             record["ddio_partition"] = list(self.ddio_partition)
         if self.cache_model != "statistical":
             record["cache_model"] = self.cache_model
+        if self.controller != "static":
+            record["controller"] = self.controller
+            if self.control_window_ns is not None:
+                record["control_window_ns"] = self.control_window_ns
         return record
 
     @classmethod
@@ -336,6 +358,12 @@ class ContentionParams:
                 None if partition is None else tuple(partition)  # type: ignore[arg-type]
             ),
             cache_model=str(data.get("cache_model", "statistical")),
+            controller=str(data.get("controller", "static")),
+            control_window_ns=(
+                None
+                if data.get("control_window_ns") is None
+                else float(data["control_window_ns"])  # type: ignore[arg-type]
+            ),
             seed=data.get("seed"),  # type: ignore[arg-type]
         )
 
@@ -396,6 +424,7 @@ def _fabric_device(device: NicSimParams, name: str) -> FabricDevice:
         payload_placement=device.payload_placement,
         seed=device.seed,
         retain_samples=device.retain_samples,
+        rss_table=device.rss_table,
     )
 
 

@@ -62,6 +62,10 @@ class NicSimParams:
         rss: flow scenario steering a multi-queue run (``"uniform"``,
             ``"zipf"``/``"skewed"``, ``"hot"``); ignored when
             ``num_queues == 1``.
+        rss_table: optional RSS indirection table; entry ``b`` names the
+            queue for hash bucket ``b`` (``queue = table[hash % len]``).
+            ``None`` (the default) hashes directly onto queues, the
+            historical mapping.  Requires ``num_queues > 1``.
         seed: workload RNG seed (``None`` uses the library default).
         retain_samples: keep per-packet latency arrays (the default).
             ``False`` streams latencies through an O(1)-memory quantile
@@ -85,6 +89,7 @@ class NicSimParams:
     num_queues: int = 1
     dma_tags: int | None = None
     rss: str = "uniform"
+    rss_table: tuple[int, ...] | None = None
     seed: int | None = None
     retain_samples: bool = True
 
@@ -125,6 +130,22 @@ class NicSimParams:
         # Canonicalise the RSS scenario name ("skewed" -> "zipf") so labels
         # and serialised params are stable whichever alias was written.
         object.__setattr__(self, "rss", canonical_flow_name(self.rss))
+        if self.rss_table is not None:
+            if self.num_queues == 1:
+                raise ValidationError(
+                    "rss_table requires num_queues > 1 (single-queue runs "
+                    "have nothing to steer)"
+                )
+            table = tuple(int(entry) for entry in self.rss_table)
+            if not table:
+                raise ValidationError("rss_table must not be empty")
+            for entry in table:
+                if not 0 <= entry < self.num_queues:
+                    raise ValidationError(
+                        f"rss_table entries must be queue indices in "
+                        f"[0, {self.num_queues}), got {entry}"
+                    )
+            object.__setattr__(self, "rss_table", table)
         # Host knobs are validated even on decoupled params, so a bad value
         # fails where it is written, not at a later with_(system=...).
         if self.iommu_page_size not in SUPPORTED_PAGE_SIZES:
@@ -193,6 +214,8 @@ class NicSimParams:
         if self.num_queues > 1:
             parts.append(f"queues={self.num_queues}")
             parts.append(f"rss={self.rss}")
+            if self.rss_table is not None:
+                parts.append(f"rss-table[{len(self.rss_table)}]")
         if self.dma_tags is not None:
             parts.append(f"tags={self.dma_tags}")
         if not self.retain_samples:
@@ -240,6 +263,8 @@ class NicSimParams:
             record["num_queues"] = self.num_queues
         if self.rss != "uniform":
             record["rss"] = self.rss
+        if self.rss_table is not None:
+            record["rss_table"] = list(self.rss_table)
         if self.dma_tags is not None:
             record["dma_tags"] = self.dma_tags
         if not self.retain_samples:
@@ -278,6 +303,7 @@ def run_nicsim_benchmark(
         num_queues=params.num_queues,
         dma_tags=params.dma_tags,
         rss=params.rss,
+        rss_table=params.rss_table,
         retain_samples=params.retain_samples,
         seed=params.seed,
         profile_sink=profile_sink,

@@ -37,6 +37,7 @@ from typing import Sequence
 
 from .analysis.ascii_plot import ascii_plot
 from .analysis.contention import format_contention_summary
+from .analysis.control import format_control_summary
 from .analysis.fleet import format_fleet_summary
 from .analysis.report import summary_line, write_experiments_markdown
 from .analysis.table import format_nicsim_summary, format_series_table, format_table
@@ -56,6 +57,7 @@ from .core.model import PCIeModel
 from .core.nic import FIGURE1_MODELS, model_by_name
 from .errors import ReproError, UsageError, ValidationError
 from .experiments.registry import experiment_ids, run_all, run_experiment
+from .control import CONTROL_POLICIES
 from .sim.engine import ARBITER_SCHEMES
 from .sim.nicsim import cross_validate
 from .sim.profiles import profile_names
@@ -227,6 +229,17 @@ def build_parser() -> argparse.ArgumentParser:
         "the line-accurate set-associative cache (real per-owner DDIO "
         "way budgets with --ddio-partition; slow to warm beyond a few "
         "MiB of window)",
+    )
+    contend.add_argument(
+        "--controller", default="static", choices=list(CONTROL_POLICIES),
+        help="closed-loop control policy retuning the QoS knobs mid-run: "
+        "static (no control plane), threshold (reactive with hysteresis) "
+        "or aimd (additive-increase / multiplicative-decrease)",
+    )
+    contend.add_argument(
+        "--control-window", type=float, default=None, metavar="NS",
+        help="controller observation window in simulated ns "
+        "(default: the control plane's default window)",
     )
     contend.add_argument("--seed", type=int, default=None)
     contend.add_argument(
@@ -595,6 +608,8 @@ def _cmd_contend(args: argparse.Namespace) -> int:
         quantum_ns=args.quantum,
         ddio_partition=ddio_partition,
         cache_model=args.cache_model,
+        controller=args.controller,
+        control_window_ns=args.control_window,
         seed=args.seed,
     )
     print(params.label(), file=sys.stderr)
@@ -612,6 +627,9 @@ def _cmd_contend(args: argparse.Namespace) -> int:
                 solo_device_params(params, index)
             ).as_dict()
     print(format_contention_summary(result.as_dict(), solo=solo))
+    if result.controller != "static":
+        print()
+        print(format_control_summary(result.as_dict()))
     if args.detail:
         for device in result.devices:
             print()

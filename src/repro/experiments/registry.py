@@ -28,6 +28,7 @@ from . import (
     fig10_contention,
     fig11_topology,
     fig12_fleet,
+    fig13_control,
     table1_systems,
     table2_findings,
 )
@@ -51,6 +52,7 @@ _MODULES: tuple[ModuleType, ...] = (
     fig10_contention,
     fig11_topology,
     fig12_fleet,
+    fig13_control,
     table1_systems,
     table2_findings,
 )

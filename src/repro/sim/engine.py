@@ -832,6 +832,22 @@ class ArbitratedResource:
         """Requests currently queued across all clients."""
         return sum(len(queue) for queue in self._queues)
 
+    def set_weights(self, weights: "tuple[float, ...]") -> None:
+        """Replace the per-client weights mid-run (control-plane actuator).
+
+        Safe at any time: the schedulers read ``self.weights`` at pick
+        time, so the new weights govern every grant from the next
+        dispatch on, while queued requests and in-flight grants are
+        untouched.  Same validation as construction.
+        """
+        if len(weights) != self.clients:
+            raise ValidationError(
+                f"need one weight per client ({self.clients}), got {len(weights)}"
+            )
+        if any(weight <= 0 for weight in weights):
+            raise ValidationError(f"weights must be positive, got {weights}")
+        self.weights = tuple(float(weight) for weight in weights)
+
     @property
     def busy_until(self) -> float:
         """Time the in-flight grant's service ends (0 before any grant)."""

@@ -58,11 +58,22 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Sequence
 
+from functools import partial
+
+from ..control import (
+    CONTROL_POLICIES,
+    DEFAULT_CONTROL_WINDOW_NS,
+    ControlAction,
+    ControlRuntime,
+    RssSteering,
+    build_controller,
+    identity_table,
+)
 from ..core.config import PAPER_DEFAULT_CONFIG, PCIeConfig
 from ..core.nic import NicModel, model_by_name
 from ..errors import ValidationError
 from ..units import CACHELINE_BYTES, KIB, MIB
-from ..workloads import Workload, rss_queues
+from ..workloads import Workload, rss_buckets, rss_queues
 from .cache import (
     CacheState,
     CacheStats,
@@ -137,6 +148,15 @@ class FabricConfig:
             this is true per-owner DDIO *way* budgets whose evictions
             never touch a neighbour's lines.  O(window lines) to warm, so
             best with windows of a few MiB or less.
+        controller: closed-loop control policy retuning the QoS knobs
+            mid-run — ``"static"`` (the default: no control plane at all,
+            bit-identical to every earlier revision), ``"threshold"``
+            (reactive with hysteresis) or ``"aimd"`` (see
+            :mod:`repro.control.policies`).
+        control_window_ns: the controller's observation/actuation window
+            in simulated nanoseconds (defaults to
+            :data:`~repro.control.runtime.DEFAULT_CONTROL_WINDOW_NS`);
+            rejected with the ``"static"`` controller, which never ticks.
     """
 
     system: str = "NFP6000-HSW"
@@ -148,6 +168,8 @@ class FabricConfig:
     quantum_ns: float | None = None
     ddio_partition: tuple[float, ...] | None = None
     cache_model: str = "statistical"
+    controller: str = "static"
+    control_window_ns: float | None = None
 
     def __post_init__(self) -> None:
         profile = get_profile(self.system)  # raises on unknown profiles
@@ -200,6 +222,23 @@ class FabricConfig:
                 "cache_model must be 'statistical' or 'faithful', got "
                 f"{self.cache_model!r}"
             )
+        if self.controller not in CONTROL_POLICIES:
+            raise ValidationError(
+                f"unknown controller {self.controller!r}; "
+                f"valid: {', '.join(CONTROL_POLICIES)}"
+            )
+        if self.control_window_ns is not None:
+            if self.controller == "static":
+                raise ValidationError(
+                    "control_window_ns only applies to an active "
+                    "controller; the 'static' policy never ticks"
+                )
+            window = float(self.control_window_ns)
+            if window <= 0:
+                raise ValidationError(
+                    f"control_window_ns must be positive, got {window}"
+                )
+            object.__setattr__(self, "control_window_ns", window)
 
 
 @dataclass(frozen=True)
@@ -226,6 +265,11 @@ class FabricDevice:
             (:attr:`~repro.sim.nicsim.NicSimConfig.retain_samples`);
             fleet runs set this false so per-device latency streams
             through an O(1)-memory sketch.
+        rss_table: explicit RSS indirection table for multi-queue
+            devices (``table[hash % len]`` picks the queue).  ``None``
+            keeps direct ``hash % num_queues`` steering.  An active
+            controller starts from this table (or the equivalent
+            identity table) and may rewrite it mid-run.
     """
 
     workload: Workload
@@ -241,6 +285,7 @@ class FabricDevice:
     payload_placement: str = "local"
     seed: int | None = None
     retain_samples: bool = True
+    rss_table: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -250,6 +295,22 @@ class FabricDevice:
         )
         if self.packets <= 0:
             raise ValidationError(f"packets must be positive, got {self.packets}")
+        if self.rss_table is not None:
+            if self.num_queues <= 1:
+                raise ValidationError(
+                    "an RSS indirection table needs multiple queues "
+                    f"(num_queues={self.num_queues})"
+                )
+            table = tuple(int(entry) for entry in self.rss_table)
+            if not table:
+                raise ValidationError("rss_table must not be empty")
+            for entry in table:
+                if not 0 <= entry < self.num_queues:
+                    raise ValidationError(
+                        f"rss_table entries must be queue indices in "
+                        f"[0, {self.num_queues}), got {entry}"
+                    )
+            object.__setattr__(self, "rss_table", table)
 
     def host_config(self, fabric: FabricConfig) -> NicHostConfig:
         """This device's buffer layout bound to the fabric's shared host."""
@@ -271,6 +332,7 @@ class FabricDevice:
             num_queues=self.num_queues,
             dma_tags=self.dma_tags,
             retain_samples=self.retain_samples,
+            rss_table=self.rss_table,
         )
 
 
@@ -431,6 +493,52 @@ class SharedHost:
                 CacheState.HOST_WARM, descriptor_window
             )
         self._warm_iotlb()
+
+    def repartition(self, shares: Sequence[float]) -> None:
+        """Resize the per-device DDIO capacity slices mid-run.
+
+        The control plane's DDIO actuator.  Only meaningful in the
+        partitioned *statistical* regime, where a partition is a capacity
+        budget plus an occupancy probability: resizing re-derives each
+        device's budget from its new share and re-primes the partition in
+        its configured preparation state, exactly as initial preparation
+        did.  (The faithful model tracks concrete lines whose residency
+        cannot be re-primed without fabricating history, so it is not
+        resizable mid-run.)
+        """
+        if not self.partitioned:
+            raise ValidationError(
+                "cannot repartition: this run shares one aggregate cache "
+                "residency (no ddio_partition)"
+            )
+        if self.config.cache_model != "statistical":
+            raise ValidationError(
+                "mid-run repartitioning needs the statistical cache model"
+            )
+        resized = tuple(float(share) for share in shares)
+        if len(resized) != len(self.couplings):
+            raise ValidationError(
+                f"need one share per device ({len(self.couplings)}), "
+                f"got {len(resized)}"
+            )
+        if any(share <= 0 for share in resized):
+            raise ValidationError(f"shares must be positive, got {resized}")
+        owner = _line_owner(len(self.couplings))
+        payload_cache = self.host.root_complex.cache
+        descriptor_cache = self.descriptor_rc.cache
+        payload_cache.partition(resized, owner)
+        descriptor_cache.partition(resized, owner)
+        for index, coupling in enumerate(self.couplings):
+            own_payload = coupling.payload_buffer.window_cachelines
+            payload_cache.prepare_partition(
+                index, coupling.config.payload_cache_state, own_payload
+            )
+            descriptor_cache.prepare_partition(
+                index,
+                CacheState.HOST_WARM,
+                2 * coupling.ring_buffers["tx"].window_cachelines
+                + own_payload,
+            )
 
     def _warm_iotlb(self) -> None:
         """Prime the shared IOTLB over every device's buffer regions."""
@@ -693,6 +801,10 @@ class ContentionResult:
     deepest device's hop count; ``quantum_ns`` / ``ddio_partition`` echo
     the sliced-arbitration and cache-partition settings of the run so
     analyses can label scenarios without the original parameters.
+
+    ``controller`` / ``control_window_ns`` / ``control_actions`` record
+    the control plane: which policy ran, its window, and the full audit
+    log of every knob it retuned (empty for the static baseline).
     """
 
     system: str
@@ -705,6 +817,9 @@ class ContentionResult:
     topology_depth: int = 1
     quantum_ns: float | None = None
     ddio_partition: tuple[float, ...] | None = None
+    controller: str = "static"
+    control_window_ns: float | None = None
+    control_actions: tuple[ControlAction, ...] = field(default_factory=tuple)
 
     def device(self, name: str) -> DeviceContentionResult:
         """Look one device's record up by name."""
@@ -747,6 +862,12 @@ class ContentionResult:
             record["quantum_ns"] = self.quantum_ns
         if self.ddio_partition is not None:
             record["ddio_partition"] = list(self.ddio_partition)
+        if self.controller != "static":
+            record["controller"] = self.controller
+            record["control_window_ns"] = self.control_window_ns
+            record["control_actions"] = [
+                action.as_dict() for action in self.control_actions
+            ]
         return record
 
     @classmethod
@@ -772,6 +893,16 @@ class ContentionResult:
                 None
                 if partition is None
                 else tuple(float(share) for share in partition)
+            ),
+            controller=str(data.get("controller", "static")),
+            control_window_ns=(
+                None
+                if data.get("control_window_ns") is None
+                else float(data["control_window_ns"])
+            ),
+            control_actions=tuple(
+                ControlAction.from_dict(action)
+                for action in data.get("control_actions", ())
             ),
         )
 
@@ -870,7 +1001,23 @@ class FabricSimulator:
             ingress = SerialResource("nicsim.root_complex.ingress")
             walker = SerialResource("nicsim.iommu.walker")
 
+        # The control plane exists only when asked for: the static
+        # default builds no runtime, installs no observers and feeds
+        # packets through the exact historical dispatch path.
+        runtime: ControlRuntime | None = None
+        if fabric.controller != "static":
+            runtime = ControlRuntime(
+                build_controller(fabric.controller),
+                (
+                    fabric.control_window_ns
+                    if fabric.control_window_ns is not None
+                    else DEFAULT_CONTROL_WINDOW_NS
+                ),
+                loop,
+            )
+
         links: list[tuple[SerialResource, SerialResource]] = []
+        device_steerings: list[list[RssSteering]] = []
         device_tags: list[TagPool | None] = []
         device_paths: list[list[tuple[str, list[_Datapath]]]] = []
         for index, device in enumerate(self.devices):
@@ -896,6 +1043,7 @@ class FabricSimulator:
             )
             workload = device.workload
             directions: list[tuple[str, list[_Datapath]]] = []
+            steerings: list[RssSteering] = []
             for direction in ("tx", "rx") if workload.duplex else ("tx",):
                 warmup_gate = (
                     None
@@ -931,36 +1079,103 @@ class FabricSimulator:
                 schedule = workload.generate(
                     device.packets, rng, stream=direction
                 )
-                if device.num_queues == 1:
-                    targets = None
-                else:
-                    if schedule.flows is None:
-                        raise ValidationError(
-                            f"a {device.num_queues}-queue device needs a "
-                            "workload with a flow model to steer by"
-                        )
-                    targets = rss_queues(
-                        schedule.flows, device.num_queues, seed=device_seed
-                    )
                 arrival_times = schedule.arrival_times_ns.tolist()
                 sizes = schedule.sizes.tolist()
-                if targets is None:
+                if device.num_queues == 1:
                     on_arrival = queues[0].on_arrival
                     loop.feed_many(
                         (time, on_arrival, size)
                         for time, size in zip(arrival_times, sizes)
                     )
                 else:
-                    loop.feed_many(
-                        (
-                            arrival_times[packet],
-                            queues[target].on_arrival,
-                            sizes[packet],
+                    if schedule.flows is None:
+                        raise ValidationError(
+                            f"a {device.num_queues}-queue device needs a "
+                            "workload with a flow model to steer by"
                         )
-                        for packet, target in enumerate(targets.tolist())
-                    )
+                    if runtime is not None:
+                        # Live steering: packets are pre-hashed to table
+                        # buckets and dispatched through a rewritable
+                        # indirection table.  The identity table makes the
+                        # untouched mapping bucket-for-bucket identical to
+                        # the direct hash % num_queues path.
+                        table = device.rss_table or tuple(
+                            identity_table(device.num_queues)
+                        )
+                        steering = RssSteering(queues, table)
+                        steerings.append(steering)
+                        buckets = rss_buckets(
+                            schedule.flows, len(table), seed=device_seed
+                        )
+                        loop.feed_many(
+                            (
+                                arrival_times[packet],
+                                partial(steering.dispatch, bucket),
+                                sizes[packet],
+                            )
+                            for packet, bucket in enumerate(buckets.tolist())
+                        )
+                    elif device.rss_table is not None:
+                        table = device.rss_table
+                        buckets = rss_buckets(
+                            schedule.flows, len(table), seed=device_seed
+                        )
+                        loop.feed_many(
+                            (
+                                arrival_times[packet],
+                                queues[table[bucket]].on_arrival,
+                                sizes[packet],
+                            )
+                            for packet, bucket in enumerate(buckets.tolist())
+                        )
+                    else:
+                        targets = rss_queues(
+                            schedule.flows, device.num_queues, seed=device_seed
+                        )
+                        loop.feed_many(
+                            (
+                                arrival_times[packet],
+                                queues[target].on_arrival,
+                                sizes[packet],
+                            )
+                            for packet, target in enumerate(targets.tolist())
+                        )
                 directions.append((direction, queues))
             device_paths.append(directions)
+            device_steerings.append(steerings)
+
+        if runtime is not None:
+            for index in range(count):
+                runtime.add_device(
+                    self.names[index],
+                    index,
+                    device_paths[index][0][1],  # TX queues
+                    device_steerings[index],
+                    shared.couplings[index],
+                )
+            if multi:
+                if fabric.arbiter in WEIGHTED_SCHEMES:
+                    runtime.bind_weights(
+                        weights,
+                        [
+                            ingress_arb.set_device_weights,
+                            walker_arb.set_device_weights,
+                        ],
+                    )
+                def port_totals(index, _i=ingress_arb, _w=walker_arb):
+                    ingress_stats = _i.client_stats(index)
+                    walker_stats = _w.client_stats(index)
+                    return (
+                        ingress_stats.wait_ns_total
+                        + walker_stats.wait_ns_total,
+                        ingress_stats.busy_ns_total
+                        + walker_stats.busy_ns_total,
+                    )
+
+                runtime.bind_port_stats(port_totals)
+            if shared.partitioned and fabric.cache_model == "statistical":
+                runtime.bind_ddio(fabric.ddio_partition, shared.repartition)
+            runtime.start()
 
         events_start = perf_counter()
         loop.run()
@@ -1049,6 +1264,13 @@ class FabricSimulator:
             ),
             quantum_ns=fabric.quantum_ns if multi else None,
             ddio_partition=fabric.ddio_partition if multi else None,
+            controller=fabric.controller,
+            control_window_ns=(
+                runtime.window_ns if runtime is not None else None
+            ),
+            control_actions=(
+                tuple(runtime.actions) if runtime is not None else ()
+            ),
         )
 
 

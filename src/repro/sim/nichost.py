@@ -440,6 +440,14 @@ class HostCoupling:
         """Record time a transaction spent waiting for the busy page walker."""
         self._walker_stall_ns += stall_ns
 
+    def descriptor_counters(self) -> tuple[int, int]:
+        """Cumulative ``(accesses, hits)`` for the descriptor cache.
+
+        Read mid-run by the control plane, which differences consecutive
+        reads to get per-window hit rates.
+        """
+        return self._descriptor_accesses, self._descriptor_cache_hits
+
     # -- summary ----------------------------------------------------------------
 
     def stats(self) -> HostSideStats:

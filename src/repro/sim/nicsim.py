@@ -81,7 +81,13 @@ from ..core.transactions import OpKind
 from ..errors import SimulationError, ValidationError
 from ..stats import QuantileSketch
 from ..units import bytes_over_time_to_gbps, ns_to_s
-from ..workloads import Workload, build_flow_model, build_workload, rss_queues
+from ..workloads import (
+    Workload,
+    build_flow_model,
+    build_workload,
+    rss_buckets,
+    rss_queues,
+)
 from .engine import EngineProfile, EventLoop, SerialResource, TagPool
 from .nichost import HostCoupling, HostSideStats, NicHostConfig
 from .rng import DEFAULT_SEED, SimRng
@@ -143,6 +149,10 @@ class NicSimConfig:
     num_queues: int = 1
     dma_tags: int | None = None
     retain_samples: bool = True
+    #: Optional RSS indirection table: ``queue = table[hash % len(table)]``.
+    #: ``None`` hashes directly onto queues (``hash % num_queues``), the
+    #: historical mapping.  Requires ``num_queues > 1``.
+    rss_table: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.ring_depth <= 0:
@@ -165,6 +175,22 @@ class NicSimConfig:
                 f"dma_tags must be positive (or None for unbounded), "
                 f"got {self.dma_tags}"
             )
+        if self.rss_table is not None:
+            if self.num_queues == 1:
+                raise ValidationError(
+                    "rss_table requires num_queues > 1 (single-queue runs "
+                    "have nothing to steer)"
+                )
+            table = tuple(int(entry) for entry in self.rss_table)
+            if not table:
+                raise ValidationError("rss_table must not be empty")
+            for entry in table:
+                if not 0 <= entry < self.num_queues:
+                    raise ValidationError(
+                        f"rss_table entries must be queue indices in "
+                        f"[0, {self.num_queues}), got {entry}"
+                    )
+            object.__setattr__(self, "rss_table", table)
 
 
 # ---------------------------------------------------------------------------
@@ -831,6 +857,7 @@ class _Datapath:
         "max_notify",
         "stream",
         "_warmup_gate",
+        "observer",
     )
 
     def __init__(
@@ -919,6 +946,10 @@ class _Datapath:
         #: Streaming-mode accumulator; ``None`` in retained mode, where
         #: the per-packet lists above are kept instead.
         self.stream: _StreamStats | None = None
+        #: Control-plane observation hook: ``observer(latency_ns)`` per
+        #: delivered packet.  ``None`` (always, for controller-less runs)
+        #: keeps ``_record`` on the exact historical code path.
+        self.observer: Callable[[float], None] | None = None
         self._warmup_gate = warmup_gate
         if not sim_config.retain_samples:
             self.stream = _StreamStats()
@@ -1308,6 +1339,8 @@ class _Datapath:
             self.delivered_sizes.append(size)
         elif self._warmup_gate.admit():
             self.stream.record(notify - arrival, done, size)
+        if self.observer is not None:
+            self.observer(notify - arrival)
 
     # -- statistics -------------------------------------------------------------
 
@@ -1575,9 +1608,19 @@ class NicDatapathSimulator:
                     )
                 # The RSS key derives from the run seed: reseeding the run
                 # reprograms the hash, like a driver re-keying Toeplitz.
-                targets = rss_queues(
-                    schedule.flows, num_queues, seed=resolved_seed
-                )
+                if self.sim_config.rss_table is not None:
+                    table = np.asarray(
+                        self.sim_config.rss_table, dtype=np.int64
+                    )
+                    targets = table[
+                        rss_buckets(
+                            schedule.flows, len(table), seed=resolved_seed
+                        )
+                    ]
+                else:
+                    targets = rss_queues(
+                        schedule.flows, num_queues, seed=resolved_seed
+                    )
             # Arrivals are pre-generated and nearly sorted: feed them to
             # the loop's stream (one stable sort + pointer walk) instead
             # of paying per-event scheduling and a closure per packet.
@@ -1680,6 +1723,7 @@ def simulate_nic(
     num_queues: int = 1,
     dma_tags: int | None = None,
     rss: str = "uniform",
+    rss_table: tuple[int, ...] | None = None,
     flow_count: int = 64,
     retain_samples: bool = True,
     seed: int | None = None,
@@ -1728,6 +1772,7 @@ def simulate_nic(
             num_queues=num_queues,
             dma_tags=dma_tags,
             retain_samples=retain_samples,
+            rss_table=rss_table,
         ),
     )
     result = simulator.run(workload, packets, seed=seed)

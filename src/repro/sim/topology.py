@@ -270,6 +270,7 @@ class CompiledTopology:
             children[switch] = []
         for child, parent in topology.links:
             children[parent].append(child)
+        self._children = {node: tuple(kids) for node, kids in children.items()}
 
         def subtree_weight(node: str) -> float:
             if node in device_weight:
@@ -326,6 +327,35 @@ class CompiledTopology:
             raise ValidationError(
                 f"no node {node!r} in topology {self.name}"
             ) from None
+
+    def set_device_weights(self, weights: Sequence[float]) -> None:
+        """Retune per-device weights mid-run (control-plane actuator).
+
+        Recomputes every node's client weights — a switch still competes
+        at its parent with its subtree's *summed* device weights — and
+        installs them with
+        :meth:`~repro.sim.engine.ArbitratedResource.set_weights`, so the
+        new weights govern every grant from the next dispatch on without
+        disturbing queued or in-flight requests.
+        """
+        if len(weights) != len(self.device_names):
+            raise ValidationError(
+                f"need one weight per device ({len(self.device_names)}), "
+                f"got {len(weights)}"
+            )
+        if any(weight <= 0 for weight in weights):
+            raise ValidationError(f"weights must be positive, got {tuple(weights)}")
+        device_weight = dict(zip(self.device_names, weights))
+
+        def subtree_weight(node: str) -> float:
+            if node in device_weight:
+                return float(device_weight[node])
+            return sum(subtree_weight(child) for child in self._children[node])
+
+        for node, kids in self._children.items():
+            self._arbiters[node].set_weights(
+                tuple(subtree_weight(kid) for kid in kids)
+            )
 
     def attach_loop(self, loop) -> None:
         """Enable batched grants on every arbiter in the tree.

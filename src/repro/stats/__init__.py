@@ -13,7 +13,10 @@ the ``retain_samples=False`` simulator mode) build on:
   merge, for cheap dispersion estimates without any sample storage;
 * :class:`ReservoirSample` — seeded bottom-k reservoir sampling by hashed
   priority, so shards can each keep a small deterministic trace sample
-  and ``merge`` reproduces the sample a single pass would have kept.
+  and ``merge`` reproduces the sample a single pass would have kept;
+* :class:`WindowedStats` — a sketch + moments pair that snapshots and
+  resets on a window boundary without disturbing the cumulative view,
+  the per-window observation signal the control plane ticks on.
 
 Every estimator is serialisable (``as_dict``/``from_dict``) and supports
 ``merge`` so per-shard results combine deterministically: quantile
@@ -25,10 +28,13 @@ host order so even float accumulators (sum, M2) are bit-stable.
 from .moments import StreamingMoments
 from .reservoir import ReservoirSample
 from .sketch import DEFAULT_RELATIVE_ACCURACY, QuantileSketch
+from .windowed import WindowSnapshot, WindowedStats
 
 __all__ = [
     "DEFAULT_RELATIVE_ACCURACY",
     "QuantileSketch",
     "ReservoirSample",
     "StreamingMoments",
+    "WindowSnapshot",
+    "WindowedStats",
 ]

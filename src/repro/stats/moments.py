@@ -76,10 +76,17 @@ class StreamingMoments:
 
     @property
     def variance(self) -> float:
-        """Population variance of the values pushed so far."""
+        """Population variance of the values pushed so far.
+
+        Clamped at 0.0: merging a shard record whose second moment was
+        computed with a cancellation-prone formula (sum-of-squares) can
+        leave ``_m2`` a hair below zero, and ``std`` must never raise
+        ``math domain error`` over a rounding artefact.
+        """
         if self._count == 0:
             raise ValidationError("cannot query statistics of empty moments")
-        return self._m2 / self._count
+        variance = self._m2 / self._count
+        return variance if variance > 0.0 else 0.0
 
     @property
     def std(self) -> float:
@@ -141,10 +148,19 @@ class StreamingMoments:
     @classmethod
     def from_dict(cls, record: Mapping[str, object]) -> "StreamingMoments":
         moments = cls()
-        moments._count = int(record.get("count", 0))
+        count = int(record.get("count", 0))
+        if count < 0:
+            raise ValidationError(
+                f"moments record field 'count' must be >= 0, got {count}"
+            )
+        moments._count = count
         moments._mean = float(record.get("mean", 0.0))
         moments._m2 = float(record.get("m2", 0.0))
         if moments._count:
+            if "min" not in record or "max" not in record:
+                raise ValidationError(
+                    "moments record with count > 0 must carry 'min' and 'max'"
+                )
             moments._min = float(record["min"])  # type: ignore[index]
             moments._max = float(record["max"])  # type: ignore[index]
         return moments

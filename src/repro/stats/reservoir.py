@@ -105,20 +105,38 @@ class ReservoirSample:
 
         Associative and commutative: the result keeps the ``capacity``
         smallest priorities of the union, regardless of merge order.
+
+        Union semantics require the two reservoirs to have sampled
+        different streams.  Merging a reservoir into itself is rejected
+        outright (it would double ``count`` and duplicate every kept
+        item), and exact ``(priority, seed, tag)`` collisions — shards
+        that shared a seed over overlapping tag ranges — are deduped,
+        with ``count`` reduced by the overlap so it still estimates the
+        union's offered total.
         """
         if not isinstance(other, ReservoirSample):
             raise ValidationError(
                 f"can only merge ReservoirSample, got {type(other).__name__}"
+            )
+        if other is self:
+            raise ValidationError(
+                "cannot merge a reservoir with itself: merge is a stream "
+                "union and would double every kept item and the offered count"
             )
         if other.capacity != self.capacity:
             raise ValidationError(
                 "cannot merge reservoirs with different capacities "
                 f"({self.capacity} != {other.capacity})"
             )
-        merged = sorted(self._items + other._items)
+        own_keys = {item[:3] for item in self._items}
+        duplicates = sum(1 for item in other._items if item[:3] in own_keys)
+        merged = sorted(
+            self._items
+            + [item for item in other._items if item[:3] not in own_keys]
+        )
         self._items = merged[: self.capacity]
         self._next_tag = max(self._next_tag, other._next_tag)
-        self._offered += other._offered
+        self._offered += other._offered - duplicates
         return self
 
     def copy(self) -> "ReservoirSample":
@@ -142,15 +160,41 @@ class ReservoirSample:
     @classmethod
     def from_dict(cls, record: Mapping[str, object]) -> "ReservoirSample":
         reservoir = cls(int(record["capacity"]), int(record["seed"]))  # type: ignore[index]
-        reservoir._offered = int(record.get("offered", 0))
-        reservoir._next_tag = int(record.get("next_tag", reservoir._offered))
+        offered = int(record.get("offered", 0))
+        if offered < 0:
+            raise ValidationError(
+                f"reservoir record field 'offered' must be >= 0, got {offered}"
+            )
+        next_tag = int(record.get("next_tag", offered))
+        if next_tag < 0:
+            raise ValidationError(
+                f"reservoir record field 'next_tag' must be >= 0, got {next_tag}"
+            )
+        reservoir._offered = offered
+        reservoir._next_tag = next_tag
         items = record.get("items", [])
         if not isinstance(items, Sequence):
             raise ValidationError("reservoir record field 'items' must be a list")
-        reservoir._items = [
-            (int(item[0]), int(item[1]), int(item[2]), float(item[3]))
-            for item in items
-        ]
+        parsed: list[tuple[int, int, int, float]] = []
+        for position, item in enumerate(items):
+            if not isinstance(item, Sequence) or len(item) != 4:
+                raise ValidationError(
+                    f"reservoir record item {position} must be a "
+                    "(priority, seed, tag, value) 4-tuple"
+                )
+            priority, item_seed, tag = int(item[0]), int(item[1]), int(item[2])
+            if priority < 0 or item_seed < 0 or tag < 0:
+                raise ValidationError(
+                    f"reservoir record item {position} has negative "
+                    "priority/seed/tag fields"
+                )
+            parsed.append((priority, item_seed, tag, float(item[3])))
+        if len(parsed) > reservoir.capacity:
+            raise ValidationError(
+                f"reservoir record keeps {len(parsed)} items, above its "
+                f"capacity {reservoir.capacity}"
+            )
+        reservoir._items = parsed
         reservoir._items.sort()
         return reservoir
 

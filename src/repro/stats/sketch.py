@@ -223,14 +223,35 @@ class QuantileSketch:
     def from_dict(cls, record: Mapping[str, object]) -> "QuantileSketch":
         """Rebuild a sketch serialised by :meth:`as_dict`."""
         sketch = cls(float(record.get("relative_accuracy", DEFAULT_RELATIVE_ACCURACY)))
-        sketch._count = int(record.get("count", 0))
-        sketch._zero_count = int(record.get("zero_count", 0))
+        count = int(record.get("count", 0))
+        zero_count = int(record.get("zero_count", 0))
+        if count < 0:
+            raise ValidationError(
+                f"sketch record field 'count' must be >= 0, got {count}"
+            )
+        if zero_count < 0:
+            raise ValidationError(
+                f"sketch record field 'zero_count' must be >= 0, got {zero_count}"
+            )
+        sketch._count = count
+        sketch._zero_count = zero_count
         sketch._sum = float(record.get("sum", 0.0))
         buckets = record.get("buckets", {})
         if not isinstance(buckets, Mapping):
             raise ValidationError("sketch record field 'buckets' must be a mapping")
-        sketch._buckets = {int(index): int(count) for index, count in buckets.items()}
+        sketch._buckets = {}
+        for index, bucket_count in buckets.items():
+            bucket_count = int(bucket_count)
+            if bucket_count < 0:
+                raise ValidationError(
+                    f"sketch record bucket {index!r} has negative count {bucket_count}"
+                )
+            sketch._buckets[int(index)] = bucket_count
         if sketch._count:
+            if "min" not in record or "max" not in record:
+                raise ValidationError(
+                    "sketch record with count > 0 must carry 'min' and 'max'"
+                )
             sketch._min = float(record["min"])  # type: ignore[index]
             sketch._max = float(record["max"])  # type: ignore[index]
         return sketch

@@ -1,0 +1,130 @@
+"""Windowed snapshots over the streaming estimators.
+
+The control plane observes *per-window deltas*, not cumulative totals: a
+controller that ticks every 50 µs must see the latency distribution of
+the last window alone, while the run's final result still reports the
+cumulative sketch over every packet.  :class:`WindowedStats` keeps both
+views without double-recording: ``record`` feeds only the current
+window's :class:`~repro.stats.sketch.QuantileSketch` and
+:class:`~repro.stats.moments.StreamingMoments`, and ``snapshot`` freezes
+the window, folds it into the cumulative accumulators, and starts a new
+one.
+
+The cumulative view is therefore *defined* as the in-window-order merge
+of the snapshots.  That makes the windowed decomposition exact — merging
+the snapshot sequence in window order reproduces the cumulative sketch
+and moments bit for bit, float accumulators included — which the
+property suite pins.
+
+An empty window (zero packets between ticks) is a legal, well-defined
+snapshot with ``count == 0``; callers must check ``count`` before asking
+for quantiles, exactly as with an empty sketch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+from .moments import StreamingMoments
+from .sketch import DEFAULT_RELATIVE_ACCURACY, QuantileSketch
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """One frozen window: its sketch, its moments, and its position."""
+
+    index: int
+    sketch: QuantileSketch
+    moments: StreamingMoments
+
+    @property
+    def count(self) -> int:
+        """Values recorded in this window (0 for an empty window)."""
+        return self.sketch.count
+
+    def quantile(self, q: float) -> float:
+        """The window's ``q``-quantile (raises on an empty window)."""
+        return self.sketch.quantile(q)
+
+
+class WindowedStats:
+    """A quantile sketch + moments pair with snapshot-and-reset windows."""
+
+    __slots__ = ("relative_accuracy", "_window_sketch", "_window_moments",
+                 "_cumulative_sketch", "_cumulative_moments", "_window_index")
+
+    def __init__(self, relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY) -> None:
+        self.relative_accuracy = float(relative_accuracy)
+        self._window_sketch = QuantileSketch(self.relative_accuracy)
+        self._window_moments = StreamingMoments()
+        self._cumulative_sketch = QuantileSketch(self.relative_accuracy)
+        self._cumulative_moments = StreamingMoments()
+        self._window_index = 0
+
+    # -- ingest ----------------------------------------------------------------
+
+    def record(self, value: float) -> None:
+        """Record one value into the current window."""
+        self._window_sketch.add(value)
+        self._window_moments.push(value)
+
+    # -- windows ---------------------------------------------------------------
+
+    @property
+    def window_count(self) -> int:
+        """Values recorded in the current (unfrozen) window."""
+        return self._window_sketch.count
+
+    @property
+    def window_index(self) -> int:
+        """Index the next :meth:`snapshot` will carry."""
+        return self._window_index
+
+    def snapshot(self) -> WindowSnapshot:
+        """Freeze the current window and start a new one.
+
+        The frozen window is folded into the cumulative accumulators
+        before the reset, so the cumulative view is exactly the in-order
+        merge of every snapshot taken so far.  An empty window yields a
+        ``count == 0`` snapshot rather than raising.
+        """
+        frozen = WindowSnapshot(
+            index=self._window_index,
+            sketch=self._window_sketch,
+            moments=self._window_moments,
+        )
+        self._cumulative_sketch.merge(self._window_sketch)
+        self._cumulative_moments.merge(self._window_moments)
+        self._window_sketch = QuantileSketch(self.relative_accuracy)
+        self._window_moments = StreamingMoments()
+        self._window_index += 1
+        return frozen
+
+    # -- cumulative view -------------------------------------------------------
+
+    def cumulative(self) -> tuple[QuantileSketch, StreamingMoments]:
+        """The cumulative sketch and moments including the open window.
+
+        Returns independent copies so callers can query (or serialise)
+        them without disturbing the live window decomposition.
+        """
+        sketch = self._cumulative_sketch.copy()
+        moments = self._cumulative_moments.copy()
+        sketch.merge(self._window_sketch)
+        moments.merge(self._window_moments)
+        return sketch, moments
+
+    @property
+    def count(self) -> int:
+        """Total values recorded across all windows, open window included."""
+        return self._cumulative_sketch.count + self._window_sketch.count
+
+    def __repr__(self) -> str:
+        return (
+            f"WindowedStats(windows={self._window_index}, "
+            f"count={self.count}, open={self.window_count})"
+        )
+
+
+__all__ = ["WindowSnapshot", "WindowedStats", "ValidationError"]

@@ -70,3 +70,26 @@ def rss_queues(
 def rss_queue(flow: int, num_queues: int, *, seed: int = 0) -> int:
     """Scalar convenience wrapper around :func:`rss_queues`."""
     return int(rss_queues(np.asarray([flow]), num_queues, seed=seed)[0])
+
+
+def rss_buckets(
+    flows: np.ndarray, buckets: int, *, seed: int = 0
+) -> np.ndarray:
+    """Map flow labels to indirection-table *buckets* (``hash % buckets``).
+
+    Real NICs interpose a driver-writable indirection table between the
+    hash and the queue: ``queue = table[hash % len(table)]``.  This is
+    the ``hash % len(table)`` half, using the exact mix as
+    :func:`rss_queues`, so ``table[b] = b % num_queues`` with
+    ``num_queues | buckets`` reproduces the direct mapping bucket for
+    bucket — the identity the static-RSS golden contract rests on — while
+    any other table contents re-steer flows without touching the hash.
+    """
+    if buckets <= 0:
+        raise ValidationError(f"buckets must be positive, got {buckets}")
+    labels = np.asarray(flows)
+    if labels.size and labels.min() < 0:
+        raise ValidationError("flow labels must be non-negative")
+    key = _mix64(np.uint64(seed & 0xFFFFFFFFFFFFFFFF))
+    hashed = _mix64(labels.astype(np.uint64) ^ key)
+    return (hashed % np.uint64(buckets)).astype(np.int64)

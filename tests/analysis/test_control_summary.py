@@ -1,0 +1,70 @@
+"""Tests for the control-plane action-log renderer."""
+
+import pytest
+
+from repro.analysis import format_control_summary
+from repro.control import ControlAction
+from repro.errors import AnalysisError
+
+
+def make_record(actions, *, controller="threshold", window=50_000.0):
+    return {
+        "kind": "CONTENTION",
+        "controller": controller,
+        "control_window_ns": window,
+        "control_actions": [action.as_dict() for action in actions],
+    }
+
+
+class TestFormatControlSummary:
+    def test_static_record_is_rejected(self):
+        with pytest.raises(AnalysisError):
+            format_control_summary({"kind": "CONTENTION"})
+        with pytest.raises(AnalysisError):
+            format_control_summary(make_record([], controller="static"))
+
+    def test_actionless_run_renders_a_header_only(self):
+        text = format_control_summary(make_record([]))
+        assert "controller threshold" in text
+        assert "window 50 us" in text
+        assert "no knob was retuned" in text
+        assert "|" not in text  # no table
+
+    def test_actions_render_as_rows(self):
+        actions = [
+            ControlAction(
+                time_ns=100_000.0, device="victim", actuator="weights",
+                reason="wait-dominated for 2 window(s)",
+                before=(1.0, 16.0), after=(2.0, 16.0),
+            ),
+            ControlAction(
+                time_ns=150_000.0, device="victim", actuator="ddio",
+                reason="descriptor hit rate 0.41 < 0.6",
+                before=(1.0, 1.0), after=(2.0, 1.0),
+            ),
+        ]
+        text = format_control_summary(make_record(actions))
+        assert "2 action(s)" in text
+        assert "100" in text and "150" in text  # times in us
+        assert "1:16" in text and "2:16" in text
+        assert "wait-dominated" in text
+        assert "weights" in text and "ddio" in text
+
+    def test_long_rss_tables_summarise_as_histograms(self):
+        table_before = tuple([0] * 32 + [1] * 32)
+        table_after = tuple([0] * 16 + [1] * 48)
+        action = ControlAction(
+            time_ns=40_000.0, device="dev0", actuator="rss",
+            reason="queue 0 hot", before=table_before, after=table_after,
+        )
+        text = format_control_summary(make_record(actions=[action]))
+        assert "{q0:32, q1:32}" in text
+        assert "{q0:16, q1:48}" in text
+
+    def test_title_override(self):
+        action = ControlAction(
+            time_ns=1.0, device="d", actuator="weights",
+            reason="r", before=(1.0,), after=(2.0,),
+        )
+        text = format_control_summary(make_record([action]), title="My run")
+        assert text.startswith("My run")

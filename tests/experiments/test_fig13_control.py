@@ -1,0 +1,77 @@
+"""Structure and shape-check tests for ``figure-13-control``.
+
+The experiment pins this PR's acceptance criterion: on both the
+noisy-neighbour (weights knob) and single-hot-flow (RSS knob)
+pathologies, the reactive threshold policy recovers at least half of
+the victim-p99 gap between the untuned-static and hand-tuned-static
+configurations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig13_control import handtuned_hot_table, run
+from repro.experiments.registry import run_experiment
+from repro.sim.rng import DEFAULT_SEED
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    return run_experiment("figure-13-control", quick=True)
+
+
+class TestFigure13Control:
+    def test_structure(self, quick_result):
+        assert quick_result.experiment_id == "figure-13-control"
+        # One row per (scenario, config): 2 scenarios x 4 configs.
+        assert len(quick_result.table_rows) == 8
+        assert quick_result.table_headers[0] == "scenario, config"
+        assert len(quick_result.checks) == 7
+        text = quick_result.to_text()
+        assert "threshold" in text.lower()
+        assert "recovery" in text.lower()
+
+    def test_acceptance_criterion(self, quick_result):
+        assert quick_result.passed, [
+            check.description
+            for check in quick_result.checks
+            if not check.passed
+        ]
+        recovery_checks = [
+            check
+            for check in quick_result.checks
+            if "recovers >= 50%" in check.description
+        ]
+        assert len(recovery_checks) == 2  # scenario A and scenario B
+        assert all(check.passed for check in recovery_checks)
+
+    def test_registry_runner_matches_direct_run(self, quick_result):
+        direct = run(quick=True)
+        assert direct.experiment_id == quick_result.experiment_id
+        assert [c.passed for c in direct.checks] == [
+            c.passed for c in quick_result.checks
+        ]
+
+
+class TestHandTunedTable:
+    def test_isolates_the_elephant_bucket(self):
+        table = handtuned_hot_table(2, seed=DEFAULT_SEED)
+        assert len(table) == 64
+        # Exactly one bucket maps to the elephant's queue; everything
+        # else drains through the other queue.
+        from collections import Counter
+
+        counts = Counter(table)
+        assert sorted(counts.values()) == [1, 63]
+
+    def test_round_robins_mice_over_cool_queues(self):
+        table = handtuned_hot_table(4, seed=DEFAULT_SEED)
+        assert len(table) == 64
+        from collections import Counter
+
+        counts = Counter(table)
+        hot_queue_load = min(counts.values())
+        assert hot_queue_load == 1
+        # Mice spread evenly over the three cool queues.
+        assert max(counts.values()) - sorted(counts.values())[1] <= 1

@@ -36,6 +36,7 @@ class TestRegistry:
             "figure-10-contention",
             "figure-11-topology",
             "figure-12-fleet",
+            "figure-13-control",
             "table-1",
             "table-2",
         ]

@@ -317,3 +317,45 @@ class TestContendCommand:
         code = main(["contend", "--ddio-partition", "bogus"])
         assert code == 1
         assert "colon-separated" in capsys.readouterr().err
+
+    def test_contend_controller_prints_the_action_log(self, capsys):
+        code = main(
+            [
+                "contend",
+                "--device", "name=victim,model=dpdk,workload=fixed,size=512,"
+                "load=5,packets=200,ring-depth=64,window=256K",
+                "--device", "name=aggressor,model=kernel,workload=imix,"
+                "packets=1200,window=16M",
+                "--iommu", "--arbiter", "wrr", "--weights", "1:16",
+                "--controller", "threshold", "--control-window", "20000",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Control plane: controller threshold" in captured.out
+        assert "window 20 us" in captured.out
+        assert "weights" in captured.out
+
+    def test_contend_controller_defaults_to_static_with_no_summary(
+        self, capsys
+    ):
+        code = main(
+            [
+                "contend",
+                "--device", "name=a,load=5,packets=80",
+                "--device", "name=b,workload=imix,packets=200",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Control plane" not in captured.out
+
+    def test_contend_rejects_window_without_controller(self, capsys):
+        code = main(["contend", "--control-window", "50000"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "control_window_ns" in captured.err
+
+    def test_contend_rejects_unknown_controller(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["contend", "--controller", "pid"])

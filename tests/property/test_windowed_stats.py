@@ -1,0 +1,82 @@
+"""Property: the windowed decomposition of the streaming stats is exact.
+
+The control plane consumes per-window :class:`WindowSnapshot` deltas
+while the run's result reports the cumulative estimators.  These are
+only two views of one stream if merging the snapshot sequence *in
+window order* reproduces the cumulative sketch and moments bit for bit
+— float accumulators, bucket maps, extremes, everything ``as_dict``
+serialises.  Empty windows (a controller tick with no traffic) must be
+legal members of the sequence.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.stats import QuantileSketch, StreamingMoments, WindowedStats
+
+values = st.floats(
+    min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+#: Windows of values; empty lists model controller ticks with no traffic.
+windows = st.lists(st.lists(values, max_size=40), min_size=1, max_size=12)
+
+
+class TestWindowedDecomposition:
+    @given(stream=windows)
+    @settings(max_examples=100, deadline=None)
+    def test_in_order_merge_reproduces_cumulative_bit_for_bit(self, stream):
+        stats = WindowedStats()
+        snapshots = []
+        for window in stream:
+            for value in window:
+                stats.record(value)
+            snapshots.append(stats.snapshot())
+
+        merged_sketch = QuantileSketch(stats.relative_accuracy)
+        merged_moments = StreamingMoments()
+        for snapshot in snapshots:
+            merged_sketch.merge(snapshot.sketch)
+            merged_moments.merge(snapshot.moments)
+
+        cumulative_sketch, cumulative_moments = stats.cumulative()
+        # Equality covers counts, sums, bucket maps and extremes; the
+        # as_dict comparison additionally pins the float accumulators'
+        # exact bit patterns (no tolerance anywhere).
+        assert merged_sketch == cumulative_sketch
+        assert merged_moments == cumulative_moments
+        assert merged_sketch.as_dict() == cumulative_sketch.as_dict()
+        assert merged_moments.as_dict() == cumulative_moments.as_dict()
+
+    @given(stream=windows)
+    @settings(max_examples=50, deadline=None)
+    def test_window_indices_are_sequential_and_counts_add_up(self, stream):
+        stats = WindowedStats()
+        total = 0
+        for position, window in enumerate(stream):
+            for value in window:
+                stats.record(value)
+            snapshot = stats.snapshot()
+            assert snapshot.index == position
+            assert snapshot.count == len(window)
+            total += len(window)
+        assert stats.count == total
+        assert stats.window_count == 0
+
+    @given(tail=st.lists(values, min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_empty_windows_are_identity_elements(self, tail):
+        # A run of empty windows before and after the data must not
+        # perturb the cumulative view at all.
+        noisy = WindowedStats()
+        clean = WindowedStats()
+        noisy.snapshot()
+        noisy.snapshot()
+        for value in tail:
+            noisy.record(value)
+            clean.record(value)
+        noisy.snapshot()
+        empty = noisy.snapshot()
+        assert empty.count == 0
+        noisy_sketch, noisy_moments = noisy.cumulative()
+        clean_sketch, clean_moments = clean.cumulative()
+        assert noisy_sketch.as_dict() == clean_sketch.as_dict()
+        assert noisy_moments.as_dict() == clean_moments.as_dict()

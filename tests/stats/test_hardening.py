@@ -1,0 +1,214 @@
+"""Hardening regressions for the streaming-stats layer.
+
+Pins the three field-reported failure modes of PR 8's sweep: the
+``math domain error`` from a cancellation-produced negative second
+moment, silently-poisoned accumulators rebuilt from corrupt records,
+and reservoir self-merge / shared-shard double counting.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.stats import (
+    QuantileSketch,
+    ReservoirSample,
+    StreamingMoments,
+    WindowedStats,
+)
+
+
+class TestNegativeSecondMomentClamp:
+    """``std`` must never raise over a rounding artefact."""
+
+    def test_sum_of_squares_shard_record_yields_negative_m2(self):
+        # A shard that computed m2 as sum(x^2) - n*mean^2 (the
+        # cancellation-prone textbook formula) over three copies of
+        # 1000000000.7 rounds to m2 = -512.0.  Its record is honest
+        # about what the shard computed; from_dict must accept it and
+        # the variance clamp must absorb it.
+        values = [1000000000.7] * 3
+        naive_m2 = math.fsum(v * v for v in values) - len(values) * (
+            math.fsum(values) / len(values)
+        ) ** 2
+        assert naive_m2 < 0.0
+        shard = StreamingMoments.from_dict(
+            {
+                "count": len(values),
+                "mean": math.fsum(values) / len(values),
+                "m2": naive_m2,
+                "min": min(values),
+                "max": max(values),
+            }
+        )
+        assert shard.variance == 0.0
+        assert shard.std == 0.0
+
+    def test_merge_of_poisoned_shard_keeps_std_finite(self):
+        shard = StreamingMoments.from_dict(
+            {"count": 3, "mean": 1000000000.7, "m2": -512.0,
+             "min": 1000000000.7, "max": 1000000000.7}
+        )
+        total = StreamingMoments()
+        total.push(1000000000.7)
+        total.merge(shard)
+        assert total.count == 4
+        assert total.std >= 0.0
+        assert math.isfinite(total.std)
+
+    def test_live_pushes_never_go_negative(self):
+        moments = StreamingMoments()
+        for _ in range(1000):
+            moments.push(1000000000.7)
+        assert moments.variance >= 0.0
+        assert moments.std >= 0.0
+
+
+class TestFromDictValidation:
+    """Corrupt records must raise, not silently poison later merges."""
+
+    def test_moments_rejects_negative_count(self):
+        with pytest.raises(ValidationError):
+            StreamingMoments.from_dict({"count": -1, "mean": 0.0, "m2": 0.0})
+
+    def test_moments_requires_min_max_when_counted(self):
+        with pytest.raises(ValidationError):
+            StreamingMoments.from_dict({"count": 2, "mean": 1.0, "m2": 0.0})
+
+    def test_sketch_rejects_negative_counts(self):
+        with pytest.raises(ValidationError):
+            QuantileSketch.from_dict({"count": -4, "zero_count": 0})
+        with pytest.raises(ValidationError):
+            QuantileSketch.from_dict({"count": 0, "zero_count": -1})
+
+    def test_sketch_rejects_negative_bucket_and_bad_buckets(self):
+        with pytest.raises(ValidationError):
+            QuantileSketch.from_dict(
+                {"count": 2, "zero_count": 0, "min": 1.0, "max": 2.0,
+                 "buckets": {"10": -2}}
+            )
+        with pytest.raises(ValidationError):
+            QuantileSketch.from_dict(
+                {"count": 0, "zero_count": 0, "buckets": [1, 2, 3]}
+            )
+
+    def test_sketch_requires_min_max_when_counted(self):
+        with pytest.raises(ValidationError):
+            QuantileSketch.from_dict(
+                {"count": 2, "zero_count": 0, "buckets": {"10": 2}}
+            )
+
+    def test_reservoir_rejects_negative_offered_and_next_tag(self):
+        with pytest.raises(ValidationError):
+            ReservoirSample.from_dict(
+                {"capacity": 4, "seed": 1, "offered": -1, "items": []}
+            )
+        with pytest.raises(ValidationError):
+            ReservoirSample.from_dict(
+                {"capacity": 4, "seed": 1, "offered": 0, "next_tag": -5,
+                 "items": []}
+            )
+
+    def test_reservoir_rejects_malformed_and_overfull_items(self):
+        with pytest.raises(ValidationError):
+            ReservoirSample.from_dict(
+                {"capacity": 4, "seed": 1, "offered": 1,
+                 "items": [[1, 2, 3]]}
+            )
+        with pytest.raises(ValidationError):
+            ReservoirSample.from_dict(
+                {"capacity": 4, "seed": 1, "offered": 1,
+                 "items": [[-1, 0, 0, 2.0]]}
+            )
+        with pytest.raises(ValidationError):
+            ReservoirSample.from_dict(
+                {"capacity": 1, "seed": 1, "offered": 2,
+                 "items": [[1, 1, 0, 2.0], [2, 1, 1, 3.0]]}
+            )
+
+    def test_round_trip_still_works_after_validation(self):
+        reservoir = ReservoirSample(4, seed=7)
+        reservoir.add_many([1.0, 2.0, 3.0])
+        rebuilt = ReservoirSample.from_dict(reservoir.as_dict())
+        assert rebuilt.values() == reservoir.values()
+        assert rebuilt.count == reservoir.count
+
+
+class TestReservoirMergeUnionSemantics:
+    def test_self_merge_is_rejected(self):
+        reservoir = ReservoirSample(4, seed=3)
+        reservoir.add_many([1.0, 2.0])
+        with pytest.raises(ValidationError):
+            reservoir.merge(reservoir)
+        # Rejection left the reservoir untouched.
+        assert reservoir.count == 2
+        assert len(reservoir) == 2
+
+    def test_copy_merge_dedupes_shared_stream(self):
+        # A copy shares seed AND tag range: every kept item collides.
+        # The merge must not double count or duplicate items.
+        reservoir = ReservoirSample(8, seed=3)
+        reservoir.add_many([1.0, 2.0, 3.0])
+        before_values = reservoir.values()
+        reservoir.merge(reservoir.copy())
+        assert reservoir.values() == before_values
+        assert reservoir.count == 3
+
+    def test_partial_overlap_dedupes_only_the_overlap(self):
+        # Two shards that share a seed over overlapping tag ranges:
+        # one saw items 0..4, the other a superset 0..7 of the same
+        # stream.  The union's offered total is 8, not 13.
+        small = ReservoirSample(16, seed=9)
+        small.add_many([float(i) for i in range(5)])
+        large = ReservoirSample(16, seed=9)
+        large.add_many([float(i) for i in range(8)])
+        small.merge(large)
+        assert small.count == 8
+        assert sorted(small.values()) == [float(i) for i in range(8)]
+
+    def test_disjoint_shards_still_sum(self):
+        a = ReservoirSample(4, seed=1)
+        a.add_many([1.0, 2.0, 3.0])
+        b = ReservoirSample(4, seed=2)
+        b.add_many([4.0, 5.0])
+        a.merge(b)
+        assert a.count == 5
+
+
+class TestWindowedStats:
+    def test_snapshot_resets_window_and_keeps_cumulative(self):
+        stats = WindowedStats()
+        stats.record(1.0)
+        stats.record(2.0)
+        first = stats.snapshot()
+        assert first.index == 0
+        assert first.count == 2
+        assert stats.window_count == 0
+        stats.record(3.0)
+        sketch, moments = stats.cumulative()
+        assert sketch.count == 3
+        assert moments.count == 3
+        assert stats.count == 3
+
+    def test_empty_window_is_well_defined(self):
+        stats = WindowedStats()
+        empty = stats.snapshot()
+        assert empty.count == 0
+        assert empty.index == 0
+        with pytest.raises(ValidationError):
+            empty.quantile(0.99)
+        # The empty window contributes nothing to the cumulative view.
+        stats.record(5.0)
+        sketch, moments = stats.cumulative()
+        assert sketch.count == 1
+        assert moments.mean == 5.0
+
+    def test_cumulative_copies_do_not_disturb_the_window(self):
+        stats = WindowedStats()
+        stats.record(1.0)
+        sketch, _ = stats.cumulative()
+        sketch.add(100.0)
+        again, moments = stats.cumulative()
+        assert again.count == 1
+        assert moments.count == 1
