@@ -1,6 +1,11 @@
 """Analysis helpers: text tables, ASCII plots and report generation."""
 
 from .ascii_plot import ascii_plot
+from .attribution import (
+    attribute_spans,
+    format_attribution_summary,
+    stage_totals,
+)
 from .contention import (
     device_slowdowns,
     format_contention_summary,
@@ -17,6 +22,9 @@ from .table import format_nicsim_summary, format_series_table, format_table
 
 __all__ = [
     "ascii_plot",
+    "attribute_spans",
+    "format_attribution_summary",
+    "stage_totals",
     "device_slowdowns",
     "format_contention_summary",
     "format_control_summary",

@@ -147,6 +147,11 @@ class ContentionParams:
         control_window_ns: the controller's observation window in
             simulated nanoseconds (``None`` uses the control-plane
             default; only valid with a non-static controller).
+        engine_profile: attach the run's
+            :class:`~repro.sim.engine.EngineProfile` to the result
+            (``result.profile``).  A parameter rather than only a runner
+            kwarg so profiling survives the process-pool dispatch, which
+            pickles parameters and results but no sinks.
         seed: run seed (``None`` uses the library default).
     """
 
@@ -163,6 +168,7 @@ class ContentionParams:
     cache_model: str = "statistical"
     controller: str = "static"
     control_window_ns: float | None = None
+    engine_profile: bool = False
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -330,6 +336,8 @@ class ContentionParams:
             record["controller"] = self.controller
             if self.control_window_ns is not None:
                 record["control_window_ns"] = self.control_window_ns
+        if self.engine_profile:
+            record["engine_profile"] = True
         return record
 
     @classmethod
@@ -364,6 +372,7 @@ class ContentionParams:
                 if data.get("control_window_ns") is None
                 else float(data["control_window_ns"])  # type: ignore[arg-type]
             ),
+            engine_profile=bool(data.get("engine_profile", False)),
             seed=data.get("seed"),  # type: ignore[arg-type]
         )
 
@@ -432,6 +441,8 @@ def run_contention_benchmark(
     params: ContentionParams,
     *,
     profile_sink: list | None = None,
+    tracer=None,
+    metrics=None,
 ) -> ContentionResult:
     """Run one shared-host contention benchmark as described by ``params``.
 
@@ -442,7 +453,15 @@ def run_contention_benchmark(
 
     ``profile_sink`` (a caller-owned list) collects the run's
     :class:`~repro.sim.engine.EngineProfile` when provided — the hook
-    behind the ``pcie-bench contend --profile`` flag.
+    behind the ``pcie-bench contend --profile`` flag.  When profiling is
+    requested (via the sink or ``params.engine_profile``), the profile is
+    also attached to the returned result so it serialises with it.
+
+    ``tracer`` / ``metrics`` opt the run into the observability layer
+    (:mod:`repro.obs`): a span :class:`~repro.obs.Tracer` threaded
+    through every device's datapath and the fabric arbitration hops, and
+    a :class:`~repro.obs.MetricsRegistry` sampled per control window and
+    attached to the result as ``result.metrics``.
     """
     seed = params.seed
     if len(params.devices) == 1 and params.devices[0].seed is not None:
@@ -453,7 +472,10 @@ def run_contention_benchmark(
         for device, name in zip(params.devices, params.device_names())
     ]
     simulator = FabricSimulator(devices, fabric)
-    result = simulator.run(seed=seed)
-    if profile_sink is not None and simulator.last_profile is not None:
-        profile_sink.append(simulator.last_profile)
+    result = simulator.run(seed=seed, tracer=tracer, metrics=metrics)
+    if simulator.last_profile is not None:
+        if profile_sink is not None:
+            profile_sink.append(simulator.last_profile)
+        if params.engine_profile or profile_sink is not None:
+            result = replace(result, profile=simulator.last_profile)
     return result

@@ -466,7 +466,10 @@ class FleetResult:
 
 
 def run_fleet_benchmark(
-    params: FleetParams, *, jobs: int | None = None
+    params: FleetParams,
+    *,
+    jobs: int | None = None,
+    profile_sink: list | None = None,
 ) -> FleetResult:
     """Run one rack-scale fleet benchmark as described by ``params``.
 
@@ -476,12 +479,24 @@ def run_fleet_benchmark(
     :meth:`~repro.bench.runner.BenchmarkRunner.run_all` — which returns
     results in input order — and reduced host by host.  ``jobs=1`` and
     ``jobs=N`` therefore produce bit-identical fleet records.
+
+    ``profile_sink`` (a caller-owned list) collects each host's
+    :class:`~repro.sim.engine.EngineProfile` in host order — the hook the
+    ``pcie-bench fleet --engine-profile`` flag uses (distinct from the
+    fleet ``--profile`` flag, which selects the *load* profile).  The
+    profiles ride the serialised host results across the worker-process
+    boundary: the hosts run with ``engine_profile=True``, so each
+    :class:`~repro.sim.fabric.ContentionResult` carries its profile.
     """
     # Imported here: runner.py dispatches FleetParams back to this module,
     # so a module-level import would be circular.
     from .runner import BenchmarkRunner
 
     host_params = params.all_host_params()
+    if profile_sink is not None:
+        host_params = [
+            host.with_(engine_profile=True) for host in host_params
+        ]
     results = BenchmarkRunner().run_all(host_params, jobs=jobs)
     for result in results:
         if not isinstance(result, ContentionResult):
@@ -489,4 +504,12 @@ def run_fleet_benchmark(
                 f"fleet host run produced {type(result).__name__}, "
                 "expected ContentionResult"
             )
+    if profile_sink is not None:
+        for name, result in zip(params.host_names(), results):
+            if result.profile is None:  # type: ignore[union-attr]
+                raise ValidationError(
+                    f"host {name}: profiled fleet run returned no "
+                    "engine profile"
+                )
+            profile_sink.append(result.profile)  # type: ignore[union-attr]
     return FleetResult.from_host_runs(params, results)  # type: ignore[arg-type]

@@ -283,12 +283,20 @@ def run_nicsim_benchmark(
     params: NicSimParams,
     *,
     profile_sink: list | None = None,
+    tracer=None,
+    metrics=None,
+    device: str = "nic",
 ) -> NicSimResult:
     """Run one NIC datapath simulation as described by ``params``.
 
     ``profile_sink`` (a caller-owned list) collects the run's
     :class:`~repro.sim.engine.EngineProfile` when provided — the hook the
-    ``pcie-bench nicsim --profile`` flag uses.
+    ``pcie-bench nicsim --profile`` flag uses; the profile also attaches
+    to the returned result (``result.profile``) so it serialises.
+
+    ``tracer`` / ``metrics`` opt the run into the observability layer
+    (:mod:`repro.obs`) — span traces of every packet lifecycle stage and
+    a window-sampled metrics registry attached as ``result.metrics``.
     """
     return simulate_nic(
         params.model,
@@ -307,4 +315,7 @@ def run_nicsim_benchmark(
         retain_samples=params.retain_samples,
         seed=params.seed,
         profile_sink=profile_sink,
+        tracer=tracer,
+        metrics=metrics,
+        device=device,
     )

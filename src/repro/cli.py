@@ -20,6 +20,9 @@ Examples::
     pcie-bench contend --iommu --topology victim=root,aggressor=sw0,sw0=root
     pcie-bench contend --iommu --arbiter sliced --quantum 16 --weights 8:1
     pcie-bench contend --iommu --ddio-partition 3:1
+    pcie-bench contend --iommu --trace --trace-out trace.json
+    pcie-bench nicsim --model dpdk --dma-tags 16 --trace
+    pcie-bench fleet --hosts 4 --engine-profile
     pcie-bench experiment figure-10-contention
     pcie-bench experiment figure-11-topology
     pcie-bench experiment figure-8-sim
@@ -36,6 +39,7 @@ import sys
 from typing import Sequence
 
 from .analysis.ascii_plot import ascii_plot
+from .analysis.attribution import attribute_spans, format_attribution_summary
 from .analysis.contention import format_contention_summary
 from .analysis.control import format_control_summary
 from .analysis.fleet import format_fleet_summary
@@ -58,6 +62,7 @@ from .core.nic import FIGURE1_MODELS, model_by_name
 from .errors import ReproError, UsageError, ValidationError
 from .experiments.registry import experiment_ids, run_all, run_experiment
 from .control import CONTROL_POLICIES
+from .obs import DEFAULT_CAPACITY, Tracer
 from .sim.engine import ARBITER_SCHEMES
 from .sim.nicsim import cross_validate
 from .sim.profiles import profile_names
@@ -165,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="report engine throughput (events/s) and per-phase wall "
         "time (build / events / stats) for every run",
     )
+    _add_trace_flags(nicsim)
 
     contend = sub.add_parser(
         "contend",
@@ -256,6 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="report engine throughput (events/s) and per-phase wall "
         "time (build / events / stats) for every run",
     )
+    _add_trace_flags(contend)
 
     fleet = sub.add_parser(
         "fleet",
@@ -316,6 +323,12 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--output", default=None, help="write the JSON fleet record to this path"
     )
+    fleet.add_argument(
+        "--engine-profile", action="store_true",
+        help="report engine throughput (events/s) and per-phase wall "
+        "time for every host run; note --profile on this subcommand "
+        "selects the fleet *load* profile, not engine profiling",
+    )
     fleet.add_argument("--seed", type=int, default=None)
 
     experiment = sub.add_parser("experiment", help="run one figure/table experiment")
@@ -341,6 +354,61 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("systems", help="list the modelled Table 1 systems")
     return parser
+
+
+def _add_trace_flags(sub: argparse.ArgumentParser) -> None:
+    """Attach the shared transaction-tracing flags to a subcommand."""
+    sub.add_argument(
+        "--trace", action="store_true",
+        help="record one span per packet lifecycle stage and print a "
+        "latency-attribution summary",
+    )
+    sub.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the span trace to PATH: Chrome trace-event JSON "
+        "(load at ui.perfetto.dev) or JSONL when PATH ends in .jsonl "
+        "(implies --trace)",
+    )
+    sub.add_argument(
+        "--trace-limit", type=int, default=None, metavar="N",
+        help="flight-recorder capacity in spans; the oldest spans are "
+        f"evicted beyond it (default: {DEFAULT_CAPACITY})",
+    )
+
+
+def _build_tracer(args: argparse.Namespace) -> Tracer | None:
+    """The tracer a ``--trace``/``--trace-out`` invocation asked for."""
+    if not (args.trace or args.trace_out):
+        if args.trace_limit is not None:
+            raise UsageError(
+                "--trace-limit has no effect without --trace or --trace-out"
+            )
+        return None
+    capacity = (
+        DEFAULT_CAPACITY if args.trace_limit is None else args.trace_limit
+    )
+    return Tracer(capacity=capacity)
+
+
+def _emit_trace(tracer: Tracer, args: argparse.Namespace) -> None:
+    """Print the attribution summary and write the requested trace file."""
+    records = attribute_spans(tracer.spans)
+    if records:
+        print()
+        print(format_attribution_summary(records))
+    if tracer.evicted:
+        print(
+            f"trace: {tracer.evicted} spans evicted from the "
+            f"{tracer.capacity}-span flight recorder (raise --trace-limit "
+            "for complete traces)",
+            file=sys.stderr,
+        )
+    if args.trace_out:
+        tracer.write(args.trace_out)
+        print(
+            f"trace written to {args.trace_out} ({len(tracer)} spans)",
+            file=sys.stderr,
+        )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -433,6 +501,7 @@ def _cmd_nicsim(args: argparse.Namespace) -> int:
         models = [model.name for model in FIGURE1_MODELS]
     else:
         models = [model_by_name(args.model).name]
+    tracer = _build_tracer(args)
     records = []
     host_config = None
     for model in models:
@@ -459,12 +528,19 @@ def _cmd_nicsim(args: argparse.Namespace) -> int:
         print(params.label(), file=sys.stderr)
         profiles: list = [] if args.profile else None  # type: ignore[assignment]
         records.append(
-            run_nicsim_benchmark(params, profile_sink=profiles).as_dict()
+            run_nicsim_benchmark(
+                params,
+                profile_sink=profiles,
+                tracer=tracer,
+                device=model if len(models) > 1 else "nic",
+            ).as_dict()
         )
         if profiles:
             for profile in profiles:
                 print(profile.format(), file=sys.stderr)
     print(format_nicsim_summary(records, title="NIC datapath simulation"))
+    if tracer is not None:
+        _emit_trace(tracer, args)
     if args.compare_analytic:
         rows = []
         for model in models:
@@ -614,7 +690,10 @@ def _cmd_contend(args: argparse.Namespace) -> int:
     )
     print(params.label(), file=sys.stderr)
     profiles: list = [] if args.profile else None  # type: ignore[assignment]
-    result = run_contention_benchmark(params, profile_sink=profiles)
+    tracer = _build_tracer(args)
+    result = run_contention_benchmark(
+        params, profile_sink=profiles, tracer=tracer
+    )
     if profiles:
         for profile in profiles:
             print(profile.format(), file=sys.stderr)
@@ -639,6 +718,8 @@ def _cmd_contend(args: argparse.Namespace) -> int:
                     title=f"Device detail: {device.name}",
                 )
             )
+    if tracer is not None:
+        _emit_trace(tracer, args)
     return 0
 
 
@@ -662,7 +743,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     print(params.label(), file=sys.stderr)
-    result = run_fleet_benchmark(params, jobs=args.jobs)
+    engine_profiles: list = [] if args.engine_profile else None  # type: ignore[assignment]
+    result = run_fleet_benchmark(
+        params, jobs=args.jobs, profile_sink=engine_profiles
+    )
+    if engine_profiles:
+        for profile in engine_profiles:
+            print(profile.format(), file=sys.stderr)
     print(
         format_fleet_summary(result.as_dict(), thresholds_ns=args.threshold)
     )

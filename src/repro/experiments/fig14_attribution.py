@@ -1,0 +1,252 @@
+"""Figure 14 (new): latency attribution from transaction-level traces.
+
+The earlier figures measure *that* a shared host inflates the victim's
+tail; the span tracer (:mod:`repro.obs.trace`) is the instrument that
+says *where* the nanoseconds went.  This experiment pins the two
+properties that make the attribution trustworthy:
+
+* **Exactness.**  The four packet lifecycle stages (ring admission,
+  descriptor issue, payload DMA, completion delivery) are contiguous by
+  construction, so a traced packet's stage durations must sum to its
+  end-to-end latency — not approximately, to floating-point identity.
+  The per-lane mean of the span sums must likewise reproduce the
+  simulator's own latency summary.
+* **Attribution.**  Re-running the figure-10 noisy-neighbour pair with
+  tracing on, the victim's arbitration-wait share must rise sharply
+  against a solo run of the same device — contention *is* queueing for
+  the root port — while the IOMMU walker's mean service time per walk
+  stays invariant: the walker is a fixed-latency pipeline, and blaming
+  it for the tail would be mis-attribution.
+
+A final check loads the Chrome trace-event export and verifies the
+schema Perfetto expects (``ph``/``ts``/``dur``/``pid``/``tid`` on every
+duration event), so ``--trace-out`` artefacts actually open.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+from ..bench.contention import (
+    ContentionParams,
+    noisy_neighbour_pair,
+    run_contention_benchmark,
+)
+from ..obs.trace import (
+    ARB_PREFIX,
+    PACKET_STAGES,
+    STAGE_COMPLETION,
+    STAGE_RING,
+    STAGE_WALKER,
+    Tracer,
+)
+from .base import Check, ExperimentResult
+
+EXPERIMENT_ID = "figure-14-attribution"
+TITLE = (
+    "Latency attribution: traced stage spans telescope to the end-to-end "
+    "latency, and contention shows up as arbitration wait, not walker time"
+)
+
+#: Shared host profile (IOMMU on, so walker spans exist).
+SYSTEM = "NFP6000-HSW"
+#: Relative tolerance of the telescoping identity (pure float error).
+SUM_RTOL = 1e-9
+#: The victim's per-packet arbitration wait must at least double under
+#: the aggressor.
+ARB_RISE_FLOOR = 2.0
+#: The walker's mean service time per walk may move at most this much.
+WALKER_DRIFT = 0.10
+
+
+def _params(quick: bool, *, contended: bool) -> ContentionParams:
+    victim, aggressor = noisy_neighbour_pair(
+        victim_packets=600 if quick else 1200,
+        aggressor_packets=3000 if quick else 10000,
+    )
+    devices = (victim, aggressor) if contended else (victim,)
+    names = ("victim", "aggressor") if contended else ("victim",)
+    return ContentionParams(
+        devices=devices,
+        names=names,
+        system=SYSTEM,
+        iommu_enabled=True,
+    )
+
+
+def _traced_run(params: ContentionParams) -> Tracer:
+    tracer = Tracer(capacity=1 << 20)
+    run_contention_benchmark(params, tracer=tracer)
+    return tracer
+
+
+def _packet_traces(
+    tracer: Tracer, device: str
+) -> dict[tuple[str, int], dict[str, tuple[float, float]]]:
+    """Complete packet traces of one device: (lane, packet) -> stage spans."""
+    grouped: dict[tuple[str, int], dict[str, tuple[float, float]]] = {}
+    wanted = frozenset(PACKET_STAGES)
+    for span in tracer.spans:
+        if span.device == device and span.stage in wanted:
+            grouped.setdefault((span.lane, span.packet), {})[span.stage] = (
+                span.start_ns,
+                span.duration_ns,
+            )
+    return {
+        key: stages
+        for key, stages in grouped.items()
+        if len(stages) == len(PACKET_STAGES)
+    }
+
+
+def _telescoping_error(
+    traces: dict[tuple[str, int], dict[str, tuple[float, float]]]
+) -> float:
+    """Worst relative gap between sum-of-stages and end-to-end latency."""
+    worst = 0.0
+    for stages in traces.values():
+        total = sum(duration for _, duration in stages.values())
+        ring_start = stages[STAGE_RING][0]
+        completion_start, completion_duration = stages[STAGE_COMPLETION]
+        end_to_end = (completion_start + completion_duration) - ring_start
+        if end_to_end > 0.0:
+            worst = max(worst, abs(total - end_to_end) / end_to_end)
+        else:
+            worst = max(worst, abs(total - end_to_end))
+    return worst
+
+
+def _arb_wait_per_packet(tracer: Tracer, device: str, packets: int) -> float:
+    total = sum(
+        span.duration_ns
+        for span in tracer.spans
+        if span.device == device and span.stage.startswith(ARB_PREFIX)
+    )
+    return total / packets if packets else 0.0
+
+
+def _walker_mean(tracer: Tracer, device: str) -> float:
+    walks = [
+        span.duration_ns
+        for span in tracer.spans
+        if span.device == device and span.stage == STAGE_WALKER
+    ]
+    return sum(walks) / len(walks) if walks else 0.0
+
+
+def _chrome_export_ok(tracer: Tracer) -> tuple[bool, str]:
+    """Round-trip the Chrome export through JSON and check its schema."""
+    stream = io.StringIO()
+    tracer.dump(stream, fmt="chrome")
+    document = json.loads(stream.getvalue())
+    events = document.get("traceEvents", [])
+    duration_events = [e for e in events if e.get("ph") == "X"]
+    metadata = [e for e in events if e.get("ph") == "M"]
+    required = ("name", "ph", "ts", "dur", "pid", "tid")
+    missing = sum(
+        1
+        for event in duration_events
+        if any(key not in event for key in required)
+    )
+    ok = bool(duration_events) and bool(metadata) and missing == 0
+    return ok, (
+        f"{len(duration_events)} duration events, {len(metadata)} metadata "
+        f"events, {missing} missing required keys"
+    )
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    """Trace solo and contended runs; check exactness and attribution."""
+    solo_params = _params(quick, contended=False)
+    pair_params = _params(quick, contended=True)
+    solo = _traced_run(solo_params)
+    pair = _traced_run(pair_params)
+
+    solo_traces = _packet_traces(solo, "victim")
+    pair_traces = _packet_traces(pair, "victim")
+    worst_error = max(
+        _telescoping_error(solo_traces), _telescoping_error(pair_traces)
+    )
+
+    solo_arb = _arb_wait_per_packet(solo, "victim", len(solo_traces))
+    pair_arb = _arb_wait_per_packet(pair, "victim", len(pair_traces))
+    solo_walk = _walker_mean(solo, "victim")
+    pair_walk = _walker_mean(pair, "victim")
+    walker_drift = (
+        abs(pair_walk - solo_walk) / solo_walk if solo_walk > 0.0 else 0.0
+    )
+    export_ok, export_note = _chrome_export_ok(pair)
+
+    checks = [
+        Check(
+            "Traced packets are complete: both runs delivered packets and "
+            "every delivered victim packet carries all four stage spans",
+            len(solo_traces) > 0 and len(pair_traces) > 0,
+            f"solo {len(solo_traces)}, contended {len(pair_traces)} "
+            "complete packet traces",
+        ),
+        Check(
+            "Telescoping identity: every traced packet's stage durations "
+            "sum to its end-to-end latency (float error only)",
+            worst_error <= SUM_RTOL,
+            f"worst relative error {worst_error:.2e}",
+        ),
+        Check(
+            "Contention is arbitration wait: the victim's per-packet arb "
+            f"wait rises >= {ARB_RISE_FLOOR:g}x under the aggressor",
+            pair_arb >= ARB_RISE_FLOOR * solo_arb and pair_arb > 0.0,
+            f"{solo_arb:.1f} ns/packet solo -> {pair_arb:.1f} ns/packet "
+            "contended",
+        ),
+        Check(
+            "The walker is not to blame: mean IOMMU walker service per "
+            f"walk drifts <= {WALKER_DRIFT * 100:.0f}% between solo and "
+            "contended",
+            solo_walk > 0.0 and walker_drift <= WALKER_DRIFT,
+            f"{solo_walk:.1f} ns solo vs {pair_walk:.1f} ns contended "
+            f"({walker_drift * 100:.1f}% drift)",
+        ),
+        Check(
+            "The Chrome trace-event export is valid JSON with the "
+            "ph/ts/dur/pid/tid schema Perfetto loads",
+            export_ok,
+            export_note,
+        ),
+    ]
+
+    table_rows = [
+        [
+            "solo",
+            len(solo_traces),
+            solo_arb,
+            solo_walk,
+            len(solo),
+        ],
+        [
+            "contended",
+            len(pair_traces),
+            pair_arb,
+            pair_walk,
+            len(pair),
+        ],
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        table_headers=[
+            "victim run",
+            "traced packets",
+            "arb wait (ns/pkt)",
+            "walker mean (ns)",
+            "spans",
+        ],
+        table_rows=table_rows,
+        checks=checks,
+        notes=[
+            "stages: ring admission -> descriptor issue -> payload DMA -> "
+            "completion delivery (contiguous, so they telescope)",
+            "arb wait aggregates every arb:<resource>@<node> span; walker "
+            "mean is per walker service span",
+        ],
+    )

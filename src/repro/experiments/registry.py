@@ -29,6 +29,7 @@ from . import (
     fig11_topology,
     fig12_fleet,
     fig13_control,
+    fig14_attribution,
     table1_systems,
     table2_findings,
 )
@@ -53,6 +54,7 @@ _MODULES: tuple[ModuleType, ...] = (
     fig11_topology,
     fig12_fleet,
     fig13_control,
+    fig14_attribution,
     table1_systems,
     table2_findings,
 )

@@ -1,0 +1,67 @@
+"""Observability layer: span traces and a unified metrics registry.
+
+The simulation stack can *reproduce* the paper's latency cliffs; this
+package is the instrument that *explains* them.  Two complementary views:
+
+* :mod:`repro.obs.trace` — a span-based transaction tracer.  An opt-in
+  :class:`Tracer` threads through the datapath (``nicsim``), the host
+  coupling (``nichost``) and the fabric arbitration layers, recording one
+  span per lifecycle stage of each packet (ring admit, descriptor/doorbell
+  gating, payload DMA, completion report) plus resource-level spans
+  (IOMMU walker service, arbitration wait per topology hop).  Spans live
+  in a bounded ring buffer (flight-recorder semantics, O(capacity)
+  memory) and export to Chrome trace-event JSON (loadable in Perfetto)
+  or JSONL.
+* :mod:`repro.obs.metrics` — a named counter/gauge/histogram registry
+  (:class:`MetricsRegistry`, histograms backed by the
+  :class:`~repro.stats.QuantileSketch`) that simulation components
+  publish into, sampled per control window and serialisable onto results.
+
+Both are strictly opt-in: with neither requested the hot path pays one
+``is None`` check per packet and nothing else, so seeded goldens stay
+bit-identical and the event-core perf gate holds.
+"""
+
+from .metrics import (
+    DEFAULT_METRICS_WINDOW_NS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metric_segment,
+)
+from .trace import (
+    ARB_PREFIX,
+    DEFAULT_CAPACITY,
+    OP_PREFIX,
+    PACKET_STAGES,
+    STAGE_COMPLETION,
+    STAGE_DROP,
+    STAGE_ISSUE,
+    STAGE_PAYLOAD,
+    STAGE_RING,
+    STAGE_WALKER,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "ARB_PREFIX",
+    "DEFAULT_CAPACITY",
+    "OP_PREFIX",
+    "PACKET_STAGES",
+    "STAGE_COMPLETION",
+    "STAGE_DROP",
+    "STAGE_ISSUE",
+    "STAGE_PAYLOAD",
+    "STAGE_RING",
+    "STAGE_WALKER",
+    "Span",
+    "Tracer",
+    "Counter",
+    "DEFAULT_METRICS_WINDOW_NS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metric_segment",
+]

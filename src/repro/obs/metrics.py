@@ -1,0 +1,216 @@
+"""Unified metrics registry: named counters, gauges and histograms.
+
+Simulation components publish into one :class:`MetricsRegistry` under
+dotted lowercase names (``<component>.<object>.<measure>``, e.g.
+``nicsim.victim.tx.packets`` or ``fabric.walker.wait_ns``).  Three
+instrument kinds:
+
+* :class:`Counter` — monotonically non-decreasing totals (packets,
+  bytes, drops, IOTLB misses);
+* :class:`Gauge` — last-set level measurements (link utilisation,
+  arbiter weight);
+* :class:`Histogram` — value distributions backed by the mergeable
+  :class:`repro.stats.QuantileSketch` (latencies, per-stage waits).
+
+``sample(now_ns)`` snapshots a window row — per-window counter deltas,
+current gauge levels, per-window histogram observation counts — which is
+how the registry rides the control plane's windowed tick.  ``as_dict``
+serialises the whole registry (cumulative instruments + window rows)
+onto result records.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ValidationError
+from ..stats import QuantileSketch
+
+__all__ = [
+    "Counter",
+    "DEFAULT_METRICS_WINDOW_NS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metric_segment",
+]
+
+#: Default sampling window for runs without a control plane; matches the
+#: control plane's default tick so fabric metrics windows line up with
+#: controller observation windows.
+DEFAULT_METRICS_WINDOW_NS = 50_000.0
+
+_NAME_RE = re.compile(r"^[a-z0-9_-]+(\.[a-z0-9_-]+)*$")
+_SEGMENT_BAD_RE = re.compile(r"[^a-z0-9_-]+")
+
+
+def metric_segment(raw: str) -> str:
+    """Sanitise an arbitrary label (device/queue name) into a name segment."""
+    segment = _SEGMENT_BAD_RE.sub("_", str(raw).lower()).strip("_")
+    return segment or "unnamed"
+
+
+def _validate_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValidationError(
+            f"metric name {name!r} must be lowercase dotted segments "
+            "of [a-z0-9_-] (e.g. 'nicsim.victim.tx.packets')"
+        )
+    return name
+
+
+class Counter:
+    """Monotonically non-decreasing total."""
+
+    __slots__ = ("name", "value", "_window_base")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self._window_base = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValidationError(
+                f"counter {self.name!r} cannot decrease (add {amount})"
+            )
+        self.value += amount
+
+    def window_delta(self) -> float:
+        """Growth since the previous ``MetricsRegistry.sample`` call."""
+        delta = self.value - self._window_base
+        self._window_base = self.value
+        return delta
+
+
+class Gauge:
+    """Last-set level measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Value distribution backed by a mergeable quantile sketch."""
+
+    __slots__ = ("name", "sketch", "_window_base")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.sketch = QuantileSketch()
+        self._window_base = 0
+
+    def observe(self, value: float) -> None:
+        self.sketch.add(value)
+
+    def observe_many(self, values) -> None:
+        self.sketch.add_many(values)
+
+    def window_delta(self) -> int:
+        delta = self.sketch.count - self._window_base
+        self._window_base = self.sketch.count
+        return delta
+
+    def summary(self) -> dict:
+        sketch = self.sketch
+        if sketch.count == 0:
+            return {"count": 0}
+        return {
+            "count": sketch.count,
+            "mean": sketch.mean,
+            "min": sketch.minimum,
+            "max": sketch.maximum,
+            "p50": sketch.quantile(0.50),
+            "p99": sketch.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments plus window rows."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms", "windows")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self.windows: list[dict] = []
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_fresh(name)
+            instrument = self._counters[name] = Counter(_validate_name(name))
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_fresh(name)
+            instrument = self._gauges[name] = Gauge(_validate_name(name))
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_fresh(name)
+            instrument = self._histograms[name] = Histogram(_validate_name(name))
+        return instrument
+
+    def _check_fresh(self, name: str) -> None:
+        for kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if name in table:
+                raise ValidationError(
+                    f"metric {name!r} already registered as a {kind}"
+                )
+
+    def sample(self, now_ns: float) -> dict:
+        """Close the current window and append its row.
+
+        Counter and histogram columns hold *per-window deltas*; gauge
+        columns hold the level at the window boundary.
+        """
+        row = {
+            "window": len(self.windows),
+            "time_ns": float(now_ns),
+            "counters": {
+                name: counter.window_delta()
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.window_delta()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+        self.windows.append(row)
+        return row
+
+    def as_dict(self) -> dict:
+        """Serialisable view: cumulative instruments plus window rows."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in sorted(self._histograms.items())
+            },
+            "windows": list(self.windows),
+        }

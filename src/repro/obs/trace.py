@@ -1,0 +1,249 @@
+"""Span-based transaction tracer with flight-recorder semantics.
+
+A :class:`Tracer` records one :class:`Span` per lifecycle stage of each
+traced packet.  The per-packet taxonomy partitions the end-to-end latency
+into four contiguous stages — their durations sum to exactly
+``notify - arrival`` for every delivered packet:
+
+========== ==========================================================
+stage      covers
+========== ==========================================================
+``ring``   arrival → descriptor-ring admit (backpressure wait; 0 when
+           a slot is free on arrival)
+``issue``  ring post → payload-DMA dispatch (doorbell/descriptor-DMA
+           gating ops, batching credits, DMA-tag acquisition)
+``payload`` payload-DMA dispatch → transfer complete (link + host
+           ingress/walker service for the payload itself)
+``completion`` transfer complete → completion visible to software
+           (writeback batching wait, notify DMA, interrupt cost)
+========== ==========================================================
+
+Around the packet stages the tracer also records resource-level spans:
+``op:<label>`` for gating descriptor/doorbell transactions, ``walker``
+for IOMMU page-walker service time, ``arb:<resource>`` /
+``arb:<resource>@<node>`` for arbitration wait at each topology hop, and
+``drop`` (zero duration) when the ring rejects a packet.
+
+Spans live in a bounded ``deque`` — a flight recorder: memory is
+O(capacity), the newest spans win, and :attr:`Tracer.evicted` counts
+what scrolled off.  Exporters produce Chrome trace-event JSON (open
+`ui.perfetto.dev <https://ui.perfetto.dev>`_ and drop the file in) or
+JSONL, one span object per line.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import IO, Iterator, NamedTuple
+
+from ..errors import ValidationError
+
+__all__ = [
+    "ARB_PREFIX",
+    "OP_PREFIX",
+    "PACKET_STAGES",
+    "STAGE_COMPLETION",
+    "STAGE_DROP",
+    "STAGE_ISSUE",
+    "STAGE_PAYLOAD",
+    "STAGE_RING",
+    "STAGE_WALKER",
+    "Span",
+    "Tracer",
+]
+
+#: The four contiguous per-packet stages, in lifecycle order.  For every
+#: delivered packet their durations sum to the recorded end-to-end latency.
+STAGE_RING = "ring"
+STAGE_ISSUE = "issue"
+STAGE_PAYLOAD = "payload"
+STAGE_COMPLETION = "completion"
+PACKET_STAGES: tuple[str, ...] = (
+    STAGE_RING,
+    STAGE_ISSUE,
+    STAGE_PAYLOAD,
+    STAGE_COMPLETION,
+)
+
+#: Resource-level stages (not part of the contiguous packet decomposition).
+STAGE_WALKER = "walker"
+STAGE_DROP = "drop"
+
+#: Prefixes for parameterised stage names.
+OP_PREFIX = "op:"  # gating descriptor/doorbell ops, e.g. ``op:doorbell``
+ARB_PREFIX = "arb:"  # arbitration wait, e.g. ``arb:walker@root``
+
+DEFAULT_CAPACITY = 65536
+
+
+class Span(NamedTuple):
+    """One traced interval: a stage of a packet (or resource) lifecycle."""
+
+    device: str
+    lane: str
+    packet: int
+    stage: str
+    start_ns: float
+    duration_ns: float
+
+    def as_dict(self) -> dict:
+        return {
+            "device": self.device,
+            "lane": self.lane,
+            "packet": self.packet,
+            "stage": self.stage,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+        }
+
+
+class Tracer:
+    """Bounded span recorder shared by every traced component of a run.
+
+    ``record`` is the hot call; it appends a plain tuple to a bounded
+    ``deque`` and increments a counter — no allocation beyond the tuple,
+    no formatting, no I/O.  Everything else (exports, attribution) walks
+    the buffer after the run.
+    """
+
+    __slots__ = ("capacity", "recorded", "_spans", "_packets")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValidationError(f"tracer capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.recorded = 0
+        self._spans: deque[tuple[str, str, int, str, float, float]] = deque(
+            maxlen=self.capacity
+        )
+        self._packets = 0
+
+    def next_packet(self) -> int:
+        """A fresh trace-wide packet id (monotonic from 0)."""
+        packet = self._packets
+        self._packets = packet + 1
+        return packet
+
+    def record(
+        self,
+        device: str,
+        lane: str,
+        packet: int,
+        stage: str,
+        start_ns: float,
+        duration_ns: float,
+    ) -> None:
+        """Append one span; evicts the oldest when the buffer is full."""
+        self._spans.append((device, lane, packet, stage, start_ns, duration_ns))
+        self.recorded += 1
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    @property
+    def evicted(self) -> int:
+        """Spans pushed out of the flight recorder by newer ones."""
+        return self.recorded - len(self._spans)
+
+    @property
+    def spans(self) -> list[Span]:
+        """Retained spans, oldest first."""
+        return [Span._make(raw) for raw in self._spans]
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        """Chrome trace-event JSON object (Perfetto/`chrome://tracing`).
+
+        Devices map to processes (``pid``), lanes (queue + direction) to
+        threads (``tid``); every span is a complete ``"X"`` duration
+        event with microsecond ``ts``/``dur`` per the trace-event spec.
+        """
+        pids: dict[str, int] = {}
+        tids: dict[tuple[str, str], int] = {}
+        span_events = []
+        for device, lane, packet, stage, start, duration in self._spans:
+            pid = pids.get(device)
+            if pid is None:
+                pid = pids[device] = len(pids) + 1
+            key = (device, lane)
+            tid = tids.get(key)
+            if tid is None:
+                tid = tids[key] = len(tids) + 1
+            span_events.append(
+                {
+                    "ph": "X",
+                    "name": stage,
+                    "cat": "pcie",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": start / 1000.0,
+                    "dur": duration / 1000.0,
+                    "args": {
+                        "packet": packet,
+                        "start_ns": start,
+                        "duration_ns": duration,
+                    },
+                }
+            )
+        events: list[dict] = []
+        for device, pid in pids.items():
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": device},
+                }
+            )
+        for (device, lane), tid in tids.items():
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pids[device],
+                    "tid": tid,
+                    "args": {"name": lane},
+                }
+            )
+        events.extend(span_events)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ns",
+            "otherData": {
+                "recorded_spans": self.recorded,
+                "evicted_spans": self.evicted,
+            },
+        }
+
+    def jsonl_lines(self) -> Iterator[str]:
+        """One compact JSON object per retained span."""
+        for raw in self._spans:
+            yield json.dumps(Span._make(raw).as_dict(), separators=(",", ":"))
+
+    def dump(self, stream: IO[str], *, fmt: str) -> None:
+        """Write the trace to an open text stream as ``chrome`` or ``jsonl``."""
+        if fmt == "chrome":
+            json.dump(self.chrome_trace(), stream, indent=1)
+            stream.write("\n")
+        elif fmt == "jsonl":
+            for line in self.jsonl_lines():
+                stream.write(line)
+                stream.write("\n")
+        else:
+            raise ValidationError(f"unknown trace format {fmt!r}; use chrome or jsonl")
+
+    def write(self, path: str) -> str:
+        """Write the trace to ``path``; format by extension.
+
+        ``.jsonl`` → JSONL, anything else → Chrome trace-event JSON.
+        Returns the format used.
+        """
+        fmt = "jsonl" if str(path).endswith(".jsonl") else "chrome"
+        with open(path, "w", encoding="utf-8") as stream:
+            self.dump(stream, fmt=fmt)
+        return fmt

@@ -71,6 +71,21 @@ class EngineProfile:
             "events_per_sec": self.events_per_sec,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineProfile":
+        """Rebuild a profile from :meth:`as_dict` output.
+
+        The derived keys (``total_s``, ``events_per_sec``) are ignored;
+        they are properties recomputed from the stored phases.
+        """
+        return cls(
+            label=str(data["label"]),
+            build_s=float(data["build_s"]),
+            events_s=float(data["events_s"]),
+            stats_s=float(data["stats_s"]),
+            events=int(data["events"]),
+        )
+
     def format(self) -> str:
         """Human-readable one-block summary for the CLI."""
         return (

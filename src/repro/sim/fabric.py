@@ -72,6 +72,8 @@ from ..control import (
 from ..core.config import PAPER_DEFAULT_CONFIG, PCIeConfig
 from ..core.nic import NicModel, model_by_name
 from ..errors import ValidationError
+from ..obs.metrics import MetricsRegistry, metric_segment
+from ..obs.trace import ARB_PREFIX, STAGE_WALKER, Tracer
 from ..units import CACHELINE_BYTES, KIB, MIB
 from ..workloads import Workload, rss_buckets, rss_queues
 from .cache import (
@@ -102,6 +104,8 @@ from .nicsim import (
     NicSimResult,
     _Datapath,
     _direction_result,
+    _finalise_metrics,
+    _install_metrics_sampler,
     _streaming_warmup_threshold,
     _WarmupGate,
 )
@@ -647,7 +651,7 @@ class _UpstreamPort:
     every ``request`` the arbiter sees carries the current time.
     """
 
-    __slots__ = ("_ingress", "_walker", "_client", "_schedule")
+    __slots__ = ("_ingress", "_walker", "_client", "_schedule", "_tracer", "_device")
 
     def __init__(
         self,
@@ -655,11 +659,19 @@ class _UpstreamPort:
         walker: CompiledTopology,
         client: int,
         schedule,
+        tracer: Tracer | None = None,
+        device: str = "",
     ) -> None:
         self._ingress = ingress
         self._walker = walker
         self._client = client
         self._schedule = schedule
+        #: Span tracer + device name: the port records the walker *service*
+        #: span (per-hop arbitration *waits* are recorded by the compiled
+        #: topologies' own trace hooks).  ``None`` keeps ``claim`` on the
+        #: historical code path.
+        self._tracer = tracer
+        self._device = device
 
     def claim(self, now, access, coupling, then) -> None:
         def at_walker(ready: float) -> None:
@@ -667,6 +679,10 @@ class _UpstreamPort:
 
             def granted(start: float) -> None:
                 coupling.note_walker_stall(max(0.0, start - ready))
+                if self._tracer is not None:
+                    self._tracer.record(
+                        self._device, "walker", -1, STAGE_WALKER, start, occupancy
+                    )
                 then(start + occupancy)
 
             self._walker.request(self._client, ready, occupancy, granted)
@@ -820,6 +836,12 @@ class ContentionResult:
     controller: str = "static"
     control_window_ns: float | None = None
     control_actions: tuple[ControlAction, ...] = field(default_factory=tuple)
+    #: Engine phase timing (attached only when profiling was requested)
+    #: and the serialised metrics-registry snapshot (attached only when a
+    #: registry was supplied) — both absent by default so historical
+    #: records and the seeded goldens round-trip unchanged.
+    profile: EngineProfile | None = None
+    metrics: dict | None = None
 
     def device(self, name: str) -> DeviceContentionResult:
         """Look one device's record up by name."""
@@ -868,6 +890,10 @@ class ContentionResult:
             record["control_actions"] = [
                 action.as_dict() for action in self.control_actions
             ]
+        if self.profile is not None:
+            record["profile"] = self.profile.as_dict()
+        if self.metrics is not None:
+            record["metrics"] = self.metrics
         return record
 
     @classmethod
@@ -904,6 +930,12 @@ class ContentionResult:
                 ControlAction.from_dict(action)
                 for action in data.get("control_actions", ())
             ),
+            profile=(
+                EngineProfile.from_dict(data["profile"])
+                if data.get("profile")
+                else None
+            ),
+            metrics=data.get("metrics"),
         )
 
 
@@ -954,8 +986,21 @@ class FabricSimulator:
         #: Wall-clock phase timing of the most recent :meth:`run`.
         self.last_profile: EngineProfile | None = None
 
-    def run(self, *, seed: int | None = None) -> ContentionResult:
-        """Simulate every device's workload against the shared host."""
+    def run(
+        self,
+        *,
+        seed: int | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> ContentionResult:
+        """Simulate every device's workload against the shared host.
+
+        ``tracer`` opts the run into span tracing (per-packet lifecycle
+        stages per device, walker service, per-hop arbitration waits);
+        ``metrics`` attaches a window-sampled registry snapshot to the
+        result.  Both default to off, which keeps every simulation path
+        on the exact historical (golden-verified) code.
+        """
         resolved_seed = DEFAULT_SEED if seed is None else seed
         wall_start = perf_counter()
         fabric = self.fabric
@@ -978,6 +1023,7 @@ class FabricSimulator:
                 scheme=fabric.arbiter,
                 weights=weights,
                 quantum_ns=fabric.quantum_ns,
+                trace=self._arb_trace(tracer, "ingress"),
             )
             walker_arb = compile_topology(
                 "fabric.iommu.walker",
@@ -987,6 +1033,7 @@ class FabricSimulator:
                 scheme=fabric.arbiter,
                 weights=weights,
                 quantum_ns=fabric.quantum_ns,
+                trace=self._arb_trace(tracer, "walker"),
             )
             # Batched grants: back-to-back grants on an idle horizon skip
             # the scheduler round trip (bit-identical pop order).
@@ -1037,7 +1084,14 @@ class FabricSimulator:
             )
             device_tags.append(tags)
             port = (
-                _UpstreamPort(ingress_arb, walker_arb, index, loop.at)
+                _UpstreamPort(
+                    ingress_arb,
+                    walker_arb,
+                    index,
+                    loop.at,
+                    tracer=tracer,
+                    device=self.names[index],
+                )
                 if multi
                 else None
             )
@@ -1073,6 +1127,8 @@ class FabricSimulator:
                         num_queues=device.num_queues,
                         host_port=port,
                         warmup_gate=warmup_gate,
+                        tracer=tracer,
+                        device=self.names[index],
                     )
                     for queue_index in range(device.num_queues)
                 ]
@@ -1177,6 +1233,21 @@ class FabricSimulator:
                 runtime.bind_ddio(fabric.ddio_partition, shared.repartition)
             runtime.start()
 
+        if metrics is not None:
+            # Align metric windows with the control plane's observation
+            # windows when a controller is running.
+            _install_metrics_sampler(
+                metrics,
+                loop,
+                list(zip(self.names, device_paths)),
+                prefix="fabric",
+                window_ns=(
+                    runtime.window_ns
+                    if runtime is not None
+                    else DEFAULT_CONTROL_WINDOW_NS
+                ),
+            )
+
         events_start = perf_counter()
         loop.run()
         stats_start = perf_counter()
@@ -1243,6 +1314,27 @@ class FabricSimulator:
             stats_s=perf_counter() - stats_start,
             events=loop.processed,
         )
+        if metrics is not None:
+            _finalise_metrics(
+                metrics, list(zip(self.names, device_paths)), prefix="fabric"
+            )
+            for index, record in enumerate(records):
+                dev = metric_segment(self.names[index])
+                result = record.result
+                metrics.gauge(f"fabric.{dev}.link.up_utilisation").set(
+                    result.link_utilisation_up
+                )
+                metrics.gauge(f"fabric.{dev}.link.down_utilisation").set(
+                    result.link_utilisation_down
+                )
+                for resource, stats in (
+                    ("ingress", record.ingress),
+                    ("walker", record.walker),
+                ):
+                    if stats is not None:
+                        metrics.gauge(
+                            f"fabric.{dev}.{resource}.wait_ns_mean"
+                        ).set(stats.wait_ns_mean)
         topology = fabric.topology
         # A single device bypasses arbitration entirely (the degenerate
         # path), so none of the topology/quantum/partition knobs applied:
@@ -1271,7 +1363,37 @@ class FabricSimulator:
             control_actions=(
                 tuple(runtime.actions) if runtime is not None else ()
             ),
+            metrics=metrics.as_dict() if metrics is not None else None,
         )
+
+    def _arb_trace(self, tracer: Tracer | None, resource: str):
+        """Per-hop grant observer for one arbitrated resource, or ``None``.
+
+        Records the *wait* (request → grant) at each hop as an
+        ``arb:<resource>@<node>`` span of the requesting device.  The
+        sliced scheme can grant virtual (backdated) starts, so
+        non-positive waits are skipped rather than recorded as negative
+        spans.
+        """
+        if tracer is None:
+            return None
+        names = self.names
+
+        def trace(
+            device: int, node: str, asked: float, start: float, duration: float
+        ) -> None:
+            wait = start - asked
+            if wait > 0.0:
+                tracer.record(
+                    names[device],
+                    resource,
+                    -1,
+                    f"{ARB_PREFIX}{resource}@{node}",
+                    asked,
+                    wait,
+                )
+
+        return trace
 
 
 def _port_stats(

@@ -68,8 +68,9 @@ Two device-side resource limits complete the picture:
 
 from __future__ import annotations
 
+import math
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import Callable
 
@@ -79,6 +80,22 @@ from ..core.config import PAPER_DEFAULT_CONFIG, PCIeConfig
 from ..core.nic import FIGURE1_MODELS, NicModel, model_by_name
 from ..core.transactions import OpKind
 from ..errors import SimulationError, ValidationError
+from ..obs.metrics import (
+    DEFAULT_METRICS_WINDOW_NS,
+    MetricsRegistry,
+    metric_segment,
+)
+from ..obs.trace import (
+    ARB_PREFIX,
+    OP_PREFIX,
+    STAGE_COMPLETION,
+    STAGE_DROP,
+    STAGE_ISSUE,
+    STAGE_PAYLOAD,
+    STAGE_RING,
+    STAGE_WALKER,
+    Tracer,
+)
 from ..stats import QuantileSketch
 from ..units import bytes_over_time_to_gbps, ns_to_s
 from ..workloads import (
@@ -491,6 +508,12 @@ class NicSimResult:
     link_utilisation_down: float
     host: HostSideStats | None = None
     tags: DmaTagStats | None = None
+    #: Engine phase timing, attached only when profiling was requested, and
+    #: the serialised metrics-registry snapshot, attached only when a
+    #: registry was supplied — both absent by default so historical records
+    #: (and the seeded goldens) round-trip unchanged.
+    profile: EngineProfile | None = None
+    metrics: dict | None = None
 
     @property
     def throughput_gbps(self) -> float:
@@ -529,6 +552,10 @@ class NicSimResult:
             record["host"] = self.host.as_dict()
         if self.tags is not None:
             record["tags"] = self.tags.as_dict()
+        if self.profile is not None:
+            record["profile"] = self.profile.as_dict()
+        if self.metrics is not None:
+            record["metrics"] = self.metrics
         return record
 
     @classmethod
@@ -537,6 +564,7 @@ class NicSimResult:
         rx = data.get("rx")
         host = data.get("host")
         tags = data.get("tags")
+        profile = data.get("profile")
         return cls(
             model=str(data["model"]),
             workload=str(data["workload"]),
@@ -548,6 +576,8 @@ class NicSimResult:
             link_utilisation_down=float(data["link_utilisation_down"]),
             host=HostSideStats.from_dict(host) if host else None,
             tags=DmaTagStats.from_dict(tags) if tags else None,
+            profile=EngineProfile.from_dict(profile) if profile else None,
+            metrics=data.get("metrics"),
         )
 
 
@@ -858,6 +888,9 @@ class _Datapath:
         "stream",
         "_warmup_gate",
         "observer",
+        "tracer",
+        "device",
+        "_trace_pending",
     )
 
     def __init__(
@@ -877,6 +910,8 @@ class _Datapath:
         num_queues: int = 1,
         host_port: "object | None" = None,
         warmup_gate: _WarmupGate | None = None,
+        tracer: Tracer | None = None,
+        device: str = "nic",
     ) -> None:
         self.direction = direction
         self.queue_index = queue_index
@@ -950,6 +985,15 @@ class _Datapath:
         #: delivered packet.  ``None`` (always, for controller-less runs)
         #: keeps ``_record`` on the exact historical code path.
         self.observer: Callable[[float], None] | None = None
+        #: Span tracer (``None`` keeps every hot path at a bare ``is None``
+        #: check) and the device name its spans carry (fabric runs pass the
+        #: contending device's name; single-device runs default to "nic").
+        self.tracer = tracer
+        self.device = device
+        #: Parallel to ``_pending``: ``(packet_id, done)`` per delivered
+        #: packet awaiting its completion report, popped front-aligned in
+        #: ``_flush`` (reports fire in issue order, so order matches).
+        self._trace_pending: list[tuple[int, float]] = []
         self._warmup_gate = warmup_gate
         if not sim_config.retain_samples:
             self.stream = _StreamStats()
@@ -1030,18 +1074,53 @@ class _Datapath:
         throughput collapse of §6.5.
         """
         ready = now
+        tracer = self.tracer
         if access.ingress_occupancy_ns > 0.0:
-            ready = (
-                self._ingress.occupy(ready, access.ingress_occupancy_ns)
-                + access.ingress_occupancy_ns
-            )
+            if tracer is None:
+                ready = (
+                    self._ingress.occupy(ready, access.ingress_occupancy_ns)
+                    + access.ingress_occupancy_ns
+                )
+            else:
+                start = self._ingress.occupy(ready, access.ingress_occupancy_ns)
+                if start > ready:
+                    tracer.record(
+                        self.device,
+                        self.label,
+                        -1,
+                        ARB_PREFIX + "ingress",
+                        ready,
+                        start - ready,
+                    )
+                ready = start + access.ingress_occupancy_ns
         if access.walker_occupancy_ns > 0.0:
             stall = self._walker.free_at - ready
             self._coupling.note_walker_stall(stall if stall > 0.0 else 0.0)
-            ready = (
-                self._walker.occupy(ready, access.walker_occupancy_ns)
-                + access.walker_occupancy_ns
-            )
+            if tracer is None:
+                ready = (
+                    self._walker.occupy(ready, access.walker_occupancy_ns)
+                    + access.walker_occupancy_ns
+                )
+            else:
+                start = self._walker.occupy(ready, access.walker_occupancy_ns)
+                if start > ready:
+                    tracer.record(
+                        self.device,
+                        self.label,
+                        -1,
+                        ARB_PREFIX + "walker",
+                        ready,
+                        start - ready,
+                    )
+                tracer.record(
+                    self.device,
+                    self.label,
+                    -1,
+                    STAGE_WALKER,
+                    start,
+                    access.walker_occupancy_ns,
+                )
+                ready = start + access.walker_occupancy_ns
         return ready
 
     def _visit_host(
@@ -1204,6 +1283,9 @@ class _Datapath:
 
     def on_arrival(self, now: float, size: int) -> None:
         """A packet reaches the datapath (driver for TX, wire for RX)."""
+        if self.tracer is not None:
+            self._traced_arrival(now, size)
+            return
         self.offered += 1
         self.offered_bytes += size
         # The ring admit fast path, open-coded: an entry is usually free,
@@ -1235,6 +1317,117 @@ class _Datapath:
         else:
             ring.drops += 1
             self.dropped_bytes += size
+
+    def _traced_arrival(self, now: float, size: int) -> None:
+        """Traced mirror of :meth:`on_arrival`.
+
+        Kept out of line so the untraced hot path above pays exactly one
+        ``is None`` check per packet.  Simulation decisions are identical
+        (same ring admit semantics via :meth:`_Ring.admit`); on top of
+        them, one span per lifecycle stage is recorded.  The four packet
+        stages are contiguous — ``ring`` (arrival→post), ``issue``
+        (post→payload dispatch), ``payload`` (dispatch→done) and
+        ``completion`` (done→notify) — so their durations sum to the
+        packet's recorded end-to-end latency ``notify - arrival``.
+        """
+        self.offered += 1
+        self.offered_bytes += size
+        tracer = self.tracer
+        packet = tracer.next_packet()
+        device = self.device
+        lane = self.label
+
+        def on_post(post: float) -> None:
+            tracer.record(device, lane, packet, STAGE_RING, now, post - now)
+            self._trace_step(
+                self._ops_for(size), 0, post, now, size, packet, post
+            )
+
+        def on_drop() -> None:
+            self.dropped_bytes += size
+            tracer.record(device, lane, packet, STAGE_DROP, now, 0.0)
+
+        self.ring.admit(now, on_post, wait=self._wait_on_full, on_drop=on_drop)
+
+    def _trace_step(
+        self,
+        ops: list[_CompiledOp],
+        index: int,
+        now: float,
+        arrival: float,
+        size: int,
+        packet: int,
+        post: float,
+    ) -> None:
+        """Traced mirror of :meth:`_step`.
+
+        Identical gate walk; additionally records one ``op:<label>`` span
+        per gating transaction instance (batch-level, so ``packet=-1``)
+        and the packet's ``issue`` span once the payload dispatches.
+        """
+        payload_idx = self._payload_idx
+        credits = self._credits
+        signals = self._signals
+        tracer = self.tracer
+        device = self.device
+        lane = self.label
+        while index != payload_idx:
+            op = ops[index]
+            if credits[index] >= op.per_packets:
+                credits[index] -= op.per_packets
+                signal = _Signal()
+                signals[index] = signal
+
+                def gate_done(
+                    done: float,
+                    signal: _Signal = signal,
+                    issued: float = now,
+                    stage: str = OP_PREFIX + op.label,
+                ) -> None:
+                    tracer.record(
+                        device, lane, -1, stage, issued, done - issued
+                    )
+                    signal.fire(done)
+
+                self._issue(op, now, gate_done)
+            credits[index] += 1.0
+            signal = signals[index]
+            time = signal.time
+            if time is None:
+                signal._waiters.append(
+                    lambda time, index=index: self._trace_step(
+                        ops, index + 1, time, arrival, size, packet, post
+                    )
+                )
+                return
+            if time > now:
+                now = time
+            index += 1
+        dispatch = now
+        tracer.record(device, lane, packet, STAGE_ISSUE, post, dispatch - post)
+        self._issue(
+            ops[index],
+            now,
+            lambda done: self._trace_on_payload(
+                arrival, done, size, packet, dispatch
+            ),
+            payload=True,
+        )
+
+    def _trace_on_payload(
+        self, arrival: float, done: float, size: int, packet: int, dispatch: float
+    ) -> None:
+        """Record the ``payload`` span, then run the untraced accounting.
+
+        The ``(packet, done)`` pair is queued *before* :meth:`_on_payload`
+        appends to ``_pending`` swaps it, keeping ``_trace_pending``
+        front-aligned with the batches ``_flush`` receives.
+        """
+        self.tracer.record(
+            self.device, self.label, packet, STAGE_PAYLOAD, dispatch, done - dispatch
+        )
+        self._trace_pending.append((packet, done))
+        self._on_payload(arrival, done, size)
 
     def _step(
         self,
@@ -1308,10 +1501,26 @@ class _Datapath:
     def _flush(self, batch: list[tuple[float, float, int]], report: float) -> None:
         """The driver learned about a batch: free ring entries, sample stats."""
         self.ring.release(report, len(batch))
-        for arrival, done, size in batch:
-            self._record(
-                arrival, done, done if done > report else report, size
+        tracer = self.tracer
+        if tracer is None:
+            for arrival, done, size in batch:
+                self._record(
+                    arrival, done, done if done > report else report, size
+                )
+            return
+        trace_batch = self._trace_pending[: len(batch)]
+        del self._trace_pending[: len(batch)]
+        for (arrival, done, size), (packet, _done) in zip(batch, trace_batch):
+            notify = done if done > report else report
+            tracer.record(
+                self.device,
+                self.label,
+                packet,
+                STAGE_COMPLETION,
+                done,
+                notify - done,
             )
+            self._record(arrival, done, notify, size)
 
     def finish(self) -> None:
         """Account packets whose completion report never fired (end of run).
@@ -1323,7 +1532,19 @@ class _Datapath:
         longer matters once the event loop has drained.
         """
         batch, self._pending = self._pending, []
-        for arrival, done, size in batch:
+        tracer = self.tracer
+        if tracer is None:
+            for arrival, done, size in batch:
+                self._record(arrival, done, done, size)
+            return
+        trace_batch = self._trace_pending[: len(batch)]
+        del self._trace_pending[: len(batch)]
+        for (arrival, done, size), (packet, _done) in zip(batch, trace_batch):
+            # Never reported: the completion stage collapses to zero width
+            # at the payload-done time, keeping the span sum exact.
+            tracer.record(
+                self.device, self.label, packet, STAGE_COMPLETION, done, 0.0
+            )
             self._record(arrival, done, done, size)
 
     def _record(self, arrival: float, done: float, notify: float, size: int) -> None:
@@ -1481,6 +1702,94 @@ def _direction_result(
 
 
 # ---------------------------------------------------------------------------
+# Metrics publication
+# ---------------------------------------------------------------------------
+
+
+_COUNTER_MEASURES: tuple[tuple[str, str], ...] = (
+    ("offered_packets", "offered"),
+    ("delivered_packets", "delivered"),
+    ("delivered_bytes", "delivered_bytes"),
+    ("dropped_bytes", "dropped_bytes"),
+)
+
+
+def _update_direction_counters(
+    metrics: MetricsRegistry, base: str, queues: list["_Datapath"]
+) -> None:
+    """Advance the direction's counters to the queues' live totals."""
+    for measure, attribute in _COUNTER_MEASURES:
+        counter = metrics.counter(f"{base}.{measure}")
+        total = sum(getattr(queue, attribute) for queue in queues)
+        counter.add(total - counter.value)
+    drops = metrics.counter(base + ".drops")
+    drops.add(sum(queue.ring.drops for queue in queues) - drops.value)
+
+
+def _install_metrics_sampler(
+    metrics: MetricsRegistry,
+    loop: EventLoop,
+    groups: list[tuple[str, list[tuple[str, list["_Datapath"]]]]],
+    *,
+    prefix: str,
+    window_ns: float = DEFAULT_METRICS_WINDOW_NS,
+) -> None:
+    """Sample the devices' counters every ``window_ns`` of simulated time.
+
+    ``groups`` pairs each device name with its per-direction queue lists;
+    one shared tick samples all of them, so each window boundary yields
+    exactly one registry row.  Rides the same self-rescheduling pattern
+    as the control plane's tick: the sampler re-arms itself only while
+    the loop still has events, so a drained run stops cleanly.  Cost is
+    zero on the per-packet hot path — live datapath counters are only
+    *read* at window boundaries.
+    """
+    lanes = [
+        (f"{prefix}.{metric_segment(device)}.{direction}", queues)
+        for device, directions in groups
+        for direction, queues in directions
+    ]
+    for base, _ in lanes:
+        for measure, _attribute in _COUNTER_MEASURES:
+            metrics.counter(f"{base}.{measure}")
+        metrics.counter(base + ".drops")
+
+    def tick(now: float) -> None:
+        for base, queues in lanes:
+            _update_direction_counters(metrics, base, queues)
+        metrics.sample(now)
+        if loop.peek_time() < math.inf:
+            loop.at(now + window_ns, tick)
+
+    loop.at(window_ns, tick)
+
+
+def _finalise_metrics(
+    metrics: MetricsRegistry,
+    groups: list[tuple[str, list[tuple[str, list["_Datapath"]]]]],
+    *,
+    prefix: str,
+) -> None:
+    """Publish end-of-run totals and per-direction latency histograms."""
+    for device, directions in groups:
+        dev = metric_segment(device)
+        for direction, queues in directions:
+            base = f"{prefix}.{dev}.{direction}"
+            _update_direction_counters(metrics, base, queues)
+            histogram = metrics.histogram(base + ".latency_ns")
+            for queue in queues:
+                if queue.stream is not None:
+                    histogram.sketch.merge(queue.stream.sketch)
+                elif queue.notifies:
+                    histogram.observe_many(
+                        (
+                            np.asarray(queue.notifies, dtype=np.float64)
+                            - np.asarray(queue.arrivals, dtype=np.float64)
+                        ).tolist()
+                    )
+
+
+# ---------------------------------------------------------------------------
 # The simulator façade
 # ---------------------------------------------------------------------------
 
@@ -1530,6 +1839,9 @@ class NicDatapathSimulator:
         packets: int,
         *,
         seed: int | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        device: str = "nic",
     ) -> NicSimResult:
         """Simulate ``packets`` packets per active direction.
 
@@ -1538,6 +1850,16 @@ class NicDatapathSimulator:
             packets: packets per direction (full duplex runs 2x this).
             seed: RNG seed for the workload draws (defaults to the library
                 seed so runs are reproducible).
+            tracer: optional span recorder; when set, every packet's
+                lifecycle stages (and walker/arbitration waits) land in
+                its flight-recorder buffer.  ``None`` (the default) keeps
+                the hot path on the exact historical code.
+            metrics: optional registry; when set, per-direction counters
+                are sampled every ``DEFAULT_METRICS_WINDOW_NS`` of
+                simulated time and the cumulative snapshot is attached to
+                the result as ``result.metrics``.
+            device: name carried by spans and metric names (fabric runs
+                pass the contending device's name).
         """
         if packets <= 0:
             raise ValidationError(f"packets must be positive, got {packets}")
@@ -1593,6 +1915,8 @@ class NicDatapathSimulator:
                     queue_index=index,
                     num_queues=num_queues,
                     warmup_gate=warmup_gate,
+                    tracer=tracer,
+                    device=device,
                 )
                 for index in range(num_queues)
             ]
@@ -1638,6 +1962,10 @@ class NicDatapathSimulator:
                     for index, target in enumerate(targets.tolist())
                 )
             directions.append((direction, queues))
+        if metrics is not None:
+            _install_metrics_sampler(
+                metrics, loop, [(device, directions)], prefix="nicsim"
+            )
         events_start = perf_counter()
         loop.run()
         stats_start = perf_counter()
@@ -1691,6 +2019,15 @@ class NicDatapathSimulator:
             stats_s=perf_counter() - stats_start,
             events=loop.processed,
         )
+        if metrics is not None:
+            _finalise_metrics(metrics, [(device, directions)], prefix="nicsim")
+            dev = metric_segment(device)
+            metrics.gauge(f"nicsim.{dev}.link.up_utilisation").set(
+                link_up.utilisation(duration) if duration > 0 else 0.0
+            )
+            metrics.gauge(f"nicsim.{dev}.link.down_utilisation").set(
+                link_down.utilisation(duration) if duration > 0 else 0.0
+            )
         return NicSimResult(
             model=self.model.name,
             workload=workload.name,
@@ -1706,6 +2043,7 @@ class NicDatapathSimulator:
             ),
             host=coupling.stats() if coupling is not None else None,
             tags=DmaTagStats.from_pool(tags) if tags is not None else None,
+            metrics=metrics.as_dict() if metrics is not None else None,
         )
 
 
@@ -1729,6 +2067,9 @@ def simulate_nic(
     seed: int | None = None,
     config: PCIeConfig = PAPER_DEFAULT_CONFIG,
     profile_sink: list[EngineProfile] | None = None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    device: str = "nic",
 ) -> NicSimResult:
     """One-call convenience wrapper around :class:`NicDatapathSimulator`.
 
@@ -1750,7 +2091,14 @@ def simulate_nic(
 
     ``profile_sink`` (a caller-owned list) receives the run's
     :class:`~repro.sim.engine.EngineProfile` — per-phase wall time and
-    event throughput — when provided.
+    event throughput — when provided; the profile is then also attached
+    to the returned result (``result.profile``) so it serialises.
+
+    ``tracer`` and ``metrics`` opt into the observability layer
+    (:mod:`repro.obs`): span traces of every packet lifecycle stage, and
+    a window-sampled counter/gauge/histogram registry attached to the
+    result as ``result.metrics``.  Both default to off, which keeps the
+    datapath on the exact historical (golden-verified) code path.
     """
     if isinstance(workload, str):
         workload = build_workload(
@@ -1775,9 +2123,17 @@ def simulate_nic(
             rss_table=rss_table,
         ),
     )
-    result = simulator.run(workload, packets, seed=seed)
+    result = simulator.run(
+        workload,
+        packets,
+        seed=seed,
+        tracer=tracer,
+        metrics=metrics,
+        device=device,
+    )
     if profile_sink is not None and simulator.last_profile is not None:
         profile_sink.append(simulator.last_profile)
+        result = replace(result, profile=simulator.last_profile)
     return result
 
 

@@ -249,9 +249,17 @@ class CompiledTopology:
         scheme: str = "fcfs",
         weights: Sequence[float] | None = None,
         quantum_ns: float | None = None,
+        trace: Callable[[int, str, float, float, float], None] | None = None,
     ) -> None:
         topology.validate_devices(device_names)
         self.name = name
+        #: Optional per-hop grant observer for the tracing layer:
+        #: ``trace(device_index, node, asked, start, duration)`` fires at
+        #: every hop grant along a request's ascent (once, at the root,
+        #: for the flat topology).  ``None`` keeps the request paths on
+        #: the exact historical code — the flat fast path stays a direct
+        #: arbiter call with no wrapper closure.
+        self._trace = trace
         self.topology = topology
         self.device_names = tuple(device_names)
         if weights is None:
@@ -382,10 +390,19 @@ class CompiledTopology:
         :class:`~repro.sim.engine.ArbitratedResource`.
         """
         path = self._paths[device]
+        trace = self._trace
         if len(path) == 1:
             # Flat attachment: the PR 4 fast path, no indirection.
             node, client = path[0]
-            self._arbiters[node].request(client, now, duration, grant)
+            if trace is None:
+                self._arbiters[node].request(client, now, duration, grant)
+                return
+
+            def traced_grant(start: float) -> None:
+                trace(device, node, now, start, duration)
+                grant(start)
+
+            self._arbiters[node].request(client, now, duration, traced_grant)
             return
         accounting = self._accounting[device]
         hops = len(path)
@@ -402,6 +419,8 @@ class CompiledTopology:
                     for credit in held:
                         self._schedule(completion, credit.release)
                     accounting.record(now, start, duration, hops)
+                    if trace is not None:
+                        trace(device, node, time, start, duration)
                     grant(start)
 
                 self._arbiters[node].request(client, time, duration, at_root)
@@ -413,6 +432,9 @@ class CompiledTopology:
                     # request then waits for the switch's upstream credit
                     # before it exists one level up — a switch can neither
                     # pre-book its parent nor flood it with a backlog.
+                    if trace is not None:
+                        trace(device, node, time, start, duration)
+
                     def with_credit(granted: float) -> None:
                         held.append(credit)
                         ascend(level + 1, granted)
@@ -444,6 +466,7 @@ def compile_topology(
     scheme: str = "fcfs",
     weights: Sequence[float] | None = None,
     quantum_ns: float | None = None,
+    trace: Callable[[int, str, float, float, float], None] | None = None,
 ) -> CompiledTopology:
     """Compile a topology (``None`` means flat) for one shared resource."""
     if topology is None:
@@ -456,4 +479,5 @@ def compile_topology(
         scheme=scheme,
         weights=weights,
         quantum_ns=quantum_ns,
+        trace=trace,
     )

@@ -37,6 +37,7 @@ class TestRegistry:
             "figure-11-topology",
             "figure-12-fleet",
             "figure-13-control",
+            "figure-14-attribution",
             "table-1",
             "table-2",
         ]

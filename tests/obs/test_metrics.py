@@ -1,0 +1,114 @@
+"""Metrics registry unit tests: naming, windows and serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs import MetricsRegistry, metric_segment
+
+
+class TestNaming:
+    def test_valid_dotted_names_accepted(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("nicsim.victim.tx.packets")
+        registry.gauge("fabric.link.up_utilisation")
+        registry.histogram("fabric.dev-0.latency_ns")
+
+    @pytest.mark.parametrize(
+        "name", ["", "UpperCase.metric", "spaces in.name", "trailing.", ".lead"]
+    )
+    def test_invalid_names_rejected(self, name: str) -> None:
+        with pytest.raises(ValidationError):
+            MetricsRegistry().counter(name)
+
+    def test_cross_kind_collision_rejected(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("a.b")
+        with pytest.raises(ValidationError):
+            registry.gauge("a.b")
+        with pytest.raises(ValidationError):
+            registry.histogram("a.b")
+
+    def test_get_or_create_returns_same_instrument(self) -> None:
+        registry = MetricsRegistry()
+        assert registry.counter("a.b") is registry.counter("a.b")
+
+    def test_metric_segment_sanitises_labels(self) -> None:
+        assert metric_segment("Victim NIC #2") == "victim_nic_2"
+        assert metric_segment("dev-0") == "dev-0"
+        assert metric_segment("///") == "unnamed"
+
+
+class TestInstruments:
+    def test_counter_is_monotonic(self) -> None:
+        counter = MetricsRegistry().counter("c.total")
+        counter.add(3.0)
+        counter.add()
+        assert counter.value == 4.0
+        with pytest.raises(ValidationError):
+            counter.add(-1.0)
+
+    def test_counter_window_delta(self) -> None:
+        counter = MetricsRegistry().counter("c.total")
+        counter.add(5.0)
+        assert counter.window_delta() == 5.0
+        counter.add(2.0)
+        assert counter.window_delta() == 2.0
+        assert counter.window_delta() == 0.0
+
+    def test_gauge_holds_last_level(self) -> None:
+        gauge = MetricsRegistry().gauge("g.level")
+        gauge.set(0.25)
+        gauge.set(0.75)
+        assert gauge.value == 0.75
+
+    def test_histogram_summary(self) -> None:
+        histogram = MetricsRegistry().histogram("h.latency_ns")
+        histogram.observe_many([100.0, 200.0, 300.0, 400.0])
+        summary = histogram.summary()
+        assert summary["count"] == 4
+        assert summary["min"] == 100.0
+        assert summary["max"] == 400.0
+        assert summary["mean"] == pytest.approx(250.0)
+        assert 100.0 <= summary["p50"] <= 400.0
+
+    def test_empty_histogram_summary(self) -> None:
+        assert MetricsRegistry().histogram("h.empty").summary() == {"count": 0}
+
+
+class TestWindows:
+    def test_sample_snapshots_deltas_and_levels(self) -> None:
+        registry = MetricsRegistry()
+        counter = registry.counter("c.total")
+        gauge = registry.gauge("g.level")
+        histogram = registry.histogram("h.values")
+        counter.add(10.0)
+        gauge.set(0.5)
+        histogram.observe(1.0)
+        first = registry.sample(50_000.0)
+        assert first["window"] == 0
+        assert first["time_ns"] == 50_000.0
+        assert first["counters"] == {"c.total": 10.0}
+        assert first["gauges"] == {"g.level": 0.5}
+        assert first["histograms"] == {"h.values": 1}
+
+        counter.add(2.0)
+        second = registry.sample(100_000.0)
+        assert second["window"] == 1
+        assert second["counters"] == {"c.total": 2.0}
+        assert second["histograms"] == {"h.values": 0}
+
+    def test_as_dict_holds_cumulative_and_windows(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("c.total").add(7.0)
+        registry.sample(1.0)
+        registry.counter("c.total").add(1.0)
+        record = registry.as_dict()
+        assert record["counters"] == {"c.total": 8.0}
+        assert len(record["windows"]) == 1
+        assert record["windows"][0]["counters"] == {"c.total": 7.0}
+        # Serialisable: keys sorted, plain types only.
+        import json
+
+        json.dumps(record)

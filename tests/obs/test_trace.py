@@ -1,0 +1,174 @@
+"""Tracer unit tests: flight recorder semantics and export schemas."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs import Span, Tracer
+
+
+def _filled_tracer() -> Tracer:
+    tracer = Tracer(capacity=64)
+    tracer.record("victim", "tx", 0, "ring", 0.0, 100.0)
+    tracer.record("victim", "tx", 0, "issue", 100.0, 50.0)
+    tracer.record("victim", "rx", 1, "ring", 10.0, 0.0)
+    tracer.record("aggressor", "tx", 2, "payload", 2000.0, 1000.0)
+    tracer.record("victim", "tx", -1, "walker", 120.0, 60.0)
+    return tracer
+
+
+class TestFlightRecorder:
+    def test_capacity_must_be_positive(self) -> None:
+        with pytest.raises(ValidationError):
+            Tracer(capacity=0)
+
+    def test_records_and_counts(self) -> None:
+        tracer = _filled_tracer()
+        assert len(tracer) == 5
+        assert tracer.recorded == 5
+        assert tracer.evicted == 0
+
+    def test_packet_ids_are_monotonic(self) -> None:
+        tracer = Tracer()
+        assert [tracer.next_packet() for _ in range(3)] == [0, 1, 2]
+
+    def test_eviction_keeps_newest_spans(self) -> None:
+        tracer = Tracer(capacity=4)
+        for index in range(7):
+            tracer.record("dev", "tx", index, "ring", float(index), 1.0)
+        assert len(tracer) == 4
+        assert tracer.recorded == 7
+        assert tracer.evicted == 3
+        # The oldest three scrolled off; packets 3..6 remain, oldest first.
+        assert [span.packet for span in tracer.spans] == [3, 4, 5, 6]
+
+    def test_eviction_boundary_exact_fit(self) -> None:
+        tracer = Tracer(capacity=4)
+        for index in range(4):
+            tracer.record("dev", "tx", index, "ring", float(index), 1.0)
+        assert tracer.evicted == 0
+        tracer.record("dev", "tx", 4, "ring", 4.0, 1.0)
+        assert tracer.evicted == 1
+        assert tracer.spans[0].packet == 1
+
+    def test_span_view(self) -> None:
+        tracer = _filled_tracer()
+        span = tracer.spans[0]
+        assert isinstance(span, Span)
+        assert span.as_dict() == {
+            "device": "victim",
+            "lane": "tx",
+            "packet": 0,
+            "stage": "ring",
+            "start_ns": 0.0,
+            "duration_ns": 100.0,
+        }
+
+
+class TestChromeExport:
+    def test_duration_events_carry_required_keys(self) -> None:
+        document = _filled_tracer().chrome_trace()
+        events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == 5
+        for event in events:
+            for key in ("name", "cat", "ph", "ts", "dur", "pid", "tid"):
+                assert key in event
+
+    def test_pid_maps_devices_and_tid_maps_lanes(self) -> None:
+        document = _filled_tracer().chrome_trace()
+        events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        # Two devices -> two pids; (victim, tx) spans share one tid,
+        # (victim, rx) gets another, (aggressor, tx) a third.
+        pids = {e["pid"] for e in events}
+        tids = {e["tid"] for e in events}
+        assert len(pids) == 2
+        assert len(tids) == 3
+        victim_tx = [
+            e for e in events if e["args"]["packet"] == 0
+        ]
+        assert len({e["pid"] for e in victim_tx}) == 1
+        assert len({e["tid"] for e in victim_tx}) == 1
+
+    def test_metadata_names_processes_and_threads(self) -> None:
+        document = _filled_tracer().chrome_trace()
+        metadata = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        process_names = {
+            e["args"]["name"] for e in metadata if e["name"] == "process_name"
+        }
+        thread_names = {
+            e["args"]["name"] for e in metadata if e["name"] == "thread_name"
+        }
+        assert process_names == {"victim", "aggressor"}
+        assert thread_names == {"tx", "rx"}
+
+    def test_timestamps_are_microseconds(self) -> None:
+        document = _filled_tracer().chrome_trace()
+        payload = next(
+            e
+            for e in document["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "payload"
+        )
+        assert payload["ts"] == pytest.approx(2.0)
+        assert payload["dur"] == pytest.approx(1.0)
+        assert payload["args"]["start_ns"] == 2000.0
+
+    def test_other_data_counts_eviction(self) -> None:
+        tracer = Tracer(capacity=2)
+        for index in range(5):
+            tracer.record("dev", "tx", index, "ring", float(index), 1.0)
+        document = tracer.chrome_trace()
+        assert document["otherData"]["recorded_spans"] == 5
+        assert document["otherData"]["evicted_spans"] == 3
+
+    def test_dump_chrome_is_valid_json(self) -> None:
+        stream = io.StringIO()
+        _filled_tracer().dump(stream, fmt="chrome")
+        document = json.loads(stream.getvalue())
+        assert document["displayTimeUnit"] == "ns"
+
+
+class TestJsonlExport:
+    def test_each_line_is_a_valid_span_object(self) -> None:
+        tracer = _filled_tracer()
+        lines = list(tracer.jsonl_lines())
+        assert len(lines) == len(tracer)
+        for line, span in zip(lines, tracer.spans):
+            assert json.loads(line) == span.as_dict()
+
+    def test_dump_jsonl_round_trips(self) -> None:
+        stream = io.StringIO()
+        tracer = _filled_tracer()
+        tracer.dump(stream, fmt="jsonl")
+        rows = [
+            json.loads(line)
+            for line in stream.getvalue().splitlines()
+            if line
+        ]
+        assert [row["stage"] for row in rows] == [
+            span.stage for span in tracer.spans
+        ]
+
+    def test_unknown_format_rejected(self) -> None:
+        with pytest.raises(ValidationError):
+            _filled_tracer().dump(io.StringIO(), fmt="csv")
+
+
+class TestWriteByExtension:
+    def test_json_extension_writes_chrome(self, tmp_path) -> None:
+        path = tmp_path / "trace.json"
+        fmt = _filled_tracer().write(str(path))
+        assert fmt == "chrome"
+        document = json.loads(path.read_text())
+        assert "traceEvents" in document
+
+    def test_jsonl_extension_writes_lines(self, tmp_path) -> None:
+        path = tmp_path / "trace.jsonl"
+        fmt = _filled_tracer().write(str(path))
+        assert fmt == "jsonl"
+        lines = path.read_text().splitlines()
+        assert len(lines) == 5
+        assert all(json.loads(line) for line in lines)
