@@ -1,0 +1,105 @@
+"""Hybrid-mode behavioural smoke: certify, act, re-enter.
+
+The fluid fast-path's correctness story is not throughput (on saturated
+scenarios it stays in packet mode) but its *state machine*: a steady
+queue must certify into fluid granularity, and a control action must
+throw it back to packet mode — the certificate is only valid under the
+knob settings it was sampled under.
+
+This smoke runs the one scenario where all three transitions provably
+happen (measured, seeded): a steady 512 B DPDK victim against a
+sustained bulk IMIX aggressor on a mistuned 1:16 WRR fabric with the
+threshold controller on a 20 µs window.  The controller boosts the
+victim early (while its queues are still warming up), contention fades,
+the victim certifies into fluid mode, and the controller's late weight
+*decay* actions land while it is fluid — forcing a packet-mode re-entry
+with reason ``"control"``.
+
+Exit 1 when any of the three asserted transitions is missing:
+
+* at least one control action landed,
+* at least one queue certified into fluid mode (with fluid packets),
+* at least one re-entry carries reason ``"control"``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/hybrid_contend_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.contention import (  # noqa: E402
+    ContentionParams,
+    run_contention_benchmark,
+)
+from repro.bench.nicsim import NicSimParams  # noqa: E402
+from repro.sim.fastpath import numpy_available  # noqa: E402
+from repro.units import KIB, MIB  # noqa: E402
+
+
+def main() -> int:
+    if not numpy_available():
+        print("numpy unavailable: hybrid smoke skipped (install [fast])")
+        return 0
+    victim = NicSimParams(
+        model="dpdk",
+        workload="fixed",
+        packet_size=512,
+        offered_load_gbps=5.0,
+        packets=6000,
+        payload_window=256 * KIB,
+    )
+    aggressor = NicSimParams(
+        model="kernel",
+        workload="imix",
+        packets=12000,
+        payload_window=16 * MIB,
+    )
+    params = ContentionParams(
+        devices=(victim, aggressor),
+        names=("victim", "aggressor"),
+        system="NFP6000-HSW",
+        iommu_enabled=True,
+        arbiter="wrr",
+        weights=(1.0, 16.0),
+        controller="threshold",
+        control_window_ns=20_000.0,
+        mode="hybrid",
+    )
+    result = run_contention_benchmark(params)
+
+    actions = len(result.control_actions)
+    certifications = 0
+    fluid_packets = 0
+    reasons: dict[str, int] = {}
+    for device in result.devices:
+        for summary in (device.result.fluid or {}).values():
+            certifications += summary["certifications"]
+            fluid_packets += summary["fluid_packets"]
+            for reason, count in summary["re_entry_reasons"].items():
+                reasons[reason] = reasons.get(reason, 0) + count
+    print(
+        f"hybrid contend: {actions} control actions, "
+        f"{certifications} certifications, {fluid_packets} fluid packets, "
+        f"re-entry reasons {reasons or '{}'}"
+    )
+
+    failures = []
+    if actions < 1:
+        failures.append("no control action landed")
+    if certifications < 1 or fluid_packets < 1:
+        failures.append("no queue certified into fluid mode")
+    if reasons.get("control", 0) < 1:
+        failures.append("no control-action re-entry (reason 'control')")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -147,6 +147,11 @@ class ContentionParams:
         control_window_ns: the controller's observation window in
             simulated nanoseconds (``None`` uses the control-plane
             default; only valid with a non-static controller).
+        mode: engine selection (``"exact"``/``"batch"``/``"hybrid"``, see
+            :meth:`~repro.sim.fabric.FabricSimulator.run`).  Fabric runs
+            always couple the host, so ``"batch"`` runs the exact scalar
+            engine; ``"hybrid"`` runs fluid datapaths that re-enter
+            packet mode on every control action.
         engine_profile: attach the run's
             :class:`~repro.sim.engine.EngineProfile` to the result
             (``result.profile``).  A parameter rather than only a runner
@@ -168,6 +173,7 @@ class ContentionParams:
     cache_model: str = "statistical"
     controller: str = "static"
     control_window_ns: float | None = None
+    mode: str = "exact"
     engine_profile: bool = False
     seed: int | None = None
 
@@ -175,6 +181,10 @@ class ContentionParams:
         object.__setattr__(self, "devices", tuple(self.devices))
         if not self.devices:
             raise ValidationError("a contention run needs at least one device")
+        if self.mode not in ("exact", "batch", "hybrid"):
+            raise ValidationError(
+                f"mode must be one of exact, batch, hybrid; got {self.mode!r}"
+            )
         for index, device in enumerate(self.devices):
             if not isinstance(device, NicSimParams):
                 raise ValidationError(
@@ -294,6 +304,8 @@ class ContentionParams:
             parts.append(f"controller={self.controller}")
             if self.control_window_ns is not None:
                 parts.append(f"window={self.control_window_ns:g}ns")
+        if self.mode != "exact":
+            parts.append(f"mode={self.mode}")
         if self.iommu_enabled:
             parts.append(f"iommu({format_size(self.iommu_page_size)} pages)")
         for name, device in zip(self.device_names(), self.devices):
@@ -336,6 +348,8 @@ class ContentionParams:
             record["controller"] = self.controller
             if self.control_window_ns is not None:
                 record["control_window_ns"] = self.control_window_ns
+        if self.mode != "exact":
+            record["mode"] = self.mode
         if self.engine_profile:
             record["engine_profile"] = True
         return record
@@ -372,6 +386,7 @@ class ContentionParams:
                 if data.get("control_window_ns") is None
                 else float(data["control_window_ns"])  # type: ignore[arg-type]
             ),
+            mode=str(data.get("mode", "exact")),
             engine_profile=bool(data.get("engine_profile", False)),
             seed=data.get("seed"),  # type: ignore[arg-type]
         )
@@ -472,7 +487,9 @@ def run_contention_benchmark(
         for device, name in zip(params.devices, params.device_names())
     ]
     simulator = FabricSimulator(devices, fabric)
-    result = simulator.run(seed=seed, tracer=tracer, metrics=metrics)
+    result = simulator.run(
+        seed=seed, tracer=tracer, metrics=metrics, mode=params.mode
+    )
     if simulator.last_profile is not None:
         if profile_sink is not None:
             profile_sink.append(simulator.last_profile)

@@ -70,6 +70,11 @@ class NicSimParams:
         retain_samples: keep per-packet latency arrays (the default).
             ``False`` streams latencies through an O(1)-memory quantile
             sketch instead — the mode fleet-scale runs use.
+        mode: engine selection — ``"exact"`` (default, the scalar event
+            loop every golden rests on), ``"batch"`` (vectorised solver
+            with automatic scalar fallback) or ``"hybrid"`` (fluid
+            fast-path).  Non-exact modes need numpy (the ``[fast]``
+            extra).
     """
 
     model: str = "Simple NIC"
@@ -92,6 +97,7 @@ class NicSimParams:
     rss_table: tuple[int, ...] | None = None
     seed: int | None = None
     retain_samples: bool = True
+    mode: str = "exact"
 
     def __post_init__(self) -> None:
         # Normalise aliases ("dpdk") to the canonical model name and fail
@@ -104,6 +110,10 @@ class NicSimParams:
                 + ", ".join(workload_names())
             )
         object.__setattr__(self, "workload", key)
+        if self.mode not in ("exact", "batch", "hybrid"):
+            raise ValidationError(
+                f"mode must be one of exact, batch, hybrid; got {self.mode!r}"
+            )
         if self.packet_size <= 0:
             raise ValidationError(
                 f"packet_size must be positive, got {self.packet_size}"
@@ -220,6 +230,8 @@ class NicSimParams:
             parts.append(f"tags={self.dma_tags}")
         if not self.retain_samples:
             parts.append("streaming")
+        if self.mode != "exact":
+            parts.append(f"mode={self.mode}")
         if not self.duplex:
             parts.append("tx-only")
         if self.system is not None:
@@ -269,6 +281,8 @@ class NicSimParams:
             record["dma_tags"] = self.dma_tags
         if not self.retain_samples:
             record["retain_samples"] = False
+        if self.mode != "exact":
+            record["mode"] = self.mode
         return record
 
     @classmethod
@@ -313,6 +327,7 @@ def run_nicsim_benchmark(
         rss=params.rss,
         rss_table=params.rss_table,
         retain_samples=params.retain_samples,
+        mode=params.mode,
         seed=params.seed,
         profile_sink=profile_sink,
         tracer=tracer,

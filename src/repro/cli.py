@@ -158,6 +158,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="NUMA placement of the payload buffers (requires --system "
         "with a two-socket profile)",
     )
+    nicsim.add_argument(
+        "--mode", default="exact", choices=["exact", "batch", "hybrid"],
+        help="engine: exact (scalar event loop, the golden-verified "
+        "default), batch (vectorised solver with automatic scalar "
+        "fallback) or hybrid (fluid fast-path in certified steady state); "
+        "batch/hybrid need numpy (install the [fast] extra)",
+    )
     nicsim.add_argument("--seed", type=int, default=None)
     nicsim.add_argument(
         "--compare-analytic",
@@ -246,6 +253,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--control-window", type=float, default=None, metavar="NS",
         help="controller observation window in simulated ns "
         "(default: the control plane's default window)",
+    )
+    contend.add_argument(
+        "--mode", default="exact", choices=["exact", "batch", "hybrid"],
+        help="engine: exact (default), batch (falls back to exact — "
+        "fabric runs always couple the host) or hybrid (fluid fast-path; "
+        "control actions force packet-mode re-entry); batch/hybrid need "
+        "numpy (install the [fast] extra)",
     )
     contend.add_argument("--seed", type=int, default=None)
     contend.add_argument(
@@ -491,7 +505,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _require_mode_deps(mode: str) -> None:
+    """Fail ``--mode batch|hybrid`` at the flag when numpy is missing.
+
+    The engine itself would also refuse, but deep in the run with a
+    library-level message; the CLI names the flag and the extra to
+    install instead.
+    """
+    if mode == "exact":
+        return
+    from .sim.fastpath import numpy_available
+
+    if not numpy_available():
+        raise UsageError(
+            f"--mode {mode} needs numpy, which is not installed; "
+            "install the optional extra: pip install 'pcie-bench-repro[fast]'"
+        )
+
+
 def _cmd_nicsim(args: argparse.Namespace) -> int:
+    _require_mode_deps(args.mode)
     if args.compare_analytic and args.workload != "fixed":
         raise ReproError(
             "--compare-analytic requires the fixed-size workload "
@@ -523,6 +556,7 @@ def _cmd_nicsim(args: argparse.Namespace) -> int:
             payload_cache_state=args.host_cache,
             payload_placement=args.placement,
             seed=args.seed,
+            mode=args.mode,
         )
         host_config = params.host_config()
         print(params.label(), file=sys.stderr)
@@ -621,6 +655,7 @@ def _parse_device_spec(text: str) -> tuple[str | None, NicSimParams]:
 
 
 def _cmd_contend(args: argparse.Namespace) -> int:
+    _require_mode_deps(args.mode)
     if args.device:
         specs = [_parse_device_spec(text) for text in args.device]
         devices = tuple(params for _, params in specs)
@@ -686,6 +721,7 @@ def _cmd_contend(args: argparse.Namespace) -> int:
         cache_model=args.cache_model,
         controller=args.controller,
         control_window_ns=args.control_window,
+        mode=args.mode,
         seed=args.seed,
     )
     print(params.label(), file=sys.stderr)

@@ -32,6 +32,7 @@ from .metrics import (
 )
 from .trace import (
     ARB_PREFIX,
+    BATCH_PREFIX,
     DEFAULT_CAPACITY,
     OP_PREFIX,
     PACKET_STAGES,
@@ -47,6 +48,7 @@ from .trace import (
 
 __all__ = [
     "ARB_PREFIX",
+    "BATCH_PREFIX",
     "DEFAULT_CAPACITY",
     "OP_PREFIX",
     "PACKET_STAGES",

@@ -41,6 +41,7 @@ from ..errors import ValidationError
 
 __all__ = [
     "ARB_PREFIX",
+    "BATCH_PREFIX",
     "OP_PREFIX",
     "PACKET_STAGES",
     "STAGE_COMPLETION",
@@ -73,6 +74,11 @@ STAGE_DROP = "drop"
 #: Prefixes for parameterised stage names.
 OP_PREFIX = "op:"  # gating descriptor/doorbell ops, e.g. ``op:doorbell``
 ARB_PREFIX = "arb:"  # arbitration wait, e.g. ``arb:walker@root``
+#: Aggregate spans from the vectorised batch engine (one span per
+#: transaction column, packet id -1): the batch path has no per-packet
+#: lifecycle, so its spans cover a whole op's first request to last
+#: completion, e.g. ``batch:TX packet fetch``.
+BATCH_PREFIX = "batch:"
 
 DEFAULT_CAPACITY = 65536
 

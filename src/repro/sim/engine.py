@@ -41,6 +41,12 @@ class EngineProfile:
     ``stats_s`` the statistics summarisation.  ``events`` is the number
     of events the loop dispatched, so ``events / events_s`` is the
     engine's raw events-per-second throughput.
+
+    ``mode`` names the engine that produced the run (``exact`` scalar
+    event loop, ``batch`` vectorised solver, ``hybrid`` fluid fast-path)
+    and ``solve_s`` is the vectorised solve time inside ``events_s``
+    (zero for the scalar engines), so per-mode phase timings stay
+    comparable in one record shape.
     """
 
     label: str
@@ -48,6 +54,8 @@ class EngineProfile:
     events_s: float
     stats_s: float
     events: int
+    mode: str = "exact"
+    solve_s: float = 0.0
 
     @property
     def total_s(self) -> float:
@@ -69,6 +77,8 @@ class EngineProfile:
             "total_s": self.total_s,
             "events": self.events,
             "events_per_sec": self.events_per_sec,
+            "mode": self.mode,
+            "solve_s": self.solve_s,
         }
 
     @classmethod
@@ -84,15 +94,20 @@ class EngineProfile:
             events_s=float(data["events_s"]),
             stats_s=float(data["stats_s"]),
             events=int(data["events"]),
+            mode=str(data.get("mode", "exact")),
+            solve_s=float(data.get("solve_s", 0.0)),
         )
 
     def format(self) -> str:
         """Human-readable one-block summary for the CLI."""
+        solve = (
+            f", solve {self.solve_s * 1e3:.1f} ms" if self.solve_s > 0 else ""
+        )
         return (
-            f"[profile] {self.label}: {self.events} events in "
+            f"[profile] {self.label} [{self.mode}]: {self.events} events in "
             f"{self.events_s * 1e3:.1f} ms "
             f"({self.events_per_sec:,.0f} events/s); "
-            f"build {self.build_s * 1e3:.1f} ms, "
+            f"build {self.build_s * 1e3:.1f} ms{solve}, "
             f"stats {self.stats_s * 1e3:.1f} ms, "
             f"total {self.total_s * 1e3:.1f} ms"
         )

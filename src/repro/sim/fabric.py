@@ -992,6 +992,7 @@ class FabricSimulator:
         seed: int | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        mode: str = "exact",
     ) -> ContentionResult:
         """Simulate every device's workload against the shared host.
 
@@ -1000,7 +1001,30 @@ class FabricSimulator:
         ``metrics`` attaches a window-sampled registry snapshot to the
         result.  Both default to off, which keeps every simulation path
         on the exact historical (golden-verified) code.
+
+        ``mode`` selects the engine, mirroring
+        :meth:`NicDatapathSimulator.run <repro.sim.nicsim.NicDatapathSimulator.run>`.
+        Fabric runs couple every datapath to the shared host — the very
+        interaction the vectorised batch solver declares a fallback on —
+        so ``"batch"`` here *is* the scalar engine (same fallback the
+        single-device path takes, decided up front instead of after a
+        failed solve).  ``"hybrid"`` runs fluid datapaths whose
+        steady-state certificates are additionally invalidated by every
+        control action: a :class:`~repro.control.runtime.ControlRuntime`
+        action listener pokes all fluid queues, forcing packet-mode
+        re-entry (reason ``"control"``) the next arrival after any knob
+        moves.
         """
+        if mode not in ("exact", "batch", "hybrid"):
+            raise ValidationError(
+                f"mode must be one of exact, batch, hybrid; got {mode!r}"
+            )
+        datapath_cls = _Datapath
+        fluid_result_summary = None
+        if mode == "hybrid":
+            from .fastpath import fluid_datapath_class, fluid_result_summary
+
+            datapath_cls = fluid_datapath_class()
         resolved_seed = DEFAULT_SEED if seed is None else seed
         wall_start = perf_counter()
         fabric = self.fabric
@@ -1111,7 +1135,7 @@ class FabricSimulator:
                     )
                 )
                 queues = [
-                    _Datapath(
+                    datapath_cls(
                         direction,
                         device.model,
                         self.config,
@@ -1231,6 +1255,24 @@ class FabricSimulator:
                 runtime.bind_port_stats(port_totals)
             if shared.partitioned and fabric.cache_model == "statistical":
                 runtime.bind_ddio(fabric.ddio_partition, shared.repartition)
+            if mode == "hybrid":
+                # Any control action (weights, RSS, DDIO) invalidates the
+                # steady-state certificate fleet-wide: an actuator changes
+                # the service rates the residual reservoir was sampled
+                # under, and not only on the device it names (weights and
+                # DDIO shares redistribute capacity across neighbours).
+                fluid_paths = tuple(
+                    path
+                    for device_dirs in device_paths
+                    for _direction, queues in device_dirs
+                    for path in queues
+                )
+
+                def poke_fluid(_action, paths=fluid_paths):
+                    for path in paths:
+                        path.control_poke()
+
+                runtime.add_action_listener(poke_fluid)
             runtime.start()
 
         if metrics is not None:
@@ -1290,6 +1332,11 @@ class FabricSimulator:
                 ),
                 host=shared.couplings[index].stats(),
                 tags=DmaTagStats.from_pool(tags) if tags is not None else None,
+                fluid=(
+                    fluid_result_summary(directions)
+                    if fluid_result_summary is not None
+                    else None
+                ),
             )
             records.append(
                 DeviceContentionResult(
@@ -1313,6 +1360,7 @@ class FabricSimulator:
             events_s=stats_start - events_start,
             stats_s=perf_counter() - stats_start,
             events=loop.processed,
+            mode=mode if mode == "hybrid" else "exact",
         )
         if metrics is not None:
             _finalise_metrics(

@@ -514,6 +514,10 @@ class NicSimResult:
     #: (and the seeded goldens) round-trip unchanged.
     profile: EngineProfile | None = None
     metrics: dict | None = None
+    #: Hybrid-mode fluid accounting (certifications, fluid packets and
+    #: re-entry reasons per direction); absent for exact/batch runs so
+    #: historical records round-trip unchanged.
+    fluid: dict | None = None
 
     @property
     def throughput_gbps(self) -> float:
@@ -556,6 +560,8 @@ class NicSimResult:
             record["profile"] = self.profile.as_dict()
         if self.metrics is not None:
             record["metrics"] = self.metrics
+        if self.fluid is not None:
+            record["fluid"] = self.fluid
         return record
 
     @classmethod
@@ -578,6 +584,7 @@ class NicSimResult:
             tags=DmaTagStats.from_dict(tags) if tags else None,
             profile=EngineProfile.from_dict(profile) if profile else None,
             metrics=data.get("metrics"),
+            fluid=data.get("fluid"),
         )
 
 
@@ -1842,6 +1849,7 @@ class NicDatapathSimulator:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         device: str = "nic",
+        mode: str = "exact",
     ) -> NicSimResult:
         """Simulate ``packets`` packets per active direction.
 
@@ -1860,9 +1868,47 @@ class NicDatapathSimulator:
                 the result as ``result.metrics``.
             device: name carried by spans and metric names (fabric runs
                 pass the contending device's name).
+            mode: engine selection — ``"exact"`` (default, the scalar
+                event loop every golden is pinned to), ``"batch"`` (the
+                vectorised :mod:`repro.sim.fastpath` solver, falling back
+                to the scalar loop whenever an interaction point makes it
+                inapplicable) or ``"hybrid"`` (scalar loop with the fluid
+                steady-state fast path per queue).
         """
         if packets <= 0:
             raise ValidationError(f"packets must be positive, got {packets}")
+        if mode not in ("exact", "batch", "hybrid"):
+            raise ValidationError(
+                f"mode must be one of exact, batch, hybrid; got {mode!r}"
+            )
+        datapath_cls = _Datapath
+        if mode == "batch":
+            # Lazy import: the scalar path never touches the fastpath
+            # module (which is where the optional-numpy contract lives).
+            from .fastpath import BatchFallback, run_batch
+
+            try:
+                return run_batch(
+                    self,
+                    workload,
+                    packets,
+                    seed=seed,
+                    tracer=tracer,
+                    metrics=metrics,
+                    device=device,
+                )
+            except BatchFallback:
+                # An interaction point (host coupling, bounded tags,
+                # multi-queue, ring pressure) or non-convergence: the
+                # scalar loop is authoritative.  Fallbacks fire before the
+                # solver touches the tracer or metrics registry, so the
+                # scalar run below starts from a clean slate; the profile
+                # keeps mode="exact" so records say which engine ran.
+                pass
+        elif mode == "hybrid":
+            from .fastpath import fluid_datapath_class
+
+            datapath_cls = fluid_datapath_class()
         wall_start = perf_counter()
         resolved_seed = DEFAULT_SEED if seed is None else seed
         rng = SimRng(resolved_seed)
@@ -1900,7 +1946,7 @@ class NicDatapathSimulator:
                 )
             )
             queues = [
-                _Datapath(
+                datapath_cls(
                     direction,
                     self.model,
                     self.config,
@@ -2012,12 +2058,18 @@ class NicDatapathSimulator:
         ]
         tx = results[0]
         rx = results[1] if len(results) > 1 else None
+        fluid = None
+        if mode == "hybrid":
+            from .fastpath import fluid_result_summary
+
+            fluid = fluid_result_summary(directions)
         self.last_profile = EngineProfile(
             label=f"nicsim {self.model.name} {workload.name}",
             build_s=events_start - wall_start,
             events_s=stats_start - events_start,
             stats_s=perf_counter() - stats_start,
             events=loop.processed,
+            mode=mode if mode == "hybrid" else "exact",
         )
         if metrics is not None:
             _finalise_metrics(metrics, [(device, directions)], prefix="nicsim")
@@ -2044,6 +2096,7 @@ class NicDatapathSimulator:
             host=coupling.stats() if coupling is not None else None,
             tags=DmaTagStats.from_pool(tags) if tags is not None else None,
             metrics=metrics.as_dict() if metrics is not None else None,
+            fluid=fluid,
         )
 
 
@@ -2070,6 +2123,7 @@ def simulate_nic(
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     device: str = "nic",
+    mode: str = "exact",
 ) -> NicSimResult:
     """One-call convenience wrapper around :class:`NicDatapathSimulator`.
 
@@ -2099,6 +2153,9 @@ def simulate_nic(
     a window-sampled counter/gauge/histogram registry attached to the
     result as ``result.metrics``.  Both default to off, which keeps the
     datapath on the exact historical (golden-verified) code path.
+
+    ``mode`` selects the engine (``"exact"``/``"batch"``/``"hybrid"``,
+    see :meth:`NicDatapathSimulator.run`).
     """
     if isinstance(workload, str):
         workload = build_workload(
@@ -2130,6 +2187,7 @@ def simulate_nic(
         tracer=tracer,
         metrics=metrics,
         device=device,
+        mode=mode,
     )
     if profile_sink is not None and simulator.last_profile is not None:
         profile_sink.append(simulator.last_profile)
